@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md (E1–E14):
+it measures the relevant executions with ``pytest-benchmark`` *and*
+prints the experiment's result rows (bound vs. measured, scaling
+series, who-wins) so that ``pytest benchmarks/ --benchmark-only -s``
+reproduces the tables recorded in EXPERIMENTS.md.  Shape assertions are
+part of each benchmark, so a regression in any claim fails the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import format_table
+
+
+def emit(title, rows, columns=None):
+    """Print one experiment table (visible with -s / on failures)."""
+    print()
+    print(f"== {title} ==")
+    print(format_table(rows, columns))
+
+
+@pytest.fixture
+def table():
+    """Accumulate rows and print them at teardown."""
+    collected = {"title": "experiment", "rows": []}
+
+    yield collected
+
+    if collected["rows"]:
+        emit(collected["title"], collected["rows"])

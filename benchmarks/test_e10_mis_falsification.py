@@ -1,0 +1,66 @@
+"""E10 — Property 2.1 made operational: every candidate MIS algorithm
+is defeated, and each defeat translates to an SSB failure via the
+paper's simulation.
+
+Regenerates the candidate-vs-verdict table for C_3..C_5 and the SSB
+reduction demonstration.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.lowerbounds.mis import candidate_mis_algorithms, falsify_mis
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+from repro.shm.simulation import run_mis_as_ssb
+from repro.shm.tasks import MISSpec
+
+
+def falsify_all(n, max_depth):
+    rows = []
+    for name, algorithm in sorted(candidate_mis_algorithms().items()):
+        outcome = falsify_mis(algorithm, n=n, max_depth=max_depth)
+        rows.append(
+            {
+                "candidate": name,
+                "n": n,
+                "defeated": outcome.found,
+                "mode": ("livelock" if "repeats" in outcome.description
+                         else "safety"),
+                "configs": outcome.configs_seen,
+            }
+        )
+        assert outcome.found, name
+    return rows
+
+
+@pytest.mark.parametrize("n,depth", [(3, 12), (4, 10), (5, 8)])
+def test_e10_all_candidates_defeated(benchmark, n, depth):
+    rows = benchmark.pedantic(falsify_all, args=(n, depth), rounds=1, iterations=1)
+    emit(f"E10: MIS candidates on C_{n}", rows)
+
+
+def test_e10_ssb_reduction(benchmark):
+    """The defeat of the eager candidate, pushed through the Property
+    2.1 simulation: the shared-memory execution's outputs violate the
+    MIS spec (which a correct algorithm would translate into an SSB
+    solution — impossible)."""
+    from repro.lowerbounds.mis import EagerLocalMaxMIS
+
+    def workload():
+        schedule = FiniteSchedule([[0], [1], [2]])
+        result, ssb_violations = run_mis_as_ssb(
+            EagerLocalMaxMIS(), [1, 2, 3], schedule,
+        )
+        return result, ssb_violations
+
+    result, _ = benchmark.pedantic(workload, rounds=3, iterations=1)
+    mis_violations = MISSpec(Cycle(3)).check(result.outputs)
+    emit(
+        "E10: SSB reduction witness",
+        [{
+            "outputs": str(dict(sorted(result.outputs.items()))),
+            "mis_violations": len(mis_violations),
+        }],
+    )
+    assert mis_violations

@@ -1,0 +1,93 @@
+"""E12 — Appendix A: Algorithm 4 wait-free O(Δ²)-colors general graphs.
+
+Regenerates the per-topology table: Δ, palette bound (Δ+1)(Δ+2)/2,
+colors actually used, max activations — across tori, stars, complete
+graphs, random graphs, and with crashes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.verify import verify_execution
+from repro.core.general import GeneralGraphColoring
+from repro.model.execution import run_execution
+from repro.model.faults import crash_after_time
+from repro.model.topology import CompleteGraph, Cycle, GeneralGraph, Star, Torus
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+
+def topologies():
+    yield Cycle(64)
+    yield Torus(6, 8)
+    yield Star(12)
+    yield CompleteGraph(9)
+    nx = pytest.importorskip("networkx")
+    for seed, p in ((0, 0.1), (1, 0.25)):
+        yield GeneralGraph.from_networkx(
+            nx.gnp_random_graph(40, p, seed=seed), name=f"gnp40-{p}",
+        )
+    yield GeneralGraph.from_networkx(
+        nx.random_regular_graph(4, 30, seed=2), name="4-regular-30",
+    )
+
+
+def run_on(topo, schedule):
+    inputs = [17 * i + 3 for i in range(topo.n)]
+    result = run_execution(
+        GeneralGraphColoring(), topo, inputs, schedule, max_time=200_000,
+    )
+    assert result.all_terminated
+    palette = GeneralGraphColoring.palette(max(topo.max_degree(), 1))
+    assert verify_execution(topo, result, palette=palette).ok
+    return result, palette
+
+
+def test_e12_topology_table(benchmark):
+    rows = []
+    for topo in topologies():
+        result, palette = run_on(topo, SynchronousScheduler())
+        colors_used = len(set(result.outputs.values()))
+        rows.append(
+            {
+                "topology": topo.name,
+                "n": topo.n,
+                "delta": topo.max_degree(),
+                "palette": palette.size,
+                "colors_used": colors_used,
+                "max_activations": result.round_complexity,
+            }
+        )
+        assert colors_used <= palette.size
+    emit("E12: Algorithm 4 on general graphs", rows)
+
+    benchmark.pedantic(
+        run_on, args=(Torus(6, 8), SynchronousScheduler()), rounds=2, iterations=1,
+    )
+
+
+def test_e12_random_schedules(benchmark):
+    def workload():
+        for seed in range(3):
+            run_on(Torus(5, 6), BernoulliScheduler(p=0.5, seed=seed))
+
+    benchmark.pedantic(workload, rounds=1, iterations=1)
+
+
+def test_e12_crash_tolerance(benchmark):
+    def workload():
+        topo = Torus(5, 5)
+        inputs = [7 * i + 1 for i in range(topo.n)]
+        plan = crash_after_time(
+            SynchronousScheduler(), {p: 2 for p in range(0, topo.n, 5)},
+        )
+        result = run_execution(
+            GeneralGraphColoring(), topo, inputs, plan, max_time=50_000,
+        )
+        palette = GeneralGraphColoring.palette(4)
+        assert verify_execution(topo, result, palette=palette).ok
+        survivors = set(range(topo.n)) - set(range(0, topo.n, 5))
+        assert survivors <= result.terminated
+        return result
+
+    benchmark.pedantic(workload, rounds=2, iterations=1)
+    emit("E12: crash tolerance on T_5x5", [{"status": "survivors colored"}])

@@ -1,0 +1,120 @@
+"""E13 — the reproduction finding: Algorithms 2-3 are not wait-free as
+printed (Algorithm 1 is, exhaustively).
+
+Regenerates: (i) the canonical witness replay — activations grow with
+the schedule length, no output; (ii) the from-scratch explorer search
+per id order; (iii) Algorithm 1's exhaustive cleanliness and exact
+worst cases next to the Theorem 3.1 bound; (iv) the crash-triggered
+E13b variant under the synchronous schedule.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.complexity import theorem_3_1_bound
+from repro.analysis.verify import verify_execution
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.livelock import (
+    demonstrate_crash_livelock,
+    demonstrate_livelock,
+    find_livelock,
+)
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.topology import Cycle
+
+
+def test_e13_witness_replay(benchmark):
+    rows = []
+    for loops in (10, 100, 1000):
+        result = demonstrate_livelock(loop_iterations=loops)
+        rows.append(
+            {
+                "loop_iterations": loops,
+                "p1_activations": result.activations[1],
+                "p2_activations": result.activations[2],
+                "returned": sorted(result.outputs),
+                "safety_ok": verify_execution(
+                    Cycle(3), result, palette=range(5)
+                ).ok,
+            }
+        )
+        assert result.outputs.keys() == {0}
+    emit("E13: canonical witness replay (Algorithm 2, C_3, ids 1,2,3)", rows)
+
+    benchmark.pedantic(
+        demonstrate_livelock, kwargs={"loop_iterations": 500},
+        rounds=3, iterations=1,
+    )
+
+
+def test_e13_search_per_id_order(benchmark):
+    def workload():
+        rows = []
+        for algorithm, label in (
+            (FiveColoring(), "alg2"), (FastFiveColoring(), "alg3"),
+        ):
+            for ids in itertools.permutations((1, 2, 3)):
+                outcome = find_livelock(algorithm, n=3, identifiers=ids)
+                rows.append(
+                    {"algorithm": label, "ids": ids, "livelock": outcome.found}
+                )
+                assert outcome.found, (label, ids)
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E13: livelock found for every id order", rows)
+
+
+def test_e13_algorithm1_exhaustively_clean(benchmark):
+    def workload():
+        rows = []
+        for n in (3, 4, 5):
+            if n <= 4:  # full permutation sweep for the small sizes
+                for ids in itertools.permutations(range(1, n + 1)):
+                    explorer = BoundedExplorer(SixColoring(), Cycle(n), list(ids))
+                    livelock = explorer.find_livelock(max_depth=150, max_configs=400_000)
+                    assert not livelock.found and livelock.exhausted, (n, ids)
+            explorer = BoundedExplorer(
+                SixColoring(), Cycle(n), list(range(1, n + 1)),
+            )
+            worst = max(
+                explorer.max_activations(p, max_configs=3_000_000)
+                for p in range(n)
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "id_orders_checked": math.factorial(n) if n <= 4 else 1,
+                    "livelocks": 0,
+                    "exact_worst_case": worst,
+                    "thm_3_1_bound": theorem_3_1_bound(n),
+                }
+            )
+            assert worst <= theorem_3_1_bound(n)
+            # Measured exact pattern: worst case == n on monotone ids.
+            assert worst == n
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E13: Algorithm 1 exhaustive wait-freedom", rows)
+
+
+def test_e13b_crash_triggered(benchmark):
+    result = benchmark.pedantic(
+        demonstrate_crash_livelock, kwargs={"steps": 1500}, rounds=1, iterations=1,
+    )
+    stuck = sorted(p for p in result.pending if p in (1, 2))
+    emit(
+        "E13b: synchronous schedule + crashes starves Algorithm 3",
+        [{
+            "starved_survivors": stuck,
+            "their_activations": [result.activations[p] for p in stuck],
+            "safety_ok": verify_execution(Cycle(20), result, palette=range(5)).ok,
+        }],
+    )
+    assert stuck == [1, 2]

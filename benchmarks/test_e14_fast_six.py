@@ -1,0 +1,110 @@
+"""E14 — the repair: FastSixColoring is wait-free (exhaustive small n),
+O(log* n) empirically, 6 colors; the 5-color repair attempt fails.
+
+Regenerates: the E4-style scaling series for the repair, its exhaustive
+small-n verification, survival of both E13 witnesses, and the
+falsification of the AdaptiveFive attempt.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.complexity import fit_logstar, logstar_budget
+from repro.analysis.inputs import monotone_ids
+from repro.analysis.verify import verify_execution
+from repro.core.coin_tossing import log_star
+from repro.extensions.adaptive_five import AdaptiveFiveColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.extensions.livelock import (
+    demonstrate_crash_livelock,
+    find_livelock,
+    livelock_schedule,
+)
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+
+SIZES = [16, 128, 1024, 8192, 65536]
+
+
+def run_one(n):
+    result = run_execution(
+        FastSixColoring(), Cycle(n), monotone_ids(n), SynchronousScheduler(),
+        max_time=500_000,
+    )
+    assert result.all_terminated
+    assert verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE).ok
+    return result
+
+
+def test_e14_logstar_scaling(benchmark):
+    rows, ns, measured = [], [], []
+    for n in SIZES:
+        result = run_one(n)
+        ns.append(n)
+        measured.append(result.round_complexity)
+        rows.append(
+            {"n": n, "log*n": log_star(n),
+             "measured_max": result.round_complexity,
+             "budget": logstar_budget(n)}
+        )
+        assert result.round_complexity <= logstar_budget(n)
+    c, d = fit_logstar(ns, measured)
+    rows.append({"n": "fit", "log*n": "", "measured_max": f"c={c:.2f} d={d:.2f}", "budget": ""})
+    emit("E14: FastSix log* scaling (monotone ids)", rows)
+    assert measured[-1] <= measured[0] + 8
+
+    benchmark.pedantic(run_one, args=(SIZES[-2],), rounds=2, iterations=1)
+
+
+def test_e14_exhaustive_wait_freedom(benchmark):
+    def workload():
+        checked = 0
+        for n in (3, 4):
+            for ids in itertools.permutations(range(1, n + 1)):
+                explorer = BoundedExplorer(FastSixColoring(), Cycle(n), list(ids))
+                outcome = explorer.find_livelock(max_depth=200, max_configs=400_000)
+                assert not outcome.found and outcome.exhausted, (n, ids)
+                checked += 1
+        return checked
+
+    checked = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit(
+        "E14: FastSix exhaustive wait-freedom",
+        [{"id_orders_checked": checked, "livelocks": 0}],
+    )
+
+
+def test_e14_survives_both_witnesses(benchmark):
+    def workload():
+        canonical = run_execution(
+            FastSixColoring(), Cycle(3), [1, 2, 3], livelock_schedule(500),
+        )
+        crash = demonstrate_crash_livelock(FastSixColoring(), steps=5_000)
+        return canonical, crash
+
+    canonical, crash = benchmark.pedantic(workload, rounds=1, iterations=1)
+    crashed = set(range(0, 20, 3))
+    emit(
+        "E14: FastSix on the E13/E13b witnesses",
+        [{
+            "canonical_all_terminated": canonical.all_terminated,
+            "crash_survivors_terminated": not (crash.pending - crashed),
+        }],
+    )
+    assert canonical.all_terminated
+    assert not (crash.pending - crashed)
+
+
+def test_e14_adaptive_five_attempt_fails(benchmark):
+    outcome = benchmark.pedantic(
+        find_livelock, args=(AdaptiveFiveColoring(), 3), rounds=1, iterations=1,
+    )
+    emit(
+        "E14: 5-color repair attempt (AdaptiveFive)",
+        [{"livelock_found": outcome.found, "configs": outcome.configs_seen}],
+    )
+    assert outcome.found

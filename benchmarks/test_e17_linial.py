@@ -1,0 +1,76 @@
+"""E17 — Property 2.2's engine: Linial's neighborhood graphs [26].
+
+Regenerates the χ(N_t(m)) table — the finite facts behind the
+Ω(log* n) round lower bound the paper inherits:
+
+* χ(N_0(m)) = m: zero rounds force the whole identifier space;
+* N_1(m) is non-bipartite for m ≥ 5: one round can never 2-color;
+* χ(N_1(m)) grows with m (3 at m=5..6, 4 at m=7): no fixed round
+  count suffices for 3 colors as the id space grows — which is why the
+  paper's O(log* n) is asymptotically optimal.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.lowerbounds.neighborhood import (
+    exact_chromatic_number,
+    is_bipartite,
+    neighborhood_graph,
+)
+
+
+def test_e17_zero_round_table(benchmark):
+    def workload():
+        rows = []
+        for m in (3, 4, 5, 6, 8, 10):
+            chi, exact = exact_chromatic_number(neighborhood_graph(0, m))
+            assert exact and chi == m
+            rows.append({"m": m, "chi_N0": chi, "meaning": "0 rounds -> m colors"})
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E17: zero-round neighborhood graphs", rows)
+
+
+def test_e17_one_round_table(benchmark):
+    def workload():
+        rows = []
+        for m in (4, 5, 6):
+            graph = neighborhood_graph(1, m)
+            chi, exact = exact_chromatic_number(graph)
+            assert exact
+            rows.append(
+                {
+                    "m": m,
+                    "views": graph.n,
+                    "constraints": graph.m,
+                    "bipartite": is_bipartite(graph),
+                    "chi_N1": chi,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E17: one-round neighborhood graphs", rows)
+    chis = [r["chi_N1"] for r in rows]
+    assert chis == sorted(chis) and chis[-1] >= 3
+    assert not rows[-1]["bipartite"]  # no 1-round 2-coloring, m >= 5
+
+
+@pytest.mark.slow
+def test_e17_three_colors_fail_at_m7(benchmark):
+    """The expensive exact fact: χ(N_1(7)) = 4 — even 3 colors need
+    more than one round once the id space reaches 7."""
+
+    def workload():
+        graph = neighborhood_graph(1, 7)
+        return exact_chromatic_number(graph, node_budget=5_000_000)
+
+    chi, exact = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit(
+        "E17: chi(N_1(7))",
+        [{"m": 7, "chi_N1": chi, "exact": exact,
+          "meaning": "1 round cannot 3-color once m >= 7"}],
+    )
+    assert exact and chi == 4

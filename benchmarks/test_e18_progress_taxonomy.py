@@ -1,0 +1,71 @@
+"""E18 — the §1.3 progress taxonomy, computed exactly.
+
+Regenerates the wait-free / starvation-free / obstruction-free table
+for every shipped algorithm on C_3 (exhaustive configuration-graph
+analysis).  The headline rows sharpen finding E13: Algorithms 2–3 are
+*obstruction-free only* — the livelock is a fair cycle, so even
+starvation-freedom fails — while the obstruction-freedom the paper
+proves for the b-subcomponent survives intact.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.adaptive_five import AdaptiveFiveColoring
+from repro.extensions.fast_six import FastSixColoring
+from repro.lowerbounds.mis import CautiousMIS, EagerLocalMaxMIS
+from repro.lowerbounds.progress import classify_progress
+from repro.lowerbounds.small_palette import PureGreedyColoring
+from repro.model.topology import Cycle
+
+ALGORITHMS = [
+    ("Algorithm 1 (6 colors)", SixColoring),
+    ("Algorithm 2 (5 colors)", FiveColoring),
+    ("Algorithm 3 (fast 5)", FastFiveColoring),
+    ("FastSix (repair, ours)", FastSixColoring),
+    ("AdaptiveFive (failed repair)", AdaptiveFiveColoring),
+    ("pure greedy (candidate)", PureGreedyColoring),
+    ("cautious MIS (candidate)", CautiousMIS),
+    ("eager MIS (candidate)", EagerLocalMaxMIS),
+]
+
+EXPECTED = {
+    "Algorithm 1 (6 colors)": (True, True, True),
+    "Algorithm 2 (5 colors)": (False, False, True),
+    "Algorithm 3 (fast 5)": (False, False, True),
+    "FastSix (repair, ours)": (True, True, True),
+    "AdaptiveFive (failed repair)": (False, False, True),
+    "pure greedy (candidate)": (False, False, True),
+    "cautious MIS (candidate)": (False, True, False),
+    "eager MIS (candidate)": (True, True, True),
+}
+
+
+def test_e18_taxonomy_table(benchmark):
+    def workload():
+        rows = []
+        for label, factory in ALGORITHMS:
+            report = classify_progress(factory(), Cycle(3), [1, 2, 3])
+            assert report.exhausted, label
+            rows.append(
+                {
+                    "algorithm": label,
+                    "wait_free": report.wait_free,
+                    "starvation_free": report.starvation_free,
+                    "obstruction_free": report.obstruction_free,
+                    "configs": report.configs,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E18: progress taxonomy on C_3 (exhaustive)", rows)
+    for row in rows:
+        expected = EXPECTED[row["algorithm"]]
+        measured = (
+            row["wait_free"], row["starvation_free"], row["obstruction_free"],
+        )
+        assert measured == expected, (row["algorithm"], measured, expected)

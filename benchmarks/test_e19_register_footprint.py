@@ -1,0 +1,74 @@
+"""E19 — §2.1's space claim: constant count of O(log n)-bit variables.
+
+Regenerates the footprint table: max register payload in bits vs
+identifier magnitude and n, plus the shrink effect of Algorithm 3's
+identifier reduction (late-execution registers are constant-size).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.footprint import measure_footprint
+from repro.analysis.inputs import huge_ids, monotone_ids
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+
+
+def traced_run(ids):
+    return run_execution(
+        FastFiveColoring(), Cycle(len(ids)), ids, SynchronousScheduler(),
+        record_registers=True, max_time=100_000,
+    )
+
+
+def test_e19_footprint_vs_id_magnitude(benchmark):
+    n = 64
+
+    def workload():
+        rows = []
+        for bits in (16, 64, 256, 1024):
+            result = traced_run(huge_ids(n, bits=bits, seed=2))
+            assert result.all_terminated
+            report = measure_footprint(result.trace, n)
+            rows.append(
+                {
+                    "id_bits": bits,
+                    "max_register_bits": report.max_bits,
+                    "median_first": report.median_bits_first_write,
+                    "median_last": report.median_bits_last_write,
+                    "shrunk_fraction": round(report.shrunk_fraction, 2),
+                }
+            )
+            # O(log max_id): payload ≈ id bits + small constant fields.
+            assert report.max_bits <= bits + 20
+            assert report.shrank
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E19: register footprint vs identifier magnitude (Alg 3, C_64)", rows)
+    # Typical late-execution registers are near-constant regardless of
+    # the id magnitude (the reduction's space dividend).
+    finals = [r["median_last"] for r in rows]
+    assert max(finals) <= min(finals) + 16
+
+
+def test_e19_footprint_vs_n(benchmark):
+    def workload():
+        rows = []
+        for n in (16, 128, 1024):
+            result = traced_run(monotone_ids(n))
+            report = measure_footprint(result.trace, n)
+            rows.append(
+                {
+                    "n": n,
+                    "id_bits": (n - 1).bit_length(),
+                    "max_register_bits": report.max_bits,
+                }
+            )
+            assert report.max_bits <= (n - 1).bit_length() + 20
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E19: register footprint vs n (monotone ids)", rows)

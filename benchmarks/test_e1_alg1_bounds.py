@@ -1,0 +1,88 @@
+"""E1 — Theorem 3.1: Algorithm 1 bounds (⌊3n/2⌋ + 4, 6 colors, proper).
+
+Regenerates the bound-vs-measured rows: for each cycle size and
+scheduler, the measured maximum activations must sit below the theorem
+bound, outputs must lie in the 6-pair palette and properly color the
+cycle.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.complexity import theorem_3_1_bound
+from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.analysis.verify import verify_execution
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+)
+
+SCHEDULES = {
+    "synchronous": SynchronousScheduler,
+    "round-robin": RoundRobinScheduler,
+    "alternating": AlternatingScheduler,
+    "staggered": lambda: StaggeredScheduler(stagger=2),
+    "bernoulli": lambda: BernoulliScheduler(p=0.4, seed=1),
+}
+
+SIZES = [8, 32, 128, 512]
+
+
+def run_one(n, schedule_factory, inputs):
+    result = run_execution(
+        SixColoring(), Cycle(n), inputs, schedule_factory(), max_time=200_000,
+    )
+    assert result.all_terminated
+    assert verify_execution(Cycle(n), result, palette=SIX_PALETTE).ok
+    return result
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_bound_vs_measured(benchmark, n):
+    """Rows: per scheduler, measured max activations vs ⌊3n/2⌋+4."""
+    inputs = monotone_ids(n)  # worst-case chain
+    rows = []
+    for name, factory in SCHEDULES.items():
+        result = run_one(n, factory, inputs)
+        rows.append(
+            {
+                "n": n,
+                "scheduler": name,
+                "measured_max": result.round_complexity,
+                "thm_3_1_bound": theorem_3_1_bound(n),
+                "within": result.round_complexity <= theorem_3_1_bound(n),
+            }
+        )
+        assert result.round_complexity <= theorem_3_1_bound(n)
+    emit(f"E1: Algorithm 1 on C_{n} (monotone ids)", rows)
+
+    benchmark.pedantic(
+        run_one, args=(n, SynchronousScheduler, inputs), rounds=3, iterations=1,
+    )
+
+
+def test_e1_palette_usage(benchmark):
+    """All six pair colors appear across instances; never a seventh."""
+    used = set()
+    def workload():
+        for seed in range(10):
+            n = 64
+            result = run_one(
+                n, lambda: BernoulliScheduler(p=0.5, seed=seed),
+                random_distinct_ids(n, seed=seed),
+            )
+            used.update(result.outputs.values())
+        return used
+
+    benchmark.pedantic(workload, rounds=1, iterations=1)
+    assert used <= set(SIX_PALETTE)
+    emit(
+        "E1: palette usage (10 random instances, n=64)",
+        [{"colors_used": len(used), "palette_size": SIX_PALETTE.size}],
+    )

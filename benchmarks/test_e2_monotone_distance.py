@@ -1,0 +1,77 @@
+"""E2 — Lemma 3.9: per-process Algorithm 1 activations vs monotone
+distances (min{3ℓ, 3ℓ', ℓ+ℓ'} + 4).
+
+Controls the chain-length axis with sawtooth inputs and reports, per
+tooth size, the largest measured per-process activation count against
+the per-process lemma bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.chains import chain_profile
+from repro.analysis.inputs import sawtooth_ids
+from repro.core.coloring6 import SixColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler, RoundRobinScheduler
+
+RUNS = [2, 4, 8, 16, 32]
+N = 128
+
+
+def run_one(run_length, seed=0):
+    inputs = sawtooth_ids(N, run_length)
+    profile = chain_profile(inputs)
+    result = run_execution(
+        SixColoring(), Cycle(N), inputs,
+        BernoulliScheduler(p=0.5, seed=seed), max_time=200_000,
+    )
+    assert result.all_terminated
+    worst_ratio = 0.0
+    for p in range(N):
+        bound = profile.alg1_bound(p)
+        assert result.activations[p] <= bound, (run_length, p)
+        worst_ratio = max(worst_ratio, result.activations[p] / bound)
+    return profile, result, worst_ratio
+
+
+@pytest.mark.parametrize("run_length", RUNS)
+def test_e2_distance_controls_activations(benchmark, run_length):
+    profile, result, worst_ratio = benchmark.pedantic(
+        run_one, args=(run_length,), rounds=2, iterations=1,
+    )
+    emit(
+        f"E2: sawtooth run={run_length} on C_{N}",
+        [{
+            "run": run_length,
+            "longest_chain": profile.longest_run,
+            "measured_max": result.round_complexity,
+            "lemma_3_9_worst_bound": profile.worst_alg1_bound,
+            "tightness": round(worst_ratio, 3),
+        }],
+    )
+
+
+def test_e2_chain_length_monotonicity(benchmark):
+    """Longer monotone chains -> larger worst-case bound; the measured
+    sequential (round-robin) rounds grow with the chain too."""
+    def workload():
+        measured = []
+        for run_length in RUNS:
+            inputs = sawtooth_ids(N, run_length)
+            result = run_execution(
+                SixColoring(), Cycle(N), inputs, RoundRobinScheduler(),
+                max_time=500_000,
+            )
+            assert result.all_terminated
+            measured.append((run_length, result.round_complexity))
+        return measured
+
+    measured = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit(
+        "E2: rounds vs chain length (round-robin)",
+        [{"run": r, "rounds": c} for r, c in measured],
+    )
+    bounds = [chain_profile(sawtooth_ids(N, r)).worst_alg1_bound for r in RUNS]
+    assert bounds == sorted(bounds)

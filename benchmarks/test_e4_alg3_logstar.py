@@ -1,0 +1,103 @@
+"""E4 — Theorem 4.4: Algorithm 3 runs in O(log* n) activations.
+
+Regenerates the scaling series: measured max activations vs n over four
+orders of magnitude (and vs identifier magnitude up to 512-bit ids),
+with the fitted constants of ``rounds ≈ c·log*(n) + d``.  Also records
+termination under the slow-chain adversary (the Lemma 4.7–4.10 regime).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.complexity import fit_logstar, logstar_budget
+from repro.analysis.inputs import huge_ids, monotone_ids
+from repro.analysis.verify import verify_execution
+from repro.core.coin_tossing import log_star
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SlowChainScheduler, SynchronousScheduler
+
+SIZES = [16, 128, 1024, 8192, 65536]
+
+
+def run_one(n, schedule=None):
+    result = run_execution(
+        FastFiveColoring(), Cycle(n), monotone_ids(n),
+        schedule if schedule is not None else SynchronousScheduler(),
+        max_time=500_000,
+    )
+    assert result.all_terminated
+    assert verify_execution(Cycle(n), result, palette=range(5)).ok
+    return result
+
+
+def test_e4_logstar_scaling(benchmark):
+    rows, ns, measured = [], [], []
+    for n in SIZES:
+        result = run_one(n)
+        ns.append(n)
+        measured.append(result.round_complexity)
+        rows.append(
+            {
+                "n": n,
+                "log*n": log_star(n),
+                "measured_max": result.round_complexity,
+                "budget": logstar_budget(n),
+            }
+        )
+        assert result.round_complexity <= logstar_budget(n)
+    c, d = fit_logstar(ns, measured)
+    rows.append({"n": "fit", "log*n": "", "measured_max": f"c={c:.2f} d={d:.2f}", "budget": ""})
+    emit("E4: Algorithm 3 log* scaling (monotone ids, synchronous)", rows)
+    # Shape: flat across 4 orders of magnitude.
+    assert measured[-1] <= measured[0] + 8
+
+    benchmark.pedantic(run_one, args=(SIZES[-2],), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("bits", [64, 256, 512])
+def test_e4_identifier_magnitude(benchmark, bits):
+    """Rounds depend on id magnitude only through log*."""
+    n = 128
+
+    def workload():
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), huge_ids(n, bits=bits, seed=1),
+            SynchronousScheduler(), max_time=200_000,
+        )
+        assert result.all_terminated
+        return result
+
+    result = benchmark.pedantic(workload, rounds=2, iterations=1)
+    emit(
+        f"E4: {bits}-bit identifiers on C_{n}",
+        [{
+            "bits": bits,
+            "measured_max": result.round_complexity,
+            "budget": logstar_budget(2 ** bits),
+        }],
+    )
+    assert result.round_complexity <= logstar_budget(2 ** bits)
+
+
+def test_e4_slow_chain_adversary(benchmark):
+    """The starved-chain regime of Lemmas 4.7-4.10 still terminates
+    within the budget (fast processes are not delayed unboundedly)."""
+    n = 512
+
+    def workload():
+        return run_one(
+            n, SlowChainScheduler(slow=range(n // 2), slowdown=9),
+        )
+
+    result = benchmark.pedantic(workload, rounds=2, iterations=1)
+    emit(
+        "E4: slow-chain adversary (half the ring 9x slower)",
+        [{
+            "n": n,
+            "measured_max": result.round_complexity,
+            "budget": logstar_budget(n) * 2,
+        }],
+    )
+    assert result.round_complexity <= 2 * logstar_budget(n)

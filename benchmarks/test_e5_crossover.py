@@ -1,0 +1,68 @@
+"""E5 — head-to-head: Algorithm 2 (Θ(n)) vs Algorithm 3 (O(log* n)).
+
+Regenerates the who-wins series on worst-case (monotone) inputs: the
+activation counts cross almost immediately (Algorithm 3 wins for every
+n above a small constant) and the gap grows linearly — the paper's
+motivation for Section 4.  Ablation A3 rides along: Algorithm 1's pair
+palette vs Algorithm 2's scalar palette on identical executions.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.inputs import monotone_ids
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+
+SIZES = [4, 8, 16, 64, 256, 1024, 4096]
+
+
+def rounds_of(algorithm, n):
+    result = run_execution(
+        algorithm, Cycle(n), monotone_ids(n), SynchronousScheduler(),
+        max_time=500_000,
+    )
+    assert result.all_terminated
+    return result.round_complexity
+
+
+def test_e5_crossover_table(benchmark):
+    rows = []
+    crossover = None
+    for n in SIZES:
+        slow = rounds_of(FiveColoring(), n)
+        fast = rounds_of(FastFiveColoring(), n)
+        winner = "alg3" if fast < slow else ("tie" if fast == slow else "alg2")
+        if crossover is None and fast < slow:
+            crossover = n
+        rows.append(
+            {"n": n, "alg2_rounds": slow, "alg3_rounds": fast,
+             "speedup": round(slow / max(fast, 1), 1), "winner": winner}
+        )
+    emit("E5: Algorithm 2 vs Algorithm 3 (monotone ids, synchronous)", rows)
+
+    # Shape claims: alg3 wins from small n on; the gap grows with n.
+    assert crossover is not None and crossover <= 64
+    assert rows[-1]["speedup"] >= 20
+
+    benchmark.pedantic(
+        rounds_of, args=(FastFiveColoring(), SIZES[-1]), rounds=2, iterations=1,
+    )
+
+
+def test_e5_ablation_a3_pair_vs_scalar(benchmark):
+    """A3: Algorithm 1's pair palette (6 colors) vs Algorithm 2's scalar
+    palette (5 colors) — same inputs, same schedule; Algorithm 1 pays
+    one extra color but the same O(chain) activations."""
+    rows = []
+    for n in (16, 64, 256):
+        a1 = rounds_of(SixColoring(), n)
+        a2 = rounds_of(FiveColoring(), n)
+        rows.append({"n": n, "alg1_rounds(6col)": a1, "alg2_rounds(5col)": a2})
+    emit("E5/A3: pair palette vs scalar palette", rows)
+
+    benchmark.pedantic(rounds_of, args=(SixColoring(), 256), rounds=2, iterations=1)

@@ -1,0 +1,70 @@
+"""E6 — Lemmas 4.1/4.2/4.3: the reduction function f and bound F.
+
+Regenerates: (i) exhaustive small-range verification of the two
+pointwise lemmas (reported as checked-pair counts), (ii) the
+iterations-to-plateau vs log* series of Lemma 4.1.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.coin_tossing import (
+    REDUCTION_PLATEAU,
+    iterations_until_below,
+    log_star,
+    reduce_identifier,
+)
+
+EXPONENTS = [8, 16, 64, 256, 1024, 4096, 2 ** 14]
+
+
+def verify_lemma_4_2(limit):
+    checked = 0
+    for y in range(REDUCTION_PLATEAU, limit):
+        for x in range(y + 1, limit):
+            assert reduce_identifier(x, y) < y
+            checked += 1
+    return checked
+
+
+def verify_lemma_4_3(limit):
+    checked = 0
+    for z in range(limit):
+        for y in range(z + 1, limit):
+            for x in range(y + 1, limit):
+                assert reduce_identifier(x, y) != reduce_identifier(y, z)
+                checked += 1
+    return checked
+
+
+def test_e6_lemma_4_2_exhaustive(benchmark):
+    checked = benchmark.pedantic(
+        verify_lemma_4_2, args=(220,), rounds=1, iterations=1,
+    )
+    emit("E6: Lemma 4.2 (x>y>=10 => f(x,y)<y)", [{"pairs_checked": checked, "violations": 0}])
+
+
+def test_e6_lemma_4_3_exhaustive(benchmark):
+    checked = benchmark.pedantic(
+        verify_lemma_4_3, args=(60,), rounds=1, iterations=1,
+    )
+    emit("E6: Lemma 4.3 (x>y>z => f(x,y)!=f(y,z))", [{"triples_checked": checked, "violations": 0}])
+
+
+def test_e6_lemma_4_1_iterations_series(benchmark):
+    def workload():
+        return [
+            (e, log_star(2 ** e), iterations_until_below(2 ** e))
+            for e in EXPONENTS
+        ]
+
+    series = benchmark.pedantic(workload, rounds=3, iterations=1)
+    rows = [
+        {"x": f"2^{e}", "log*x": ls, "F_iterations_to_<10": iters,
+         "ratio": round(iters / max(ls, 1), 2)}
+        for e, ls, iters in series
+    ]
+    emit("E6: Lemma 4.1 iterations vs log*", rows)
+    # O(log*) shape: iterations within a small constant factor of log*.
+    for e, ls, iters in series:
+        assert iters <= 3 * ls + 3

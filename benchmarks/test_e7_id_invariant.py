@@ -1,0 +1,98 @@
+"""E7 — Lemma 4.5: published identifiers always properly color the cycle.
+
+Regenerates the invariant-checking ensemble (schedule zoo × sizes) and
+the two ablations: A1 (no green light — invariant empirically holds;
+recorded as an observation) and A2 (unguarded adoption — invariant
+breaks; the count of violating seeds is reported).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.analysis.verify import published_identifier_violations
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    SlowChainScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+)
+
+
+def invariant_ensemble(algorithm_factory, n, seeds):
+    """Run the zoo and count executions with invariant violations."""
+    violating = 0
+    runs = 0
+    for seed in seeds:
+        for schedule in (
+            SynchronousScheduler(),
+            AlternatingScheduler(),
+            StaggeredScheduler(stagger=2),
+            SlowChainScheduler(slow=range(n // 2), slowdown=7),
+            BernoulliScheduler(p=0.45, seed=seed),
+        ):
+            result = run_execution(
+                algorithm_factory(), Cycle(n),
+                random_distinct_ids(n, seed=seed), schedule,
+                max_time=20_000, record_registers=True,
+            )
+            runs += 1
+            if published_identifier_violations(Cycle(n), result.trace):
+                violating += 1
+    return runs, violating
+
+
+def test_e7_invariant_holds_for_paper_algorithm(benchmark):
+    runs, violating = benchmark.pedantic(
+        invariant_ensemble, args=(FastFiveColoring, 24, range(6)),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "E7: Lemma 4.5 invariant (Algorithm 3)",
+        [{"executions": runs, "violating": violating}],
+    )
+    assert violating == 0
+
+
+def test_e7_ablation_a1_no_green_light(benchmark):
+    """A1 observation: the invariant holds even without the green light
+    (exhaustive on C_3/C_4 — see tests; here, the ensemble)."""
+    runs, violating = benchmark.pedantic(
+        invariant_ensemble,
+        args=(lambda: FastFiveColoring(green_light=False), 24, range(6)),
+        rounds=1, iterations=1,
+    )
+    emit(
+        "E7/A1: no green light (observation: still no violations)",
+        [{"executions": runs, "violating": violating}],
+    )
+    assert violating == 0
+
+
+def test_e7_ablation_a2_unguarded_adoption(benchmark):
+    """A2: dropping the Y < min guard breaks the invariant."""
+
+    def workload():
+        violating = 0
+        for seed in range(60):
+            n = 10
+            result = run_execution(
+                FastFiveColoring(guarded_adoption=False), Cycle(n),
+                random_distinct_ids(n, seed=seed + 700),
+                BernoulliScheduler(p=0.5, seed=seed),
+                max_time=20_000, record_registers=True,
+            )
+            if published_identifier_violations(Cycle(n), result.trace):
+                violating += 1
+        return violating
+
+    violating = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit(
+        "E7/A2: unguarded adoption (invariant broken)",
+        [{"random_seeds": 60, "violating_executions": violating}],
+    )
+    assert violating > 0

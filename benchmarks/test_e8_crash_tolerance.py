@@ -1,0 +1,105 @@
+"""E8 — wait-freedom under crashes: crash-fraction and crash-time sweeps.
+
+Regenerates the fault-tolerance rows: for each crash fraction, whether
+survivors terminated and stayed properly colored.  Algorithm 1 and the
+FastSix repair pass at every fraction; Algorithm 3 is reported
+including the E13b starvation cases (safety always holds).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.verify import verify_execution
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.model.execution import run_execution
+from repro.model.faults import CrashPlan
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+N = 60
+FRACTIONS = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def crash_sweep(algorithm_factory, palette, schedule_factory, seeds=(0, 1, 2)):
+    rows = []
+    all_proper = True
+    all_survivors_done = True
+    for fraction in FRACTIONS:
+        survivors_done = 0
+        proper = 0
+        runs = 0
+        for seed in seeds:
+            rng = random.Random(seed)
+            crashed = set(rng.sample(range(N), int(fraction * N)))
+            plan = CrashPlan(
+                schedule_factory(seed),
+                crash_times={p: rng.randint(1, 15) for p in crashed},
+            )
+            result = run_execution(
+                algorithm_factory(), Cycle(N), list(range(N)), plan,
+                max_time=5_000,
+            )
+            verdict = verify_execution(Cycle(N), result, palette=palette)
+            runs += 1
+            proper += verdict.ok
+            survivors_done += (set(range(N)) - crashed) <= result.terminated
+        rows.append(
+            {
+                "crash_fraction": fraction,
+                "proper": f"{proper}/{runs}",
+                "survivors_terminated": f"{survivors_done}/{runs}",
+            }
+        )
+        all_proper &= proper == runs
+        all_survivors_done &= survivors_done == runs
+    return rows, all_proper, all_survivors_done
+
+
+def test_e8_algorithm1(benchmark):
+    rows, proper, done = benchmark.pedantic(
+        crash_sweep,
+        args=(SixColoring, list(SIX_PALETTE), lambda s: SynchronousScheduler()),
+        rounds=1, iterations=1,
+    )
+    emit("E8: Algorithm 1 crash sweep (synchronous)", rows)
+    assert proper and done
+
+
+def test_e8_fast_six(benchmark):
+    rows, proper, done = benchmark.pedantic(
+        crash_sweep,
+        args=(FastSixColoring, list(FAST_SIX_PALETTE),
+              lambda s: SynchronousScheduler()),
+        rounds=1, iterations=1,
+    )
+    emit("E8: FastSix repair crash sweep (synchronous)", rows)
+    assert proper and done
+
+
+def test_e8_algorithm3_safety_with_starvation_caveat(benchmark):
+    """Algorithm 3: safety holds at every fraction; termination of all
+    survivors can fail (E13b) — the table records how often."""
+    rows, proper, done = benchmark.pedantic(
+        crash_sweep,
+        args=(FastFiveColoring, list(range(5)),
+              lambda s: SynchronousScheduler()),
+        rounds=1, iterations=1,
+    )
+    emit("E8: Algorithm 3 crash sweep (synchronous; E13b caveat)", rows)
+    assert proper  # safety always
+
+
+def test_e8_random_schedule_breaks_phase_lock(benchmark):
+    """Under random schedules even Algorithm 3's survivors finish."""
+    rows, proper, done = benchmark.pedantic(
+        crash_sweep,
+        args=(FastFiveColoring, list(range(5)),
+              lambda s: BernoulliScheduler(p=0.6, seed=s)),
+        rounds=1, iterations=1,
+    )
+    emit("E8: Algorithm 3 crash sweep (random schedule)", rows)
+    assert proper and done

@@ -1,0 +1,91 @@
+"""E9 — the shared-memory baseline: (2n−1)-renaming and the C_3
+coincidence (Property 2.3 context).
+
+Regenerates: names-used vs the 2n−1 namespace across n; the exhaustive
+C_3 check that renaming and cycle coloring live in the same model; and
+measured renaming step counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.topology import CompleteGraph
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler, UniformSubsetScheduler
+from repro.shm import RankRenaming, RenamingSpec, run_shared_memory
+
+SIZES = [2, 3, 4, 6, 8, 12, 16]
+
+
+def rename_ensemble(n, seeds=range(6)):
+    """Max name used and max steps across schedules."""
+    max_name = 0
+    max_steps = 0
+    for seed in seeds:
+        for schedule in (
+            SynchronousScheduler(),
+            BernoulliScheduler(p=0.6, seed=seed),
+            UniformSubsetScheduler(seed=seed),
+        ):
+            ids = [31 * i + 7 for i in range(n)]
+            result = run_shared_memory(RankRenaming(), ids, schedule)
+            assert result.all_terminated
+            assert not RenamingSpec(n, 2 * n - 1).check(result.outputs)
+            max_name = max(max_name, max(result.outputs.values()))
+            max_steps = max(max_steps, result.round_complexity)
+    return max_name, max_steps
+
+
+def test_e9_namespace_table(benchmark):
+    rows = []
+    for n in SIZES:
+        max_name, max_steps = rename_ensemble(n)
+        rows.append(
+            {
+                "n": n,
+                "namespace": 2 * n - 1,
+                "max_name_used": max_name,
+                "within": max_name <= 2 * n - 2,
+                "max_steps": max_steps,
+            }
+        )
+        assert max_name <= 2 * n - 2
+    emit("E9: rank-based (2n-1)-renaming", rows)
+
+    benchmark.pedantic(rename_ensemble, args=(SIZES[-1],), rounds=1, iterations=1)
+
+
+def test_e9_c3_needs_five_names(benchmark):
+    """For n = 3 contention drives names up to 4 — i.e. 5 names are
+    used, matching the 2n−1 = 5 lower bound that Property 2.3
+    transfers to cycle coloring."""
+
+    def workload():
+        seen = set()
+        for seed in range(40):
+            result = run_shared_memory(
+                RankRenaming(), [3, 1, 2], UniformSubsetScheduler(seed=seed),
+            )
+            seen.update(result.outputs.values())
+        return seen
+
+    seen = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit("E9: names observed for n=3", [{"names_used": sorted(seen)}])
+    assert max(seen) == 4  # the 5th name is really exercised
+    assert seen <= set(range(5))
+
+
+def test_e9_renaming_exhaustively_wait_free_n3(benchmark):
+    def workload():
+        explorer = BoundedExplorer(RankRenaming(), CompleteGraph(3), [3, 1, 2])
+        livelock = explorer.find_livelock(max_depth=60, max_configs=300_000)
+        worst = {p: explorer.max_activations(p) for p in range(3)}
+        return livelock, worst
+
+    livelock, worst = benchmark.pedantic(workload, rounds=1, iterations=1)
+    emit(
+        "E9: exhaustive wait-freedom of renaming on n=3",
+        [{"livelock": livelock.found, "exact_worst_case": max(worst.values())}],
+    )
+    assert not livelock.found and livelock.exhausted
+    assert max(worst.values()) < float("inf")

@@ -1,0 +1,66 @@
+"""Engine microbenchmarks: simulation throughput.
+
+Not a paper experiment — the absolute-performance anchor for the
+simulator itself, so regressions in the hot loop (register batching,
+view construction, step dispatch) are visible.  Reported as
+process-activations per second.
+"""
+
+import pytest
+
+from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.core.coloring5 import FiveColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_engine_throughput_synchronous(benchmark, n):
+    """Algorithm 3 on monotone ids under lock-step activation."""
+    ids = monotone_ids(n)
+
+    def workload():
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+            max_time=100_000,
+        )
+        assert result.all_terminated
+        return sum(result.activations.values())
+
+    activations = benchmark(workload)
+    assert activations >= n
+
+
+def test_engine_throughput_linear_workload(benchmark):
+    """Algorithm 2's Θ(n) monotone run — the heaviest standard load."""
+    n = 2000
+    ids = monotone_ids(n)
+
+    def workload():
+        result = run_execution(
+            FiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+            max_time=100_000,
+        )
+        assert result.all_terminated
+        return result.round_complexity
+
+    rounds = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert rounds == n - 1
+
+
+def test_engine_throughput_random_schedule(benchmark):
+    """Random-subset activation: the scattered-access pattern."""
+    n = 2000
+    ids = random_distinct_ids(n, seed=0)
+
+    def workload():
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), ids,
+            BernoulliScheduler(p=0.5, seed=1), max_time=100_000,
+        )
+        assert result.all_terminated
+        return result.final_time
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)

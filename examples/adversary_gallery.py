@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Adversary gallery: one algorithm, every scheduler in the zoo.
+
+Wait-freedom means the guarantee is per-schedule: this example runs
+Algorithm 3 on the same instance under the full scheduler zoo — from
+lock-step synchrony through proof-extracted adversaries — and prints a
+comparison table plus an activation timeline for the most asynchronous
+run.  The activation counts stay within the O(log* n) budget on all of
+them.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro import Cycle, FastFiveColoring, run_execution
+from repro.analysis import (
+    format_table,
+    logstar_budget,
+    monotone_ids,
+    summarize_activations,
+    verify_execution,
+)
+from repro.render import render_timeline
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    BlockRoundRobinScheduler,
+    BurstScheduler,
+    GeometricRateScheduler,
+    LateWakeupScheduler,
+    RoundRobinScheduler,
+    SlowChainScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+N = 48
+
+
+def gallery():
+    return {
+        "synchronous": SynchronousScheduler(),
+        "round-robin": RoundRobinScheduler(),
+        "block-rr(4)": BlockRoundRobinScheduler(4),
+        "alternating": AlternatingScheduler(),
+        "staggered(x3)": StaggeredScheduler(stagger=3),
+        "bursts(5)": BurstScheduler(burst=5),
+        "late-wakeup": LateWakeupScheduler(sleepers=range(0, N, 4), wake_time=120),
+        "slow-chain(x8)": SlowChainScheduler(slow=range(N // 2), slowdown=8),
+        "bernoulli(0.3)": BernoulliScheduler(p=0.3, seed=5),
+        "subset": UniformSubsetScheduler(seed=5),
+        "mixed-rates": GeometricRateScheduler(slow_fraction=0.3, seed=5),
+    }
+
+
+def main():
+    identifiers = monotone_ids(N)  # worst-case chain structure
+    budget = logstar_budget(N)
+    rows = []
+    for name, schedule in gallery().items():
+        result = run_execution(
+            FastFiveColoring(), Cycle(N), identifiers, schedule, max_time=200_000,
+        )
+        verdict = verify_execution(Cycle(N), result, palette=range(5))
+        summary = summarize_activations(result)
+        rows.append(
+            {
+                "scheduler": name,
+                "max_act": summary.max,
+                "mean_act": round(summary.mean, 2),
+                "budget": int(budget),
+                "terminated": f"{summary.terminated}/{N}",
+                "proper": verdict.proper,
+            }
+        )
+        assert verdict.ok and result.all_terminated
+        assert summary.max <= budget, name
+
+    print(f"Algorithm 3 on C_{N}, monotone identifiers (worst-case chains):\n")
+    print(format_table(rows))
+
+    print("\nActivation timeline under the uniform-subset adversary:")
+    traced = run_execution(
+        FastFiveColoring(), Cycle(12), monotone_ids(12),
+        UniformSubsetScheduler(seed=5), record_trace=True,
+    )
+    print(render_timeline(traced.trace, 12))
+    print("\nOK — within the O(log* n) budget on every schedule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Algorithm 4: wait-free O(Δ²)-coloring beyond the cycle (Appendix A).
+
+Colors a torus, a star, a complete graph and a random graph with the
+appendix's generalization of Algorithm 1, under asynchronous schedules
+with crash injection, and prints per-topology statistics.
+
+Run:  python examples/general_graphs.py
+"""
+
+import random
+
+from repro import CrashPlan, Cycle, GeneralGraphColoring, Star, Torus, run_execution
+from repro.analysis import format_table, verify_execution
+from repro.model.topology import CompleteGraph, GeneralGraph
+from repro.schedulers import BernoulliScheduler
+
+
+def topologies():
+    yield Torus(5, 6)
+    yield Star(9)
+    yield CompleteGraph(7)
+    yield Cycle(40)
+    try:
+        import networkx as nx
+    except ImportError:
+        return
+    yield GeneralGraph.from_networkx(
+        nx.gnp_random_graph(36, 0.15, seed=4), name="gnp(36, 0.15)",
+    )
+    yield GeneralGraph.from_networkx(
+        nx.random_regular_graph(5, 24, seed=4), name="5-regular(24)",
+    )
+
+
+def main():
+    rows = []
+    for topo in topologies():
+        rng = random.Random(topo.n)
+        identifiers = [23 * i + 5 for i in range(topo.n)]
+        crashed = rng.sample(range(topo.n), topo.n // 6)
+        plan = CrashPlan(
+            BernoulliScheduler(p=0.5, seed=1),
+            crash_times={p: rng.randint(1, 8) for p in crashed},
+        )
+        result = run_execution(
+            GeneralGraphColoring(), topo, identifiers, plan, max_time=200_000,
+        )
+        palette = GeneralGraphColoring.palette(topo.max_degree())
+        verdict = verify_execution(topo, result, palette=palette)
+        survivors = set(range(topo.n)) - set(crashed)
+        rows.append(
+            {
+                "topology": topo.name,
+                "n": topo.n,
+                "Δ": topo.max_degree(),
+                "palette": palette.size,
+                "colors_used": len(set(result.outputs.values())),
+                "crashed": len(crashed),
+                "survivors_done": survivors <= result.terminated,
+                "proper": verdict.proper,
+            }
+        )
+        assert verdict.ok
+
+    print("Algorithm 4 (O(Δ²)-coloring) with crashes, asynchronous schedule:\n")
+    print(format_table(rows))
+    print("\nOK — every terminated subgraph properly colored within (Δ+1)(Δ+2)/2 colors.")
+
+
+if __name__ == "__main__":
+    main()

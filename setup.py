@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Exists only so `pip install -e .` works in offline environments lacking
+the `wheel` package (pip falls back to `setup.py develop` when no
+[build-system] table is declared).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — wait-free coloring of the asynchronous crash-prone cycle.
+
+A complete, from-scratch reproduction of
+
+    Pierre Fraigniaud, Patrick Lambein-Monette, Mikaël Rabie.
+    "Fault Tolerant Coloring of the Asynchronous Cycle." PODC 2022
+    (brief announcement; full version arXiv:2207.11198).
+
+Quickstart
+----------
+>>> from repro import FastFiveColoring, Cycle, SynchronousScheduler, run_execution
+>>> from repro.analysis import random_distinct_ids, verify_execution
+>>> n = 100
+>>> result = run_execution(
+...     FastFiveColoring(), Cycle(n), random_distinct_ids(n, seed=7),
+...     SynchronousScheduler())
+>>> result.all_terminated
+True
+>>> verify_execution(Cycle(n), result, palette=range(5)).ok
+True
+
+Package map
+-----------
+* :mod:`repro.core` — the paper's four algorithms and the
+  Cole–Vishkin-style identifier-reduction machinery;
+* :mod:`repro.model` — the asynchronous state-model simulator
+  (topologies, registers, schedules, execution engine, traces, faults);
+* :mod:`repro.schedulers` — synchronous/random/adversarial schedulers;
+* :mod:`repro.shm` — the shared-memory substrate: immediate snapshots,
+  (2n−1)-renaming, SSB, and the paper's two model reductions;
+* :mod:`repro.localmodel` — the synchronous LOCAL-model substrate with
+  Cole–Vishkin and Linial baselines;
+* :mod:`repro.analysis` — verification, chain structure, complexity
+  bounds, input families, experiment harness;
+* :mod:`repro.lowerbounds` — bounded schedule exploration and the
+  MIS / 4-coloring falsifiers;
+* :mod:`repro.render` / :mod:`repro.cli` — ASCII rendering and a CLI.
+"""
+
+from repro.core import (
+    FastFiveColoring,
+    FiveColoring,
+    GeneralGraphColoring,
+    SixColoring,
+    log_star,
+    reduce_identifier,
+)
+from repro.model import (
+    CompleteGraph,
+    CrashPlan,
+    Cycle,
+    ExecutionResult,
+    Executor,
+    FiniteSchedule,
+    GeneralGraph,
+    Path,
+    Star,
+    Topology,
+    Torus,
+    run_execution,
+)
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliScheduler",
+    "CompleteGraph",
+    "CrashPlan",
+    "Cycle",
+    "ExecutionResult",
+    "Executor",
+    "FastFiveColoring",
+    "FiniteSchedule",
+    "FiveColoring",
+    "GeneralGraph",
+    "GeneralGraphColoring",
+    "Path",
+    "RoundRobinScheduler",
+    "SixColoring",
+    "Star",
+    "SynchronousScheduler",
+    "Topology",
+    "Torus",
+    "__version__",
+    "log_star",
+    "reduce_identifier",
+    "run_execution",
+]

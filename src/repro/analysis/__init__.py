@@ -1,0 +1,111 @@
+"""Verification, chain structure, complexity accounting and experiments.
+
+* :mod:`repro.analysis.verify` — the paper's correctness predicates and
+  the Lemma 4.5 trace invariant;
+* :mod:`repro.analysis.chains` — monotone identifier chains (the
+  running-time driver, Remark 3.10);
+* :mod:`repro.analysis.complexity` — theorem bound functions and
+  scaling fits;
+* :mod:`repro.analysis.inputs` — identifier-assignment families;
+* :mod:`repro.analysis.experiments` — the sweep/ensemble harness.
+"""
+
+from repro.analysis.chains import (
+    FullChainProfile,
+    chain_profile,
+    is_local_extremum,
+    is_local_max,
+    is_local_min,
+    local_maxima,
+    local_minima,
+    longest_monotone_run,
+    monotone_distance_to_max,
+    monotone_distance_to_min,
+)
+from repro.analysis.complexity import (
+    ActivationSummary,
+    fit_linear,
+    fit_logstar,
+    lemma_3_9_bound,
+    lemma_3_14_bound,
+    logstar_budget,
+    summarize_activations,
+    theorem_3_1_bound,
+    theorem_3_11_bound,
+)
+from repro.analysis.ensembles import Distribution, EnsembleReport, run_ensemble
+from repro.analysis.footprint import FootprintReport, measure_footprint, payload_bits
+from repro.analysis.experiments import (
+    TrialRecord,
+    format_table,
+    run_trial,
+    scheduler_suite,
+    sweep,
+)
+from repro.analysis.inputs import (
+    huge_ids,
+    monotone_ids,
+    proper_coloring_inputs,
+    random_distinct_ids,
+    sawtooth_ids,
+    zigzag_ids,
+)
+from repro.analysis.verify import (
+    Verdict,
+    assert_palette,
+    assert_proper_coloring,
+    coloring_violations,
+    identifiers_always_proper,
+    inputs_properly_color,
+    palette_violations,
+    published_identifier_violations,
+    verify_execution,
+)
+
+__all__ = [
+    "ActivationSummary",
+    "Distribution",
+    "EnsembleReport",
+    "FootprintReport",
+    "FullChainProfile",
+    "measure_footprint",
+    "payload_bits",
+    "run_ensemble",
+    "TrialRecord",
+    "Verdict",
+    "assert_palette",
+    "assert_proper_coloring",
+    "chain_profile",
+    "coloring_violations",
+    "fit_linear",
+    "fit_logstar",
+    "format_table",
+    "huge_ids",
+    "identifiers_always_proper",
+    "inputs_properly_color",
+    "is_local_extremum",
+    "is_local_max",
+    "is_local_min",
+    "lemma_3_14_bound",
+    "lemma_3_9_bound",
+    "local_maxima",
+    "local_minima",
+    "logstar_budget",
+    "longest_monotone_run",
+    "monotone_distance_to_max",
+    "monotone_distance_to_min",
+    "monotone_ids",
+    "palette_violations",
+    "proper_coloring_inputs",
+    "published_identifier_violations",
+    "random_distinct_ids",
+    "run_trial",
+    "sawtooth_ids",
+    "scheduler_suite",
+    "summarize_activations",
+    "sweep",
+    "theorem_3_11_bound",
+    "theorem_3_1_bound",
+    "verify_execution",
+    "zigzag_ids",
+]

@@ -1,0 +1,194 @@
+"""Monotone identifier chains: the structure driving running times.
+
+Algorithm 1's and 2's convergence is governed not by ``n`` but by the
+*monotone chain structure* of the identifier assignment (Remark 3.10):
+
+* a process is **locally extremal** if its identifier is larger than
+  both neighbors' (local maximum) or smaller than both (local minimum);
+* the **monotone distance** ``ℓ`` of a non-extremal process to its
+  nearest local maximum is the length of the (unique, in a cycle)
+  strictly-increasing path from it to a local maximum; ``ℓ'`` likewise
+  for the local minimum along the strictly-decreasing path;
+* Lemma 3.9 bounds Algorithm 1 activations by
+  ``min{3ℓ, 3ℓ', ℓ+ℓ'} + 4``; Lemma 3.14 bounds Algorithm 2 non-minima
+  by ``3ℓ + 4``.
+
+These functions operate on the sequence of identifiers *in ring order*
+(position ``i`` adjacent to ``i±1 mod n``), which is how
+:class:`~repro.model.topology.Cycle` numbers its processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = [
+    "is_local_max",
+    "is_local_min",
+    "is_local_extremum",
+    "local_maxima",
+    "local_minima",
+    "monotone_distance_to_max",
+    "monotone_distance_to_min",
+    "longest_monotone_run",
+    "FullChainProfile",
+    "chain_profile",
+]
+
+
+def _neighbors(i: int, n: int) -> tuple:
+    return ((i - 1) % n, (i + 1) % n)
+
+
+def is_local_max(ids: Sequence[int], i: int) -> bool:
+    """Whether position ``i`` holds a local maximum on the ring."""
+    n = len(ids)
+    left, right = _neighbors(i, n)
+    return ids[i] > ids[left] and ids[i] > ids[right]
+
+
+def is_local_min(ids: Sequence[int], i: int) -> bool:
+    """Whether position ``i`` holds a local minimum on the ring."""
+    n = len(ids)
+    left, right = _neighbors(i, n)
+    return ids[i] < ids[left] and ids[i] < ids[right]
+
+
+def is_local_extremum(ids: Sequence[int], i: int) -> bool:
+    """Local max or local min (the paper's "locally extremal")."""
+    return is_local_max(ids, i) or is_local_min(ids, i)
+
+
+def local_maxima(ids: Sequence[int]) -> List[int]:
+    """All ring positions holding local maxima."""
+    return [i for i in range(len(ids)) if is_local_max(ids, i)]
+
+
+def local_minima(ids: Sequence[int]) -> List[int]:
+    """All ring positions holding local minima."""
+    return [i for i in range(len(ids)) if is_local_min(ids, i)]
+
+
+def monotone_distance_to_max(ids: Sequence[int], i: int) -> int:
+    """Length ``ℓ`` of the increasing path from ``i`` to a local max.
+
+    0 for a local maximum.  For a local minimum both directions
+    increase; the shorter of the two applies (the "closest" extremum).
+    Requires adjacent-distinct identifiers.
+    """
+    return _monotone_distance(ids, i, upward=True)
+
+
+def monotone_distance_to_min(ids: Sequence[int], i: int) -> int:
+    """Length ``ℓ'`` of the decreasing path from ``i`` to a local min."""
+    return _monotone_distance(ids, i, upward=False)
+
+
+def _monotone_distance(ids: Sequence[int], i: int, upward: bool) -> int:
+    n = len(ids)
+
+    def climb(start: int, direction: int) -> int:
+        """Steps strictly monotone in `direction` until an extremum."""
+        steps = 0
+        current = start
+        while steps <= n:  # safety bound; a proper ring always breaks out
+            nxt = (current + direction) % n
+            better = ids[nxt] > ids[current] if upward else ids[nxt] < ids[current]
+            if not better:
+                return steps
+            current = nxt
+            steps += 1
+        raise ValueError("identifiers do not properly color the ring")
+
+    left, right = _neighbors(i, n)
+    goes_left = ids[left] > ids[i] if upward else ids[left] < ids[i]
+    goes_right = ids[right] > ids[i] if upward else ids[right] < ids[i]
+    if not goes_left and not goes_right:
+        return 0  # i is itself the extremum sought
+    candidates = []
+    if goes_left:
+        candidates.append(1 + climb((i - 1) % n, -1))
+    if goes_right:
+        candidates.append(1 + climb((i + 1) % n, +1))
+    return min(candidates)
+
+
+def longest_monotone_run(ids: Sequence[int]) -> int:
+    """Number of processes in the longest strictly monotone ring path.
+
+    This is the quantity Remark 3.10 identifies as the true convergence
+    driver of Algorithms 1 and 2: identifiers ``0, 1, …, n−1`` in ring
+    order give ``n`` (worst case), a zigzag gives 2 (best case).
+    """
+    n = len(ids)
+    if n < 2:
+        return n
+    best = 1
+    # Walk the ring once in each direction counting maximal increasing runs.
+    for direction in (+1, -1):
+        run = 1
+        for offset in range(1, 2 * n):
+            prev = (direction * (offset - 1)) % n
+            curr = (direction * offset) % n
+            if ids[curr] > ids[prev]:
+                run += 1
+                best = max(best, run)
+                if run >= n:  # fully monotone ring is impossible; cap
+                    return n
+            else:
+                run = 1
+    return min(best, n)
+
+
+def chain_profile(ids: Sequence[int]) -> "FullChainProfile":
+    """Compute the full chain structure of an id assignment on the ring."""
+    n = len(ids)
+    dist_max = [monotone_distance_to_max(ids, i) for i in range(n)]
+    dist_min = [monotone_distance_to_min(ids, i) for i in range(n)]
+    return FullChainProfile(
+        n=n,
+        num_maxima=len(local_maxima(ids)),
+        num_minima=len(local_minima(ids)),
+        longest_run=longest_monotone_run(ids),
+        distances_to_max=dist_max,
+        distances_to_min=dist_min,
+    )
+
+
+@dataclass
+class FullChainProfile:
+    """Chain structure with per-position monotone distances."""
+
+    n: int
+    num_maxima: int
+    num_minima: int
+    longest_run: int
+    distances_to_max: List[int]
+    distances_to_min: List[int]
+
+    def alg1_bound(self, i: int) -> int:
+        """Lemma 3.9 / Theorem 3.1 activation bound for position ``i``."""
+        l_max = self.distances_to_max[i]
+        l_min = self.distances_to_min[i]
+        if l_max == 0 or l_min == 0:
+            return 4  # local extrema return within 4 activations
+        return min(3 * l_max, 3 * l_min, l_max + l_min) + 4
+
+    def alg2_bound(self, i: int) -> int:
+        """Lemma 3.14 activation bound for a non-minimum at position
+        ``i``; local minima get the global ``3n + 8`` fallback of the
+        Theorem 3.11 proof."""
+        if self.distances_to_min[i] == 0:
+            return 3 * self.n + 8
+        return 3 * self.distances_to_max[i] + 4
+
+    @property
+    def worst_alg1_bound(self) -> int:
+        """Theorem 3.1's per-execution bound: max over positions."""
+        return max(self.alg1_bound(i) for i in range(self.n))
+
+    @property
+    def worst_alg2_bound(self) -> int:
+        """Theorem 3.11's per-execution bound: max over positions."""
+        return max(self.alg2_bound(i) for i in range(self.n))

@@ -1,0 +1,146 @@
+"""Ensemble statistics: distributions over many verified executions.
+
+The worst case is a supremum over schedules, so single runs say little;
+this module aggregates *ensembles* — (scheduler × seed × input) grids —
+into distribution summaries (min/mean/percentiles/max of activation
+counts, termination rates, palette usage) used by the experiment
+harness, the adversary-gallery example and the E-benchmark tables.
+Histograms are plain dicts so reports stay dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.verify import verify_execution
+from repro.model.execution import run_execution
+from repro.model.schedule import Schedule
+from repro.model.topology import Topology
+
+__all__ = ["Distribution", "EnsembleReport", "run_ensemble"]
+
+
+@dataclass
+class Distribution:
+    """Summary statistics of one scalar sample."""
+
+    count: int
+    minimum: float
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Distribution":
+        """Summarize a non-empty sample."""
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return float(ordered[min(n - 1, int(math.ceil(q * n)) - 1)])
+
+        return cls(
+            count=n,
+            minimum=float(ordered[0]),
+            mean=sum(ordered) / n,
+            p50=pct(0.50),
+            p95=pct(0.95),
+            maximum=float(ordered[-1]),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:g} mean={self.mean:.2f} p50={self.p50:g} "
+            f"p95={self.p95:g} max={self.maximum:g} (n={self.count})"
+        )
+
+
+@dataclass
+class EnsembleReport:
+    """Aggregated verdicts and distributions of one ensemble."""
+
+    runs: int
+    terminated_runs: int
+    proper_runs: int
+    palette_ok_runs: int
+    max_activations: Distribution
+    mean_activations: Distribution
+    colors_used: Dict[Any, int] = field(default_factory=dict)
+    activation_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        """All runs terminated, proper and within palette."""
+        return (
+            self.runs
+            == self.terminated_runs
+            == self.proper_runs
+            == self.palette_ok_runs
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"runs={self.runs} terminated={self.terminated_runs} "
+            f"proper={self.proper_runs} palette_ok={self.palette_ok_runs}\n"
+            f"max activations : {self.max_activations}\n"
+            f"mean activations: {self.mean_activations}\n"
+            f"colors used     : {sorted(self.colors_used)}"
+        )
+
+
+def run_ensemble(
+    algorithm_factory: Callable[[], Any],
+    topology: Topology,
+    inputs_list: Iterable[Sequence[int]],
+    schedules: Iterable[Tuple[str, Schedule]],
+    *,
+    palette: Optional[Iterable[Any]] = None,
+    max_time: int = 200_000,
+) -> EnsembleReport:
+    """Run the (inputs × schedule) grid, verify everything, aggregate.
+
+    ``schedules`` yields ``(label, schedule)`` pairs; each schedule is
+    re-used across input vectors (schedules restart per run).
+    """
+    maxima: List[float] = []
+    means: List[float] = []
+    colors: Dict[Any, int] = {}
+    histogram: Dict[int, int] = {}
+    runs = terminated = proper = palette_ok = 0
+    palette_list = list(palette) if palette is not None else None
+
+    schedule_pairs = list(schedules)
+    for inputs in inputs_list:
+        for _label, schedule in schedule_pairs:
+            result = run_execution(
+                algorithm_factory(), topology, inputs, schedule,
+                max_time=max_time,
+            )
+            verdict = verify_execution(topology, result, palette=palette_list)
+            runs += 1
+            terminated += result.all_terminated
+            proper += verdict.proper
+            palette_ok += verdict.palette_ok
+            counts = list(result.activations.values())
+            maxima.append(max(counts))
+            means.append(sum(counts) / len(counts))
+            for color in result.outputs.values():
+                colors[color] = colors.get(color, 0) + 1
+            for count in counts:
+                histogram[count] = histogram.get(count, 0) + 1
+
+    return EnsembleReport(
+        runs=runs,
+        terminated_runs=terminated,
+        proper_runs=proper,
+        palette_ok_runs=palette_ok,
+        max_activations=Distribution.of(maxima),
+        mean_activations=Distribution.of(means),
+        colors_used=colors,
+        activation_histogram=histogram,
+    )

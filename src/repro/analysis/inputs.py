@@ -1,0 +1,149 @@
+"""Identifier-assignment generators (the algorithms' inputs).
+
+Each process starts with a unique identifier in ``[0, poly(n)]``
+(§2.1).  The running times of Algorithms 1 and 2 depend on the
+monotone-chain structure of the assignment (Remark 3.10), so the
+experiment suite needs controlled families:
+
+* :func:`monotone_ids` — ``0, 1, …, n−1`` in ring order: one maximal
+  increasing run of length ``n``; the worst case for Algorithms 1–2
+  and the stress case for Algorithm 3's reduction;
+* :func:`zigzag_ids` — alternating low/high: runs of length 2, the
+  best case;
+* :func:`sawtooth_ids` — increasing runs of a chosen length, to sweep
+  the chain-length axis independently of ``n``;
+* :func:`random_distinct_ids` — uniform distinct ids from a poly(n)
+  space (the "typical" instance; expected longest run is O(log n/log
+  log n));
+* :func:`huge_ids` — distinct ids near ``2^bits``, stressing the
+  O(log* n) id-reduction pipeline of Algorithm 3 with astronomically
+  long binary representations;
+* :func:`proper_coloring_inputs` — inputs that are merely a proper
+  coloring with ``k`` values, not unique ids (Remark 3.10's relaxed
+  precondition).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = [
+    "monotone_ids",
+    "zigzag_ids",
+    "sawtooth_ids",
+    "random_distinct_ids",
+    "huge_ids",
+    "proper_coloring_inputs",
+]
+
+
+def monotone_ids(n: int) -> List[int]:
+    """``0, 1, …, n−1`` around the ring — the Θ(n)-chain worst case."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return list(range(n))
+
+
+def zigzag_ids(n: int) -> List[int]:
+    """Alternate small and large ids: every process is a local extremum.
+
+    For odd ``n`` a perfect alternation is impossible; one position gets
+    an intermediate value, keeping adjacent ids distinct and runs of
+    length at most 3.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3 for a ring assignment")
+    ids = [0] * n
+    low, high = 0, n
+    for i in range(n):
+        if i % 2 == 0:
+            ids[i] = low
+            low += 1
+        else:
+            ids[i] = high
+            high += 1
+    if n % 2 == 1:
+        # positions n-1 and 0 are both "low"; bump the last to a middle
+        # value distinct from its neighbors.
+        ids[n - 1] = high + 1
+    return ids
+
+
+def sawtooth_ids(n: int, run: int) -> List[int]:
+    """Increasing runs of length ``run`` separated by drops.
+
+    ``run = n`` degenerates to :func:`monotone_ids`; ``run = 2`` is a
+    zigzag.  Ids are unique; each tooth uses a fresh block of values
+    with teeth descending across blocks so drops are strict.
+    """
+    if run < 2:
+        raise ValueError("run must be >= 2")
+    if n < 3:
+        raise ValueError("need n >= 3")
+    ids: List[int] = []
+    teeth = (n + run - 1) // run
+    for tooth in range(teeth):
+        base = (teeth - tooth) * (run + 1)
+        length = min(run, n - len(ids))
+        ids.extend(base + j * teeth * (run + 2) for j in range(length))
+    # Ensure the wrap-around edge (last, first) is not an accidental tie.
+    assert len(ids) == n
+    if ids[-1] == ids[0]:
+        ids[-1] += 1
+    return ids
+
+
+def random_distinct_ids(
+    n: int, seed: int = 0, id_space: Optional[int] = None
+) -> List[int]:
+    """``n`` distinct identifiers drawn uniformly from ``[0, id_space)``.
+
+    Default space is ``n³`` (a poly(n) namespace as in §2.1).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    space = id_space if id_space is not None else max(n ** 3, 8)
+    if space < n:
+        raise ValueError(f"id space {space} too small for {n} distinct ids")
+    rng = random.Random(seed)
+    return rng.sample(range(space), n)
+
+
+def huge_ids(n: int, bits: int = 128, seed: int = 0) -> List[int]:
+    """``n`` distinct identifiers of ~``bits`` binary digits.
+
+    Exercises Algorithm 3's claim of O(log* n) dependence on the *id
+    magnitude*: each Cole–Vishkin reduction roughly exponentially
+    shrinks the bit length, so even 4096-bit ids converge in a handful
+    of reductions.
+    """
+    if bits < 8:
+        raise ValueError("bits must be >= 8")
+    rng = random.Random(seed)
+    seen = set()
+    ids = []
+    while len(ids) < n:
+        x = rng.getrandbits(bits) | (1 << (bits - 1))
+        if x not in seen:
+            seen.add(x)
+            ids.append(x)
+    return ids
+
+
+def proper_coloring_inputs(n: int, k: int = 3) -> List[int]:
+    """Ring inputs that are a proper ``k``-coloring, not unique ids.
+
+    Remark 3.10: Theorem 3.1 only needs ``X_p ≠ X_q`` for neighbors;
+    with ``k`` initial values, monotone chains have length at most
+    ``k`` and Algorithms 1–2 converge in O(k).  Pattern: ``0,1,0,1,…``
+    with a trailing ``2`` when ``n`` is odd (needs ``k ≥ 3`` then).
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    if k < 2 or (n % 2 == 1 and k < 3):
+        raise ValueError("k >= 2 needed; k >= 3 when n is odd")
+    ids = [i % 2 for i in range(n)]
+    if n % 2 == 1:
+        ids[n - 1] = 2
+    return ids

@@ -1,0 +1,169 @@
+"""Specification checking for executions (the paper's three guarantees).
+
+Each of Theorems 3.1, 3.11 and 4.4 promises, for every execution:
+
+* **Termination** — every process that is activated enough returns
+  within the stated activation bound (checked via
+  :mod:`repro.analysis.complexity`);
+* **Palette** — returned colors lie in the stated palette;
+* **Correctness** — the outputs properly color the *graph induced by
+  the terminating processes* (crashed/starved processes impose no
+  constraint).
+
+This module provides those predicates plus the execution-wide
+invariants used in Section 4's analysis, most importantly Lemma 4.5:
+at every time of every execution, the published identifiers ``X̂_p``
+form a proper coloring of the cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ColoringViolation, PaletteViolation
+from repro.model.execution import ExecutionResult
+from repro.model.topology import Topology
+from repro.model.trace import Trace
+from repro.types import BOTTOM, ProcessId
+
+__all__ = [
+    "coloring_violations",
+    "assert_proper_coloring",
+    "palette_violations",
+    "assert_palette",
+    "inputs_properly_color",
+    "Verdict",
+    "verify_execution",
+    "published_identifier_violations",
+    "identifiers_always_proper",
+]
+
+
+def coloring_violations(
+    topology: Topology, outputs: Dict[ProcessId, Any]
+) -> List[Tuple[ProcessId, ProcessId]]:
+    """Edges of the induced graph whose endpoints share an output color.
+
+    Only edges with *both* endpoints in ``outputs`` are considered —
+    the paper's correctness condition quantifies over the graph induced
+    by the terminating processes.
+    """
+    bad = []
+    for p, q in topology.edges():
+        if p in outputs and q in outputs and outputs[p] == outputs[q]:
+            bad.append((p, q))
+    return bad
+
+
+def assert_proper_coloring(topology: Topology, outputs: Dict[ProcessId, Any]) -> None:
+    """Raise :class:`ColoringViolation` on any monochromatic edge."""
+    bad = coloring_violations(topology, outputs)
+    if bad:
+        p, q = bad[0]
+        raise ColoringViolation(
+            f"{len(bad)} monochromatic edge(s); first: "
+            f"{p} ~ {q} both colored {outputs[p]!r}"
+        )
+
+
+def palette_violations(
+    outputs: Dict[ProcessId, Any], palette: Iterable[Any]
+) -> Dict[ProcessId, Any]:
+    """Processes whose output falls outside ``palette``."""
+    allowed = set(palette)
+    return {p: c for p, c in outputs.items() if c not in allowed}
+
+
+def assert_palette(outputs: Dict[ProcessId, Any], palette: Iterable[Any]) -> None:
+    """Raise :class:`PaletteViolation` on any out-of-palette output."""
+    bad = palette_violations(outputs, palette)
+    if bad:
+        p, c = next(iter(bad.items()))
+        raise PaletteViolation(
+            f"{len(bad)} out-of-palette output(s); first: process {p} -> {c!r}"
+        )
+
+
+def inputs_properly_color(topology: Topology, inputs: Sequence[Any]) -> bool:
+    """Whether the identifier assignment satisfies the precondition
+    ``X_p ≠ X_q`` for every edge ``p ~ q`` (Remark 3.10: uniqueness is
+    not needed, only adjacent distinctness)."""
+    return all(inputs[p] != inputs[q] for p, q in topology.edges())
+
+
+@dataclass
+class Verdict:
+    """Aggregated verification result for one execution."""
+
+    all_terminated: bool
+    terminated_count: int
+    proper: bool
+    palette_ok: bool
+    round_complexity: int
+    monochromatic_edges: List[Tuple[ProcessId, ProcessId]] = field(default_factory=list)
+    out_of_palette: Dict[ProcessId, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Correctness + palette (termination is schedule-dependent and
+        judged separately against activation bounds)."""
+        return self.proper and self.palette_ok
+
+
+def verify_execution(
+    topology: Topology,
+    result: ExecutionResult,
+    palette: Optional[Iterable[Any]] = None,
+) -> Verdict:
+    """Check one execution result against the paper's guarantees."""
+    mono = coloring_violations(topology, result.outputs)
+    bad_palette = (
+        palette_violations(result.outputs, palette) if palette is not None else {}
+    )
+    return Verdict(
+        all_terminated=result.all_terminated,
+        terminated_count=len(result.outputs),
+        proper=not mono,
+        palette_ok=not bad_palette,
+        round_complexity=result.round_complexity,
+        monochromatic_edges=mono,
+        out_of_palette=bad_palette,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution-wide invariants (Lemma 4.5)
+# ----------------------------------------------------------------------
+def published_identifier_violations(
+    topology: Topology, trace: Trace
+) -> List[Tuple[int, ProcessId, ProcessId, Any]]:
+    """Times at which two adjacent *published* identifiers collide.
+
+    Checks, for every recorded register snapshot and every edge
+    ``p ~ q``, that ``X̂_p ≠ X̂_q`` whenever both registers are written
+    — the invariant of Lemma 4.5 that the green-light mechanism of
+    Algorithm 3 protects.  Requires an execution recorded with
+    ``record_registers=True`` and register payloads exposing an ``x``
+    field (all four algorithms do).
+
+    Returns ``(time, p, q, x)`` tuples for every violation.
+    """
+    violations = []
+    edges = list(topology.edges())
+    for event in trace:
+        snapshot = event.registers
+        if snapshot is None:
+            continue
+        for p, q in edges:
+            vp, vq = snapshot[p], snapshot[q]
+            if vp is BOTTOM or vq is BOTTOM:
+                continue
+            if vp.x == vq.x:
+                violations.append((event.time, p, q, vp.x))
+    return violations
+
+
+def identifiers_always_proper(topology: Topology, trace: Trace) -> bool:
+    """Whether Lemma 4.5's invariant held throughout the execution."""
+    return not published_identifier_violations(topology, trace)

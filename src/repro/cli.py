@@ -1,0 +1,365 @@
+"""Command-line interface: run any algorithm / scheduler / input combo.
+
+Installed as ``repro-color`` (see pyproject) and runnable as
+``python -m repro.cli``.  Examples::
+
+    repro-color run --algorithm fast5 --n 50 --inputs random --schedule sync
+    repro-color run --algorithm alg2 --n 16 --inputs monotone \\
+        --schedule bernoulli --seed 3 --timeline
+    repro-color livelock --loops 50
+    repro-color falsify --target mis
+    repro-color sweep --algorithm fast5 --max-n 4096
+
+Exit status is non-zero when a verification fails, so the CLI can be
+used in scripts as a smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.complexity import fit_linear, fit_logstar, summarize_activations
+from repro.analysis.experiments import format_table
+from repro.analysis.inputs import (
+    huge_ids,
+    monotone_ids,
+    random_distinct_ids,
+    zigzag_ids,
+)
+from repro.analysis.verify import verify_execution
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.core.coin_tossing import log_star
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.extensions.livelock import demonstrate_livelock
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.render import render_cycle, render_outputs, render_timeline
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "alg1": SixColoring,
+    "alg2": FiveColoring,
+    "fast5": FastFiveColoring,
+    "fast6": FastSixColoring,
+}
+
+_PALETTES = {
+    "alg1": list(SIX_PALETTE),
+    "alg2": list(range(5)),
+    "fast5": list(range(5)),
+    "fast6": list(FAST_SIX_PALETTE),
+}
+
+_INPUTS: Dict[str, Callable[[int, int], List[int]]] = {
+    "random": lambda n, seed: random_distinct_ids(n, seed=seed),
+    "monotone": lambda n, seed: monotone_ids(n),
+    "zigzag": lambda n, seed: zigzag_ids(n),
+    "huge": lambda n, seed: huge_ids(n, bits=256, seed=seed),
+}
+
+
+def _make_schedule(name: str, seed: int):
+    schedules = {
+        "sync": lambda: SynchronousScheduler(),
+        "round-robin": lambda: RoundRobinScheduler(),
+        "bernoulli": lambda: BernoulliScheduler(p=0.4, seed=seed),
+        "subset": lambda: UniformSubsetScheduler(seed=seed),
+        "staggered": lambda: StaggeredScheduler(stagger=2),
+        "alternating": lambda: AlternatingScheduler(),
+    }
+    return schedules[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-color",
+        description="Wait-free coloring of the asynchronous cycle (PODC 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one verified execution")
+    run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="fast5")
+    run.add_argument("--n", type=int, default=20)
+    run.add_argument("--inputs", choices=sorted(_INPUTS), default="random")
+    run.add_argument(
+        "--schedule",
+        choices=["sync", "round-robin", "bernoulli", "subset", "staggered", "alternating"],
+        default="sync",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--timeline", action="store_true", help="print an activation timeline")
+    run.add_argument("--svg", metavar="BASENAME",
+                     help="write BASENAME_ring.svg (+ _timeline.svg with --timeline)")
+    run.add_argument("--max-time", type=int, default=1_000_000)
+
+    livelock = sub.add_parser(
+        "livelock", help="replay the Algorithm 2 livelock witness (finding E13)"
+    )
+    livelock.add_argument("--loops", type=int, default=50)
+    livelock.add_argument(
+        "--algorithm", choices=["alg2", "fast5"], default="alg2",
+    )
+
+    falsify = sub.add_parser(
+        "falsify", help="defeat candidate MIS / 4-color algorithms (Properties 2.1/2.3)"
+    )
+    falsify.add_argument("--target", choices=["mis", "coloring"], default="mis")
+    falsify.add_argument("--n", type=int, default=3)
+
+    sweep = sub.add_parser("sweep", help="activation scaling sweep over n")
+    sweep.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="fast5")
+    sweep.add_argument("--max-n", type=int, default=1024)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    ensemble = sub.add_parser(
+        "ensemble", help="verified (inputs x schedulers) ensemble statistics"
+    )
+    ensemble.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="fast5")
+    ensemble.add_argument("--n", type=int, default=24)
+    ensemble.add_argument("--seeds", type=int, default=5)
+
+    models = sub.add_parser(
+        "models", help="compare LOCAL / DECOUPLED / asynchronous / self-stabilizing"
+    )
+    models.add_argument("--n", type=int, default=30)
+    models.add_argument("--seed", type=int, default=0)
+
+    progress = sub.add_parser(
+        "progress",
+        help="exact wait-/starvation-/obstruction-freedom classification (E18)",
+    )
+    progress.add_argument("--n", type=int, default=3)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    algorithm = _ALGORITHMS[args.algorithm]()
+    inputs = _INPUTS[args.inputs](args.n, args.seed)
+    schedule = _make_schedule(args.schedule, args.seed)
+    result = run_execution(
+        algorithm, Cycle(args.n), inputs, schedule,
+        max_time=args.max_time, record_trace=args.timeline,
+    )
+    verdict = verify_execution(Cycle(args.n), result, palette=_PALETTES[args.algorithm])
+    print(f"algorithm : {algorithm.name}")
+    print(f"schedule  : {schedule!r}")
+    print(f"terminated: {len(result.outputs)}/{args.n}")
+    print(f"rounds    : {result.round_complexity}")
+    print(f"proper    : {verdict.proper}   palette-ok: {verdict.palette_ok}")
+    print()
+    print(render_cycle(inputs, result.outputs))
+    print()
+    print(render_outputs(result))
+    if args.timeline and result.trace is not None:
+        print()
+        print(render_timeline(result.trace, args.n))
+    if args.svg:
+        from repro.svg import save_execution_svgs
+
+        for path in save_execution_svgs(result, inputs, args.svg):
+            print(f"wrote {path}")
+    return 0 if (verdict.ok and result.all_terminated) else 1
+
+
+def _cmd_livelock(args) -> int:
+    algorithm = FiveColoring() if args.algorithm == "alg2" else FastFiveColoring()
+    result = demonstrate_livelock(algorithm, loop_iterations=args.loops)
+    print(f"witness on C_3, ids (1, 2, 3), {args.loops} loop iterations:")
+    print(render_outputs(result))
+    stuck = sorted(result.pending)
+    print(
+        f"\nprocesses {stuck} were activated "
+        f"{[result.activations[p] for p in stuck]} times without returning "
+        "— no finite activation bound exists (finding E13)."
+    )
+    return 0
+
+
+def _cmd_falsify(args) -> int:
+    if args.target == "mis":
+        from repro.lowerbounds.mis import candidate_mis_algorithms, falsify_mis
+
+        for name, algorithm in candidate_mis_algorithms().items():
+            outcome = falsify_mis(algorithm, n=args.n)
+            status = "DEFEATED" if outcome.found else "survived (bounded)"
+            print(f"{name:28s} {status}: {outcome.description}")
+    else:
+        from repro.lowerbounds.small_palette import (
+            candidate_small_palette_algorithms,
+            falsify_coloring,
+        )
+
+        for name, algorithm in candidate_small_palette_algorithms().items():
+            outcome = falsify_coloring(algorithm, n=args.n)
+            status = "DEFEATED" if outcome.found else "survived (bounded)"
+            print(f"{name:28s} {status}: {outcome.description}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    algorithm_factory = _ALGORITHMS[args.algorithm]
+    ns = []
+    n = 4
+    while n <= args.max_n:
+        ns.append(n)
+        n *= 2
+    rows = []
+    measured = []
+    for n in ns:
+        result = run_execution(
+            algorithm_factory(), Cycle(n), monotone_ids(n), RoundRobinScheduler(),
+        )
+        rows.append(
+            {
+                "n": n,
+                "log*n": log_star(n),
+                "rounds": result.round_complexity,
+                "mean": round(summarize_activations(result).mean, 2),
+                "terminated": f"{len(result.outputs)}/{n}",
+            }
+        )
+        measured.append(result.round_complexity)
+    print(format_table(rows))
+    if len(ns) >= 3:
+        c_lin, _ = fit_linear(ns, measured)
+        c_log, _ = fit_logstar(ns, measured)
+        print(f"\nfit rounds ~ c*n:      c = {c_lin:.4f}")
+        print(f"fit rounds ~ c*log*n:  c = {c_log:.4f}")
+    return 0
+
+
+def _cmd_ensemble(args) -> int:
+    from repro.analysis.ensembles import run_ensemble
+    from repro.analysis.inputs import monotone_ids, zigzag_ids
+
+    n = args.n
+    inputs_list = [monotone_ids(n), zigzag_ids(n)] + [
+        random_distinct_ids(n, seed=s) for s in range(args.seeds)
+    ]
+    schedules = [
+        ("sync", SynchronousScheduler()),
+        ("round-robin", RoundRobinScheduler()),
+        ("alternating", AlternatingScheduler()),
+        ("staggered", StaggeredScheduler(stagger=2)),
+    ] + [
+        (f"bernoulli-{s}", BernoulliScheduler(p=0.4, seed=s))
+        for s in range(args.seeds)
+    ]
+    report = run_ensemble(
+        _ALGORITHMS[args.algorithm],
+        Cycle(n),
+        inputs_list,
+        schedules,
+        palette=_PALETTES[args.algorithm],
+    )
+    print(f"{args.algorithm} on C_{n} — verified ensemble:")
+    print(report)
+    return 0 if report.all_ok else 1
+
+
+def _cmd_models(args) -> int:
+    import random as _random
+
+    from repro.analysis.verify import coloring_violations
+    from repro.decoupled import AnnouncementColoring, run_decoupled
+    from repro.localmodel import ColeVishkinRing, run_local
+    from repro.selfstab import ColoringRule, corrupt_states, run_selfstab
+
+    n, seed = args.n, args.seed
+    ids = random_distinct_ids(n, seed=seed)
+    rows = []
+
+    local = run_local(ColeVishkinRing(id_bits=64), Cycle(n), ids)
+    rows.append({"model": "LOCAL", "colors": len(set(local.outputs.values())),
+                 "cost": f"{local.rounds} rounds"})
+
+    dec = run_decoupled(
+        AnnouncementColoring(), Cycle(n), ids, BernoulliScheduler(p=0.5, seed=seed),
+    )
+    rows.append({"model": "DECOUPLED", "colors": len(set(dec.outputs.values())),
+                 "cost": f"{dec.activation_complexity} activations"})
+
+    asyn = run_execution(
+        FastFiveColoring(), Cycle(n), ids, BernoulliScheduler(p=0.5, seed=seed),
+    )
+    rows.append({"model": "async (paper)", "colors": len(set(asyn.outputs.values())),
+                 "cost": f"{asyn.round_complexity} activations"})
+
+    rule = ColoringRule(max_degree=2)
+    stab = run_selfstab(
+        rule, Cycle(n), corrupt_states(ids, _random.Random(seed)),
+        BernoulliScheduler(p=0.5, seed=seed), max_steps=100_000,
+    )
+    rows.append({"model": "self-stabilizing",
+                 "colors": len({s.color for s in stab.states}),
+                 "cost": f"{stab.moves} moves"})
+
+    ok = (
+        not coloring_violations(Cycle(n), local.outputs)
+        and not coloring_violations(Cycle(n), dec.outputs)
+        and verify_execution(Cycle(n), asyn, palette=range(5)).ok
+        and stab.stabilized
+    )
+    print(format_table(rows))
+    return 0 if ok else 1
+
+
+def _cmd_progress(args) -> int:
+    from repro.core.coloring6 import SixColoring
+    from repro.extensions.fast_six import FastSixColoring
+    from repro.lowerbounds.progress import classify_progress
+
+    rows = []
+    for label, factory in (
+        ("alg1", SixColoring), ("alg2", FiveColoring),
+        ("fast5", FastFiveColoring), ("fast6", FastSixColoring),
+    ):
+        report = classify_progress(
+            factory(), Cycle(args.n), list(range(1, args.n + 1)),
+        )
+        rows.append(
+            {
+                "algorithm": label,
+                "wait_free": report.wait_free,
+                "starvation_free": report.starvation_free,
+                "obstruction_free": report.obstruction_free,
+                "configs": report.configs,
+                "exhaustive": report.exhausted,
+            }
+        )
+    print(f"progress taxonomy on C_{args.n} (ids 1..{args.n}):\n")
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "livelock": _cmd_livelock,
+        "falsify": _cmd_falsify,
+        "sweep": _cmd_sweep,
+        "ensemble": _cmd_ensemble,
+        "models": _cmd_models,
+        "progress": _cmd_progress,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

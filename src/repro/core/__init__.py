@@ -1,0 +1,63 @@
+"""The paper's algorithms — the primary contribution of the library.
+
+* :mod:`repro.core.coloring6` — Algorithm 1, wait-free 6-coloring of
+  the cycle in O(n) activations (warm-up, §3.1);
+* :mod:`repro.core.coloring5` — Algorithm 2, wait-free 5-coloring of
+  the cycle in O(n) activations (§3.2);
+* :mod:`repro.core.fast_coloring5` — Algorithm 3, wait-free 5-coloring
+  in O(log* n) activations (§4, the headline result);
+* :mod:`repro.core.general` — Algorithm 4, wait-free O(Δ²)-coloring of
+  general graphs (Appendix A);
+* :mod:`repro.core.coin_tossing` — the Cole–Vishkin-style identifier
+  reduction function ``f`` and ``log*`` machinery (§4.1);
+* :mod:`repro.core.palette` — output palettes;
+* :mod:`repro.core.algorithm` — the per-process protocol interface.
+"""
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.coin_tossing import (
+    REDUCTION_PLATEAU,
+    bound_function,
+    iterations_until_below,
+    log_star,
+    reduce_identifier,
+)
+from repro.core.coloring5 import FiveColoring, FiveRegister, FiveState
+from repro.core.coloring6 import SIX_PALETTE, SixColoring, SixRegister, SixState
+from repro.core.fast_coloring5 import (
+    INFINITE_ROUND,
+    FastFiveColoring,
+    FastRegister,
+    FastState,
+)
+from repro.core.general import GeneralGraphColoring, GeneralRegister, GeneralState
+from repro.core.palette import SCALAR_FIVE, TriangularPalette, scalar_palette
+
+__all__ = [
+    "Algorithm",
+    "FastFiveColoring",
+    "FastRegister",
+    "FastState",
+    "FiveColoring",
+    "FiveRegister",
+    "FiveState",
+    "GeneralGraphColoring",
+    "GeneralRegister",
+    "GeneralState",
+    "INFINITE_ROUND",
+    "REDUCTION_PLATEAU",
+    "SCALAR_FIVE",
+    "SIX_PALETTE",
+    "SixColoring",
+    "SixRegister",
+    "SixState",
+    "StepOutcome",
+    "TriangularPalette",
+    "active_views",
+    "bound_function",
+    "iterations_until_below",
+    "log_star",
+    "mex",
+    "reduce_identifier",
+    "scalar_palette",
+]

@@ -1,0 +1,105 @@
+"""The per-process algorithm interface and small shared helpers.
+
+Every protocol in the paper is a deterministic per-process state
+machine driven by the round engine: at each activation the engine
+
+1. publishes :meth:`Algorithm.register_value` of the current state,
+2. hands the neighbors' register contents to :meth:`Algorithm.step`,
+3. installs the returned state, or records the returned output.
+
+States are immutable named tuples; an :class:`Algorithm` instance holds
+no per-process data and can drive any number of processes concurrently
+(including across different executions), which is what lets the
+falsifiers and benchmarks reuse one algorithm object everywhere.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable, Tuple
+
+from repro.types import BOTTOM
+
+__all__ = ["Algorithm", "StepOutcome", "mex", "active_views"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of one private update.
+
+    ``returned=True`` means the process fulfilled its stopping condition
+    this round and outputs ``output``; the engine will never activate it
+    again (the paper's ``σ̄`` restriction).  The ``state`` carried along
+    is the process's state after the round either way — for a returning
+    process it is the state whose public part stays visible in its
+    register forever after.
+    """
+
+    state: Any
+    returned: bool = False
+    output: Any = None
+
+    @classmethod
+    def cont(cls, state: Any) -> "StepOutcome":
+        """The process keeps working with ``state``."""
+        return cls(state=state, returned=False)
+
+    @classmethod
+    def ret(cls, state: Any, output: Any) -> "StepOutcome":
+        """The process returns ``output`` and stops."""
+        return cls(state=state, returned=True, output=output)
+
+
+class Algorithm(ABC):
+    """A deterministic per-process protocol for the state model.
+
+    Subclasses must be stateless with respect to individual processes:
+    all per-process data lives in the state objects flowing through
+    :meth:`step`.
+    """
+
+    #: Human-readable algorithm name for reports and CLI.
+    name: str = "algorithm"
+
+    @abstractmethod
+    def initial_state(self, x_input: Any) -> Any:
+        """State of a process whose input (identifier) is ``x_input``."""
+
+    @abstractmethod
+    def register_value(self, state: Any) -> Any:
+        """The public payload written to the register at each activation.
+
+        Must be an immutable value (plain tuple / named tuple) — the
+        engine snapshots registers by reference.
+        """
+
+    @abstractmethod
+    def step(self, state: Any, views: Tuple[Any, ...]) -> StepOutcome:
+        """One private update after a local immediate snapshot.
+
+        ``views`` contains, for each topology neighbor in order, either
+        that neighbor's last written register payload or
+        :data:`~repro.types.BOTTOM` if the neighbor has never been
+        activated.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def mex(taken: Iterable[int]) -> int:
+    """Minimum excluded natural: ``min(N \\ taken)``.
+
+    The first-fit rule all four algorithms use to pick ``a_p``/``b_p``.
+    """
+    taken = set(taken)
+    value = 0
+    while value in taken:
+        value += 1
+    return value
+
+
+def active_views(views: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """The neighbor views that are not ``⊥`` (awakened neighbors only)."""
+    return tuple(v for v in views if v is not BOTTOM)

@@ -1,0 +1,155 @@
+"""Deterministic coin tossing: the identifier-reduction function (§4.1).
+
+Implements Equation (6) of the paper, adapted from Cole and Vishkin's
+deterministic coin-tossing technique [17]:
+
+    f(X, Y) = 2·i + X_i    where  i = min({|X|, |Y|} ∪ {k : X_k ≠ Y_k})
+
+with ``|Z| = ⌈log₂(Z+1)⌉`` the binary length of ``Z`` and ``Z_k`` its
+``k``-th bit.  The three properties the paper proves about ``f`` (and
+that the test-suite checks, exhaustively for small inputs and by
+property-based sampling for big ones) are:
+
+* **Lemma 4.2** — if ``x > y ≥ 10`` then ``f(x, y) < y`` (identifier
+  reduction makes strict progress above the constant plateau);
+* **Lemma 4.3** — if ``x > y > z`` then ``f(x, y) ≠ f(y, z)`` (the
+  reduction preserves proper coloring along monotone chains);
+* **Lemma 4.1** — the bound function ``F(x) = 2⌈log₂(x+1)⌉ + 1``
+  satisfies ``F(f-chain values)`` and drops below 10 within
+  ``O(log* x)`` iterations.
+
+Also provides ``log*`` itself (footnote 1 of the paper) and utilities
+used by experiment E6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = [
+    "bit",
+    "bit_length",
+    "reduce_identifier",
+    "bound_function",
+    "iterate_bound",
+    "iterations_until_below",
+    "log_star",
+    "REDUCTION_PLATEAU",
+]
+
+#: Identifiers at or below this value are never reduced further by the
+#: guarded update of Algorithm 3; the paper's constant ``L ≤ 10``.
+REDUCTION_PLATEAU = 10
+
+
+def bit_length(z: int) -> int:
+    """Binary length ``|Z| = ⌈log₂(Z+1)⌉`` (0 for ``Z = 0``).
+
+    Coincides with Python's ``int.bit_length`` for non-negative ints.
+    """
+    if z < 0:
+        raise ValueError(f"identifiers are natural numbers, got {z}")
+    return z.bit_length()
+
+
+def bit(z: int, k: int) -> int:
+    """The ``k``-th binary digit ``Z_k`` of ``Z`` (LSB is ``k = 0``)."""
+    if z < 0 or k < 0:
+        raise ValueError("bit() takes non-negative arguments")
+    return (z >> k) & 1
+
+
+def reduce_identifier(x: int, y: int) -> int:
+    """The paper's ``f(X, Y) = 2i + X_i`` of Equation (6).
+
+    ``i`` is the least index at which the binary expansions of ``x``
+    and ``y`` differ, capped by the shorter binary length.  Note ``f``
+    is well defined for all naturals, including ``x = y`` (then ``i``
+    is the common length).
+
+    >>> reduce_identifier(0b1011, 0b1001)  # first differing bit: k=1, x_1=1
+    3
+    """
+    if x < 0 or y < 0:
+        raise ValueError("identifiers are natural numbers")
+    cap = min(bit_length(x), bit_length(y))
+    diff = x ^ y
+    if diff == 0:
+        i = cap
+    else:
+        # Least set bit of the XOR = first differing bit index.
+        lowest = (diff & -diff).bit_length() - 1
+        i = min(cap, lowest)
+    return 2 * i + bit(x, i)
+
+
+def bound_function(x: float) -> float:
+    """``F(x) = 2⌈log₂(x+1)⌉ + 1`` of Lemma 4.1.
+
+    ``F`` dominates one application of ``f``: any value produced by
+    ``f(X, ·)`` is at most ``2|X| + 1 = F(X)``.
+    """
+    if x < 0:
+        raise ValueError("bound_function domain is [0, +inf)")
+    return 2 * math.ceil(_log2(x + 1)) + 1
+
+
+def _log2(x) -> float:
+    """``log₂`` that stays accurate for arbitrarily large integers."""
+    if isinstance(x, int) and x > 0:
+        # math.log2 handles big ints, but go through int.bit_length for
+        # astronomically large values to avoid overflow in conversion.
+        if x.bit_length() > 1024:
+            return x.bit_length() - 1 + math.log2(x >> (x.bit_length() - 53)) - 52
+    return math.log2(x)
+
+
+def iterate_bound(x: int, iterations: int) -> List[float]:
+    """The orbit ``x, F(x), F²(x), …`` for ``iterations`` steps."""
+    orbit: List[float] = [x]
+    value: float = x
+    for _ in range(iterations):
+        value = bound_function(value)
+        orbit.append(value)
+    return orbit
+
+
+def iterations_until_below(x: int, threshold: int = REDUCTION_PLATEAU) -> int:
+    """Smallest ``t`` with ``F^t(x) < threshold`` (Lemma 4.1's ``t``).
+
+    Raises :class:`ValueError` if the orbit never drops below the
+    threshold (possible only for ``threshold ≤ 9``, since ``F`` has
+    fixed points 7 and 9: ``F(7) = 7`` and ``F(9) = 9``).
+    """
+    value: float = x
+    count = 0
+    seen_fixed = False
+    while value >= threshold:
+        new = bound_function(value)
+        if new == value:
+            if seen_fixed:
+                raise ValueError(
+                    f"F fixed point {value} never drops below {threshold}"
+                )
+            seen_fixed = True
+        value = new
+        count += 1
+    return count
+
+
+def log_star(x) -> int:
+    """``log* x``: iterations of ``log₂`` until the value is ``≤ 1``.
+
+    Defined for ``x > 0`` (footnote 1); ``log*`` of anything ``≤ 1``
+    is 0, ``log* 2 = 1``, ``log* 4 = 2``, ``log* 16 = 3``,
+    ``log* 65536 = 4``, ``log* 2^65536 = 5``.
+    """
+    if x <= 0:
+        raise ValueError(f"log* requires x > 0, got {x}")
+    count = 0
+    value = x
+    while value > 1:
+        value = _log2(value)
+        count += 1
+    return count

@@ -1,0 +1,105 @@
+"""Algorithm 2 — wait-free 5-coloring of the asynchronous cycle (§3.2).
+
+Per-process pseudocode (paper, Algorithm 2), for process ``p`` with
+neighbors ``q, q'``::
+
+    Input: X_p ∈ N
+    Initially: a_p, b_p ← 0
+    Forever:
+        write(X_p, a_p, b_p) and read((X_q, a_q, b_q), (X_q', a_q', b_q'))
+        P⁺ ← { u ∈ {q, q'} | X_u > X_p }
+        C⁺ ← { a_u | u ∈ P⁺ } ∪ { b_u | u ∈ P⁺ }
+        C  ← { a_q, b_q, a_q', b_q' }
+        if a_p ∉ C: return a_p
+        elif b_p ∉ C: return b_p
+        else:
+            a_p ← min N \\ C⁺
+            b_p ← min N \\ C
+
+Guarantees (Theorem 3.11), given inputs that properly color the cycle:
+
+* termination within ``O(n)`` activations — ``3ℓ + 4`` for a process at
+  monotone distance ``ℓ`` from its nearest local *maximum*
+  (Lemma 3.14), and local minima at most one step after both neighbors;
+* outputs in ``{0, …, 4}`` (``C`` has at most four elements so the
+  first-fit ``b_p`` never exceeds 4, and ``a_p ≤ b_p`` by ``C⁺ ⊆ C``);
+* outputs properly color the graph induced by terminating processes
+  (Lemma 3.12).
+
+This is the slow-but-color-optimal component that Algorithm 3 augments
+with identifier reduction.  It bears resemblance to rank-based
+``(2n−1)``-renaming ([7, Alg. 55], [3, Step 4 of Alg. A]) restricted to
+distance-1 visibility — see :mod:`repro.shm.renaming` for the
+shared-memory ancestor.
+
+**Reproduction note (finding E13).**  The termination claim does NOT
+hold for the pseudocode as printed: exhaustive schedule exploration
+found a livelock on ``C_3`` with identifiers ``1, 2, 3`` — after the
+id-1 process returns from a solo prefix, the other two, activated in
+lockstep, chase each other's ``b``-component forever.  The safety and
+palette claims are unaffected, and empirically every scheduler in the
+zoo terminates; only perfectly phase-locked adversarial schedules
+exhibit the gap.  See :mod:`repro.extensions.livelock` for the minimal
+witness and analysis, and :mod:`repro.extensions.fast_six` for a
+repaired (6-color) algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+
+__all__ = ["FiveColoring", "FiveState", "FiveRegister"]
+
+
+class FiveState(NamedTuple):
+    """Private state of a process running Algorithm 2."""
+
+    x: int   #: the (immutable) input identifier X_p
+    a: int   #: candidate color avoiding higher-id neighbors' colors
+    b: int   #: candidate color avoiding all neighbors' colors
+
+
+class FiveRegister(NamedTuple):
+    """Public register payload ``(X_p, a_p, b_p)`` of Algorithm 2."""
+
+    x: int
+    a: int
+    b: int
+
+
+class FiveColoring(Algorithm):
+    """Algorithm 2: wait-free 5-coloring of ``C_n`` in O(n) activations."""
+
+    name = "alg2-five-coloring"
+
+    def initial_state(self, x_input: int) -> FiveState:
+        """Start with identifier ``x_input`` and ``a_p = b_p = 0``."""
+        return FiveState(x=x_input, a=0, b=0)
+
+    def register_value(self, state: FiveState) -> FiveRegister:
+        """Publish ``(X_p, a_p, b_p)``."""
+        return FiveRegister(x=state.x, a=state.a, b=state.b)
+
+    def step(self, state: FiveState, views: Tuple) -> StepOutcome:
+        """One write-read-update round of Algorithm 2."""
+        neighbors = active_views(views)
+
+        taken_all = set()
+        taken_higher = set()
+        for v in neighbors:
+            taken_all.add(v.a)
+            taken_all.add(v.b)
+            if v.x > state.x:
+                taken_higher.add(v.a)
+                taken_higher.add(v.b)
+
+        if state.a not in taken_all:
+            return StepOutcome.ret(state, state.a)
+        if state.b not in taken_all:
+            return StepOutcome.ret(state, state.b)
+
+        new_a = mex(taken_higher)
+        new_b = mex(taken_all)
+        return StepOutcome.cont(FiveState(x=state.x, a=new_a, b=new_b))

@@ -1,0 +1,82 @@
+"""Algorithm 1 — wait-free 6-coloring of the asynchronous cycle (§3.1).
+
+Per-process pseudocode (paper, Algorithm 1), for process ``p`` with
+neighbors ``q, q'``::
+
+    Input: X_p ∈ N
+    Initially: c_p = (a_p, b_p) ← (0, 0)
+    Forever:
+        write(X_p, c_p) and read((X_q, c_q), (X_q', c_q'))
+        if c_p ∉ {c_q, c_q'}: return c_p
+        else:
+            a_p ← min N \\ { a_u | u ~ p, X_u > X_p }
+            b_p ← min N \\ { b_u | u ~ p, X_u < X_p }
+
+Guarantees (Theorem 3.1), given inputs that properly color the cycle:
+
+* termination within ``⌊3n/2⌋ + 4`` activations per process, and within
+  ``min{3ℓ, 3ℓ′, ℓ+ℓ′} + 4`` activations for a process at monotone
+  distances ``ℓ, ℓ′`` from its nearest local extrema (Lemma 3.9);
+* outputs in the 6-color palette ``{(a, b) : a + b ≤ 2}``;
+* outputs properly color the graph induced by terminating processes.
+
+A neighbor that has never been activated is invisible (its register
+reads ``⊥``): it contributes no constraint to either ``mex`` and its
+(unknown) color cannot clash, exactly as in the paper's Lemma 3.2 case
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.palette import TriangularPalette
+from repro.types import BOTTOM
+
+__all__ = ["SixColoring", "SixState", "SixRegister", "SIX_PALETTE"]
+
+#: Theorem 3.1's output palette: pairs with a + b <= 2.
+SIX_PALETTE = TriangularPalette(2)
+
+
+class SixState(NamedTuple):
+    """Private state of a process running Algorithm 1."""
+
+    x: int   #: the (immutable) input identifier X_p
+    a: int   #: first color component a_p
+    b: int   #: second color component b_p
+
+
+class SixRegister(NamedTuple):
+    """Public register payload ``(X_p, c_p)`` of Algorithm 1."""
+
+    x: int
+    color: Tuple[int, int]
+
+
+class SixColoring(Algorithm):
+    """Algorithm 1: the warm-up wait-free 6-coloring of ``C_n``."""
+
+    name = "alg1-six-coloring"
+
+    def initial_state(self, x_input: int) -> SixState:
+        """Start with identifier ``x_input`` and color ``(0, 0)``."""
+        return SixState(x=x_input, a=0, b=0)
+
+    def register_value(self, state: SixState) -> SixRegister:
+        """Publish ``(X_p, (a_p, b_p))``."""
+        return SixRegister(x=state.x, color=(state.a, state.b))
+
+    def step(self, state: SixState, views: Tuple) -> StepOutcome:
+        """One write-read-update round of Algorithm 1."""
+        neighbors = active_views(views)
+        my_color = (state.a, state.b)
+
+        neighbor_colors = {v.color for v in neighbors}
+        if my_color not in neighbor_colors:
+            return StepOutcome.ret(state, my_color)
+
+        new_a = mex(v.color[0] for v in neighbors if v.x > state.x)
+        new_b = mex(v.color[1] for v in neighbors if v.x < state.x)
+        return StepOutcome.cont(SixState(x=state.x, a=new_a, b=new_b))

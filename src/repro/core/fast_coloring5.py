@@ -1,0 +1,175 @@
+"""Algorithm 3 — fast wait-free 5-coloring in O(log* n) rounds (§4).
+
+The paper's headline result: Algorithm 2 run unchanged (lines 5–10),
+augmented with an identifier-reduction component à la Cole–Vishkin
+(lines 11–19) that shortens monotone identifier chains — the quantity
+governing Algorithm 2's running time — from Θ(n) down to a constant
+``L ≤ 10`` within O(log* n) activations.
+
+Per-process pseudocode (paper, Algorithm 3)::
+
+    Input: X_p ∈ N
+    Initially: a_p, b_p, r_p ← 0
+    Forever:
+        write(X_p, r_p, a_p, b_p); read both neighbors
+        if a_p ∉ {a_q, b_q, a_q', b_q'}: return a_p
+        elif b_p ∉ {a_q, b_q, a_q', b_q'}: return b_p
+        else:
+            a_p ← min N \\ { a_u, b_u | u ~ p, X_u > X_p }
+            b_p ← min N \\ { a_q, b_q, a_q', b_q' }
+            if r_p < ∞ and r_p ≤ min{r_q, r_q'}:          # green light
+                if min{X_q, X_q'} < X_p < max{X_q, X_q'}:
+                    r_p ← r_p + 1
+                    Y ← f(X_p, min{X_q, X_q'})
+                    if Y < min{X_q, X_q'}: X_p ← Y
+                else:                                      # local extremum
+                    r_p ← ∞
+                    if X_p < min{X_q, X_q'}:
+                        X_p ← min{X_p, min(N \\ {f(X_q, X_p), f(X_q', X_p)})}
+
+Guarantees (Theorem 4.4), given inputs that properly color the cycle:
+
+* termination within O(log* n) activations per process;
+* outputs in ``{0, …, 4}``;
+* outputs properly color the graph induced by terminating processes;
+* throughout every execution, the *published* identifiers remain a
+  proper coloring of the cycle (Lemma 4.5) — the invariant the
+  green-light counters ``r_p`` exist to protect.
+
+Model detail: the identifier-update block needs both neighbors' ``r``
+and ``X`` values, so a process whose neighbor has never been activated
+(register still ``⊥``) simply skips the block that round — consistent
+with "awaiting a green light from both neighbors", since a sleeping
+neighbor has granted nothing.  The coloring component (lines 5–10)
+remains wait-free regardless.
+
+**Reproduction note (finding E13).**  The Theorem 4.4 termination
+claim inherits Algorithm 2's livelock: under the canonical witness
+schedule of :mod:`repro.extensions.livelock` (solo prefix, then
+lockstep pair) the two non-returned processes chase each other's
+``b``-component forever, identifier reduction notwithstanding.  Safety
+(proper coloring, 5-color palette, Lemma 4.5's identifier invariant)
+is unaffected.  :class:`repro.extensions.fast_six.FastSixColoring`
+combines this module's identifier reduction with Algorithm 1's pair
+return rule into a wait-free O(log* n) algorithm with 6 colors.
+
+Ablation knobs (experiments A1/A2 in DESIGN.md):
+
+* ``green_light=False`` removes the ``r_p ≤ min{r_q, r_q'}``
+  synchronization.  Perhaps surprisingly, this does *not* break the
+  Lemma 4.5 invariant on small cycles: exhaustive exploration
+  (``C_3``/``C_4``, full reachable configuration space) and large
+  random ensembles found no identifier collision — the guarded
+  adoption (line 15) plus the Lemma 4.3 property appear to protect
+  safety by themselves, and the green light's role lies in the
+  complexity argument (the blocked-chain analysis of Lemmas 4.7–4.10).
+  Recorded as an observation in EXPERIMENTS.md (E7/A1).
+* ``guarded_adoption=False`` adopts ``Y`` unconditionally in line 15 —
+  the identifier order can then invert concurrently, and the Lemma 4.5
+  invariant **is** violated (random schedules find collisions within a
+  few dozen trials; see E7/A2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Tuple, Union
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.coin_tossing import reduce_identifier
+from repro.types import BOTTOM
+
+__all__ = ["FastFiveColoring", "FastState", "FastRegister", "INFINITE_ROUND"]
+
+#: The ``∞`` value the round counter ``r_p`` saturates to at a local
+#: extremum (line 17 of the pseudocode).
+INFINITE_ROUND = math.inf
+
+Round = Union[int, float]
+
+
+class FastState(NamedTuple):
+    """Private state of a process running Algorithm 3."""
+
+    x: int       #: current (evolving) identifier X_p
+    r: Round     #: green-light counter r_p ∈ N ∪ {∞}
+    a: int       #: candidate color avoiding higher-id neighbors' colors
+    b: int       #: candidate color avoiding all neighbors' colors
+
+
+class FastRegister(NamedTuple):
+    """Public register payload ``(X_p, r_p, a_p, b_p)`` of Algorithm 3."""
+
+    x: int
+    r: Round
+    a: int
+    b: int
+
+
+class FastFiveColoring(Algorithm):
+    """Algorithm 3: 5-coloring ``C_n`` in O(log* n) activations."""
+
+    name = "alg3-fast-five-coloring"
+
+    def __init__(self, *, green_light: bool = True, guarded_adoption: bool = True):
+        self.green_light = green_light
+        self.guarded_adoption = guarded_adoption
+        if not green_light:
+            self.name = "alg3-ablated-no-green-light"
+        elif not guarded_adoption:
+            self.name = "alg3-ablated-unguarded-adoption"
+
+    def initial_state(self, x_input: int) -> FastState:
+        """Start with identifier ``x_input`` and ``a = b = r = 0``."""
+        return FastState(x=x_input, r=0, a=0, b=0)
+
+    def register_value(self, state: FastState) -> FastRegister:
+        """Publish ``(X_p, r_p, a_p, b_p)``."""
+        return FastRegister(x=state.x, r=state.r, a=state.a, b=state.b)
+
+    def step(self, state: FastState, views: Tuple) -> StepOutcome:
+        """One write-read-update round of Algorithm 3."""
+        neighbors = active_views(views)
+
+        # ---- lines 6-10: Algorithm 2 unchanged -----------------------
+        taken_all = set()
+        taken_higher = set()
+        for v in neighbors:
+            taken_all.add(v.a)
+            taken_all.add(v.b)
+            if v.x > state.x:
+                taken_higher.add(v.a)
+                taken_higher.add(v.b)
+
+        if state.a not in taken_all:
+            return StepOutcome.ret(state, state.a)
+        if state.b not in taken_all:
+            return StepOutcome.ret(state, state.b)
+
+        new_a = mex(taken_higher)
+        new_b = mex(taken_all)
+        new_x = state.x
+        new_r = state.r
+
+        # ---- lines 11-19: identifier reduction -----------------------
+        both_awake = len(views) == 2 and all(v is not BOTTOM for v in views)
+        if both_awake and state.r < INFINITE_ROUND:
+            q, qq = views
+            granted = state.r <= min(q.r, qq.r)
+            if granted or not self.green_light:
+                lo, hi = min(q.x, qq.x), max(q.x, qq.x)
+                if lo < state.x < hi:
+                    new_r = state.r + 1
+                    candidate = reduce_identifier(state.x, lo)
+                    if candidate < lo or not self.guarded_adoption:
+                        new_x = candidate
+                else:
+                    new_r = INFINITE_ROUND
+                    if state.x < lo:
+                        fresh = mex({
+                            reduce_identifier(q.x, state.x),
+                            reduce_identifier(qq.x, state.x),
+                        })
+                        new_x = min(state.x, fresh)
+
+        return StepOutcome.cont(FastState(x=new_x, r=new_r, a=new_a, b=new_b))

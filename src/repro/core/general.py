@@ -1,0 +1,83 @@
+"""Algorithm 4 — wait-free O(Δ²)-coloring of general graphs (App. A).
+
+The straightforward extension of Algorithm 1 to any connected graph of
+maximum degree Δ: each process reads all its (up to Δ) neighbors and
+first-fits the two components of its pair color against higher- and
+lower-identifier neighbors respectively::
+
+    Input: X_p ∈ N
+    Initially: c_p = (a_p, b_p) ← (0, 0)
+    Forever:
+        write(X_p, c_p) and read((X_q1, c_q1), …, (X_qk, c_qk))
+        if c_p ∉ {c_q1, …, c_qk}: return c_p
+        else:
+            a_p ← min N \\ { a_u | u ~ p, X_u > X_p }
+            b_p ← min N \\ { b_u | u ~ p, X_u < X_p }
+
+Every returned color lies in ``{(a, b) : a + b ≤ Δ}``, of cardinality
+``(Δ+1)(Δ+2)/2 = O(Δ²)``; termination follows the Algorithm 1 argument
+(local extrema stabilize one component, termination propagates), with
+O(n)-activation worst case.  The paper leaves closing the gap to the
+``2Δ + 1`` renaming-style lower bound as an open problem.
+
+The implementation is identical to :class:`~repro.core.coloring6.SixColoring`
+except that it accepts any number of neighbor views; it is kept as a
+separate class because the two palettes (and hence the verification
+predicates) differ, and because Algorithm 1's cycle-specific activation
+bounds do not transfer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.palette import TriangularPalette
+
+__all__ = ["GeneralGraphColoring", "GeneralState", "GeneralRegister"]
+
+
+class GeneralState(NamedTuple):
+    """Private state of a process running Algorithm 4."""
+
+    x: int
+    a: int
+    b: int
+
+
+class GeneralRegister(NamedTuple):
+    """Public register payload ``(X_p, c_p)`` of Algorithm 4."""
+
+    x: int
+    color: Tuple[int, int]
+
+
+class GeneralGraphColoring(Algorithm):
+    """Algorithm 4: O(Δ²)-coloring arbitrary graphs, wait-free."""
+
+    name = "alg4-general-graph-coloring"
+
+    def initial_state(self, x_input: int) -> GeneralState:
+        """Start with identifier ``x_input`` and color ``(0, 0)``."""
+        return GeneralState(x=x_input, a=0, b=0)
+
+    def register_value(self, state: GeneralState) -> GeneralRegister:
+        """Publish ``(X_p, (a_p, b_p))``."""
+        return GeneralRegister(x=state.x, color=(state.a, state.b))
+
+    def step(self, state: GeneralState, views: Tuple) -> StepOutcome:
+        """One write-read-update round of Algorithm 4."""
+        neighbors = active_views(views)
+        my_color = (state.a, state.b)
+
+        if my_color not in {v.color for v in neighbors}:
+            return StepOutcome.ret(state, my_color)
+
+        new_a = mex(v.color[0] for v in neighbors if v.x > state.x)
+        new_b = mex(v.color[1] for v in neighbors if v.x < state.x)
+        return StepOutcome.cont(GeneralState(x=state.x, a=new_a, b=new_b))
+
+    @staticmethod
+    def palette(max_degree: int) -> TriangularPalette:
+        """The guaranteed output palette ``{(a, b) : a + b ≤ Δ}``."""
+        return TriangularPalette(max_degree)

@@ -1,0 +1,83 @@
+"""Color palettes used by the paper's algorithms.
+
+Algorithm 1 outputs *pairs* from ``{(a, b) ∈ N×N : a + b ≤ 2}`` — six
+colors; Algorithm 4 generalizes to ``{(a, b) : a + b ≤ Δ}`` with
+``(Δ+1)(Δ+2)/2 = O(Δ²)`` colors.  Algorithms 2 and 3 output scalars in
+``{0, …, 4}``.
+
+:class:`TriangularPalette` models the pair palettes, with a canonical
+bijection onto ``{0, …, size−1}`` so pair-valued outputs can be
+compared against scalar palettes in experiments (ablation A3) and
+rendered compactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import PaletteViolation
+from repro.types import ColorPair
+
+__all__ = ["TriangularPalette", "SCALAR_FIVE", "scalar_palette"]
+
+
+def scalar_palette(k: int) -> range:
+    """The scalar palette ``{0, …, k−1}`` as a range."""
+    return range(k)
+
+
+#: The 5-color palette of Algorithms 2 and 3 (Theorem 3.11 / 4.4).
+SCALAR_FIVE = scalar_palette(5)
+
+
+class TriangularPalette:
+    """The pair palette ``{(a, b) ∈ N×N : a + b ≤ bound}``.
+
+    ``bound = 2`` gives Algorithm 1's six colors; ``bound = Δ`` gives
+    Algorithm 4's ``O(Δ²)`` palette.
+    """
+
+    def __init__(self, bound: int):
+        if bound < 0:
+            raise ValueError(f"palette bound must be >= 0, got {bound}")
+        self.bound = bound
+        # Canonical order: sorted by (a+b, a) — diagonal by diagonal.
+        self._pairs: List[ColorPair] = sorted(
+            ((a, b) for a in range(bound + 1) for b in range(bound + 1 - a)),
+            key=lambda ab: (ab[0] + ab[1], ab[0]),
+        )
+        self._index = {pair: i for i, pair in enumerate(self._pairs)}
+
+    @property
+    def size(self) -> int:
+        """``(bound+1)(bound+2)/2`` colors."""
+        return len(self._pairs)
+
+    def __contains__(self, color: object) -> bool:
+        return color in self._index
+
+    def __iter__(self) -> Iterator[ColorPair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def encode(self, pair: ColorPair) -> int:
+        """Canonical index of a pair color in ``{0, …, size−1}``."""
+        try:
+            return self._index[tuple(pair)]
+        except KeyError:
+            raise PaletteViolation(
+                f"pair {pair!r} outside palette a+b <= {self.bound}"
+            ) from None
+
+    def decode(self, index: int) -> ColorPair:
+        """Inverse of :meth:`encode`."""
+        if not (0 <= index < self.size):
+            raise PaletteViolation(
+                f"index {index} outside palette of size {self.size}"
+            )
+        return self._pairs[index]
+
+    def __repr__(self) -> str:
+        return f"TriangularPalette(bound={self.bound}, size={self.size})"

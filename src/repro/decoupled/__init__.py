@@ -1,0 +1,40 @@
+"""The DECOUPLED model of [13, 18] (paper §1.4).
+
+* :mod:`repro.decoupled.engine` — synchronous reliable network +
+  asynchronous crash-prone processes with message buffers;
+* :mod:`repro.decoupled.coloring` — wait-free 3-coloring of the ring
+  via announcements (the palette separation vs the paper's ≥5);
+* :mod:`repro.decoupled.cole_vishkin` — the [18]-style full-information
+  simulation: CV 3-coloring in O(log* n) DECOUPLED rounds.
+"""
+
+from repro.decoupled.cole_vishkin import (
+    CVFullInfoRing,
+    CVInput,
+    cv_window_output,
+    cv_window_radius,
+)
+from repro.decoupled.coloring import AnnouncementColoring, AnnouncementState
+from repro.decoupled.engine import (
+    DecoupledAlgorithm,
+    DecoupledExecutor,
+    DecoupledOutcome,
+    DecoupledResult,
+    Emission,
+    run_decoupled,
+)
+
+__all__ = [
+    "AnnouncementColoring",
+    "AnnouncementState",
+    "CVFullInfoRing",
+    "CVInput",
+    "DecoupledAlgorithm",
+    "DecoupledExecutor",
+    "DecoupledOutcome",
+    "DecoupledResult",
+    "Emission",
+    "cv_window_output",
+    "cv_window_radius",
+    "run_decoupled",
+]

@@ -1,0 +1,180 @@
+"""Cole–Vishkin in the DECOUPLED model: O(log* n) rounds, 3 colors.
+
+The [18] transfer theorem made executable for the ring: any t-round
+LOCAL algorithm runs in O(t) DECOUPLED rounds by *full-information
+simulation* — every process broadcasts its input once; the network
+floods it; once a process holds the inputs of its radius-R
+neighborhood it locally evaluates the LOCAL algorithm's output
+function and decides, with R = t + O(1).
+
+Here the LOCAL algorithm is the classic Cole–Vishkin ring 3-coloring
+(:mod:`repro.localmodel.cole_vishkin`), so R = (log* + O(1)) + 3 and
+the DECOUPLED round complexity is O(log* n) — matching [13]'s headline
+for this model, far below the Θ(n)-activation announcement protocol.
+
+Model assumptions (standard for CV, documented per DESIGN.md):
+
+* the ring is **oriented** and processes know their two neighbors'
+  identifiers: inputs are ``(x, pred_x, succ_x)`` — the KT1 + oriented
+  ring setting in which Cole–Vishkin is usually stated;
+* the simulation direction of [18] needs participation: a process can
+  only decide once the inputs of its whole radius-R window have been
+  emitted, so a *crashed-before-emitting* node inside the window blocks
+  its neighbors' windows.  This is the price of round-optimality; the
+  announcement protocol of :mod:`repro.decoupled.coloring` is the
+  wait-free (but Θ(chain)-activation) counterpart.  [13] combines the
+  two regimes; we keep them as separate, individually-verifiable
+  components.
+
+The pure function :func:`cv_window_output` computes a node's final CV
+color from the id window alone — it is also unit-tested against the
+round-by-round LOCAL engine for equality on full rings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.decoupled.engine import DecoupledAlgorithm, DecoupledOutcome, Emission
+from repro.errors import ExecutionError
+from repro.localmodel.cole_vishkin import cv_phase_a_rounds, cv_reduce, cv_width_schedule
+
+__all__ = ["cv_window_radius", "cv_window_output", "CVFullInfoRing", "CVInput"]
+
+
+def cv_window_radius(id_bits: int) -> int:
+    """Window radius R needed to evaluate a node's CV output locally.
+
+    Phase A colors of a node after ``k`` reductions depend on its ``k``
+    predecessors; Phase B mixes in 3 hops on both sides.  So the output
+    of node ``p`` is a function of ids ``p − (phase_a + 3) … p + 3``;
+    we use the symmetric radius ``phase_a + 3``.
+    """
+    return cv_phase_a_rounds(id_bits) + 3
+
+
+def cv_window_output(window: List[int], center: int, id_bits: int) -> int:
+    """The CV 3-coloring output of ``window[center]``.
+
+    ``window`` lists identifiers in ring order (predecessors before
+    successors).  Requires ``center ≥ phase_a + 3`` entries on the left
+    and 3 on the right.  Deterministic, local — this is the function a
+    DECOUPLED process evaluates once flooding has filled its window.
+    """
+    phase_a = cv_phase_a_rounds(id_bits)
+    widths = cv_width_schedule(id_bits)
+    if center < phase_a + 3 or len(window) - 1 - center < 3:
+        raise ExecutionError("window too small for the CV horizon")
+
+    def phase_a_color(position: int) -> int:
+        """Color of window[position] after all Phase A reductions."""
+        # After k reductions, node i's color is a function of ids
+        # i-k..i; compute the whole needed diagonal iteratively.
+        colors = {i: window[i] for i in range(position - phase_a, position + 1)}
+        for k in range(phase_a):
+            width = widths[k] if k < len(widths) else 3
+            colors = {
+                i: cv_reduce(colors[i], colors[i - 1], width)
+                for i in range(position - phase_a + k + 1, position + 1)
+            }
+        return colors[position]
+
+    # Phase B: eliminate classes 5, 4, 3 over three synchronous rounds
+    # among the 7 relevant nodes centered at `center`.
+    positions = range(center - 3, center + 4)
+    colors: Dict[int, int] = {i: phase_a_color(i) for i in positions}
+    for eliminated in (5, 4, 3):
+        updated = dict(colors)
+        for i in list(positions)[1:-1]:
+            if colors[i] == eliminated:
+                taken = {colors[i - 1], colors[i + 1]}
+                updated[i] = next(c for c in range(3) if c not in taken)
+        colors = updated
+        # The window shrinks by one on each side per round; only the
+        # center must survive all three rounds.
+        positions = range(positions.start + 1, positions.stop - 1)
+    return colors[center]
+
+
+class CVInput(NamedTuple):
+    """Input of the full-information simulation: own id plus the two
+    neighbor ids in ring orientation (KT1, oriented)."""
+
+    x: int
+    pred: int
+    succ: int
+
+
+class _Record(NamedTuple):
+    """Broadcast payload: one node's local ring segment."""
+
+    x: int
+    pred: int
+    succ: int
+
+
+class _CVState(NamedTuple):
+    me: CVInput
+    emitted: bool
+
+
+class CVFullInfoRing(DecoupledAlgorithm):
+    """Full-information CV simulation on the oriented ring."""
+
+    name = "decoupled-cv-full-info"
+
+    def __init__(self, id_bits: int = 64):
+        self.id_bits = id_bits
+        self.radius = cv_window_radius(id_bits)
+
+    def initial_state(self, x_input: CVInput) -> _CVState:
+        """Input must be a :class:`CVInput` triple."""
+        if not isinstance(x_input, CVInput):
+            raise ExecutionError("CVFullInfoRing inputs must be CVInput(x, pred, succ)")
+        return _CVState(me=x_input, emitted=False)
+
+    def step(self, state: _CVState, buffer, round_index: int) -> DecoupledOutcome:
+        """Emit once; decide when the window is fully flooded."""
+        if not state.emitted:
+            me = state.me
+            return DecoupledOutcome.cont(
+                _CVState(me=me, emitted=True),
+                emit=_Record(x=me.x, pred=me.pred, succ=me.succ),
+            )
+
+        records: Dict[int, _Record] = {}
+        for emission, _distance in buffer:
+            payload = emission.payload
+            records[payload.x] = payload
+        me = state.me
+        records[me.x] = _Record(me.x, me.pred, me.succ)
+
+        window = self._assemble_window(records, me)
+        if window is None:
+            return DecoupledOutcome.cont(state)
+        ids, center = window
+        color = cv_window_output(ids, center, self.id_bits)
+        return DecoupledOutcome.decide(state, color)
+
+    def _assemble_window(
+        self, records: Dict[int, _Record], me: CVInput,
+    ) -> Optional[Tuple[List[int], int]]:
+        """Chain predecessor/successor records into the id window."""
+        left: List[int] = []
+        cursor = records[me.x]
+        for _ in range(self.radius):
+            pred = records.get(cursor.pred)
+            if pred is None:
+                return None
+            left.append(pred.x)
+            cursor = pred
+        right: List[int] = []
+        cursor = records[me.x]
+        for _ in range(3):
+            succ = records.get(cursor.succ)
+            if succ is None:
+                return None
+            right.append(succ.x)
+            cursor = succ
+        window = list(reversed(left)) + [me.x] + right
+        return window, self.radius

@@ -1,0 +1,236 @@
+"""The DECOUPLED model of [13, 18] (paper §1.4).
+
+The model the paper positions itself against: ``n`` asynchronous
+crash-prone processes occupy the nodes of a **synchronous, reliable**
+network.  Communication is decoupled from computation:
+
+* time advances in global rounds; a message emitted by node ``u`` at
+  round ``r`` reaches every node at distance ``d`` at round ``r + d``,
+  regardless of whether intermediate or destination processes are
+  awake;
+* nothing is lost — a process waking up late finds every message that
+  ever reached its node stored in a local buffer;
+* processes themselves are asynchronous: at each round an adversarial
+  subset is activated; an activated process reads its buffer, updates
+  its state, and may emit one message (broadcast into the network).
+
+This is strictly stronger than the paper's fully asynchronous model
+(where information moves only when processes move): [18] shows every
+O(polylog n)-round LOCAL task transfers to DECOUPLED at constant
+overhead, and [13] wait-free 3-colors the ring here — while the paper
+proves ≥5 colors are needed in its model.  Experiment E15 exhibits the
+separation with this substrate.
+
+The engine pre-computes all pairwise distances (BFS) once; message
+delivery is then a timestamp comparison, so buffers can be represented
+as "all messages emitted by round ``t − d(u, v)``".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.model.schedule import Schedule, validate_step
+from repro.model.topology import Topology
+from repro.types import ProcessId
+
+__all__ = [
+    "Emission",
+    "DecoupledAlgorithm",
+    "DecoupledOutcome",
+    "DecoupledResult",
+    "DecoupledExecutor",
+    "run_decoupled",
+]
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One message in the network: origin node, emit round, payload."""
+
+    origin: ProcessId
+    round: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class DecoupledOutcome:
+    """Result of one activation: new state, optional emission/output."""
+
+    state: Any
+    emit: Any = None          #: payload to broadcast (None = silent)
+    output: Any = None
+    decided: bool = False
+
+    @classmethod
+    def cont(cls, state: Any, emit: Any = None) -> "DecoupledOutcome":
+        """Keep working, optionally emitting ``emit``."""
+        return cls(state=state, emit=emit)
+
+    @classmethod
+    def decide(cls, state: Any, output: Any, emit: Any = None) -> "DecoupledOutcome":
+        """Decide ``output`` (and optionally emit a final message)."""
+        return cls(state=state, emit=emit, output=output, decided=True)
+
+
+class DecoupledAlgorithm:
+    """Per-process protocol for the DECOUPLED model.
+
+    ``step`` receives the process's full buffer: every
+    :class:`Emission` that has *arrived* at its node by the current
+    round (origin distance ``d`` ⇒ arrival at ``emit_round + d``),
+    oldest first, each paired with the hop distance it traveled —
+    nodes can tell neighbor messages (``distance == 1``) from farther
+    ones, but are otherwise anonymous to each other beyond their
+    inputs.  The current round number is also passed: the round
+    structure is public in this model.
+    """
+
+    name = "decoupled-algorithm"
+
+    def initial_state(self, x_input: Any) -> Any:
+        """State of a process with input ``x_input``."""
+        raise NotImplementedError
+
+    def step(
+        self,
+        state: Any,
+        buffer: Tuple[Tuple[Emission, int], ...],
+        round_index: int,
+    ) -> DecoupledOutcome:
+        """One activation: consume the ``(emission, distance)`` buffer,
+        update, maybe emit/decide."""
+        raise NotImplementedError
+
+
+@dataclass
+class DecoupledResult:
+    """Outputs and accounting of one DECOUPLED execution."""
+
+    n: int
+    outputs: Dict[ProcessId, Any]
+    activations: Dict[ProcessId, int]
+    decision_rounds: Dict[ProcessId, int]
+    final_round: int
+    emissions: List[Emission] = field(default_factory=list)
+
+    @property
+    def all_decided(self) -> bool:
+        """Whether every process decided."""
+        return len(self.outputs) == self.n
+
+    @property
+    def pending(self) -> Set[ProcessId]:
+        """Processes that never decided."""
+        return {p for p in range(self.n) if p not in self.outputs}
+
+    @property
+    def activation_complexity(self) -> int:
+        """Max activations of any process (the wait-freedom currency)."""
+        return max(self.activations.values(), default=0)
+
+
+class DecoupledExecutor:
+    """Runs a DECOUPLED algorithm under an activation schedule.
+
+    The same :class:`~repro.model.schedule.Schedule` objects drive the
+    per-round activation sets; crashes compose via
+    :class:`~repro.model.faults.CrashPlan` exactly as in the main model.
+    """
+
+    def __init__(self, topology: Topology, algorithm: DecoupledAlgorithm,
+                 inputs: Sequence[Any]):
+        if len(inputs) != topology.n:
+            raise ExecutionError(
+                f"got {len(inputs)} inputs for {topology.n} processes"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.inputs = list(inputs)
+        self._distances = self._all_distances(topology)
+
+    @staticmethod
+    def _all_distances(topology: Topology) -> List[List[int]]:
+        """All-pairs hop distances by BFS from every node."""
+        n = topology.n
+        table = []
+        for source in range(n):
+            dist = [-1] * n
+            dist[source] = 0
+            queue = deque([source])
+            while queue:
+                u = queue.popleft()
+                for v in topology.neighbors(u):
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        queue.append(v)
+            table.append(dist)
+        return table
+
+    def run(self, schedule: Schedule, max_rounds: int = 100_000) -> DecoupledResult:
+        """Execute until all decide, the schedule ends, or ``max_rounds``."""
+        n = self.topology.n
+        states = {p: self.algorithm.initial_state(self.inputs[p]) for p in range(n)}
+        outputs: Dict[ProcessId, Any] = {}
+        decision_rounds: Dict[ProcessId, int] = {}
+        activations = {p: 0 for p in range(n)}
+        emissions: List[Emission] = []
+
+        round_index = 0
+        for raw_step in schedule.steps(n):
+            if len(outputs) == n:
+                break
+            round_index += 1
+            if round_index > max_rounds:
+                round_index -= 1
+                break
+            active = [
+                p for p in validate_step(raw_step, n) if p not in outputs
+            ]
+            # Buffers are computed against emissions of *previous*
+            # rounds: a message emitted this round reaches distance-d
+            # nodes d rounds later (d >= 1 for other nodes).
+            new_emissions: List[Emission] = []
+            for p in sorted(active):
+                buffer = tuple(
+                    (e, self._distances[e.origin][p])
+                    for e in emissions
+                    if e.round + self._distances[e.origin][p] <= round_index
+                )
+                outcome = self.algorithm.step(states[p], buffer, round_index)
+                activations[p] += 1
+                states[p] = outcome.state
+                if outcome.emit is not None:
+                    new_emissions.append(
+                        Emission(origin=p, round=round_index, payload=outcome.emit)
+                    )
+                if outcome.decided:
+                    outputs[p] = outcome.output
+                    decision_rounds[p] = round_index
+            emissions.extend(new_emissions)
+
+        return DecoupledResult(
+            n=n,
+            outputs=outputs,
+            activations=activations,
+            decision_rounds=decision_rounds,
+            final_round=round_index,
+            emissions=emissions,
+        )
+
+
+def run_decoupled(
+    algorithm: DecoupledAlgorithm,
+    topology: Topology,
+    inputs: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_rounds: int = 100_000,
+) -> DecoupledResult:
+    """One-shot convenience wrapper around :class:`DecoupledExecutor`."""
+    return DecoupledExecutor(topology, algorithm, inputs).run(
+        schedule, max_rounds=max_rounds,
+    )

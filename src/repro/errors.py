@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so
+downstream users can catch one base class.  Engine-level errors are
+distinguished from specification violations detected by the analysis
+layer (the latter indicate a broken *algorithm*, not a broken engine).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ScheduleError",
+    "ExecutionError",
+    "RegisterError",
+    "SpecViolation",
+    "ColoringViolation",
+    "PaletteViolation",
+    "WaitFreedomViolation",
+    "TaskSpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topologies (e.g. a cycle of length < 3)."""
+
+
+class ScheduleError(ReproError):
+    """Raised for malformed schedules (unknown process ids, empty steps)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the execution engine is driven incorrectly."""
+
+
+class RegisterError(ReproError):
+    """Raised on illegal register access (e.g. writing another's register)."""
+
+
+class SpecViolation(ReproError):
+    """Base class for violations of a task specification by an algorithm."""
+
+
+class ColoringViolation(SpecViolation):
+    """Two adjacent terminated processes output the same color."""
+
+
+class PaletteViolation(SpecViolation):
+    """A terminated process output a color outside the allowed palette."""
+
+
+class WaitFreedomViolation(SpecViolation):
+    """A process exceeded the promised activation bound without returning."""
+
+
+class TaskSpecError(ReproError):
+    """Raised when a task specification itself is queried inconsistently."""

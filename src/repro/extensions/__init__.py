@@ -1,0 +1,34 @@
+"""Extensions beyond the paper: findings and repairs (see DESIGN.md).
+
+* :mod:`repro.extensions.livelock` — the mechanically-verified
+  Algorithm 2/3 livelock witness (reproduction finding E13);
+* :mod:`repro.extensions.fast_six` — :class:`FastSixColoring`, our
+  repaired wait-free O(log* n) algorithm (6-color pair palette),
+  exhaustively verified on small cycles (E14);
+* :mod:`repro.extensions.adaptive_five` — a natural 5-color repair
+  attempt, itself falsified by the explorer (kept as a documented
+  negative result).
+"""
+
+from repro.extensions.adaptive_five import AdaptiveFiveColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.extensions.livelock import (
+    LIVELOCK_IDS,
+    demonstrate_crash_livelock,
+    demonstrate_livelock,
+    find_livelock,
+    livelock_prefix,
+    livelock_schedule,
+)
+
+__all__ = [
+    "AdaptiveFiveColoring",
+    "FAST_SIX_PALETTE",
+    "FastSixColoring",
+    "LIVELOCK_IDS",
+    "demonstrate_crash_livelock",
+    "demonstrate_livelock",
+    "find_livelock",
+    "livelock_prefix",
+    "livelock_schedule",
+]

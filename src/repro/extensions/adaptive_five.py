@@ -1,0 +1,101 @@
+"""AdaptiveFiveColoring: a natural 5-color repair attempt — falsified.
+
+After the Algorithm 2 livelock finding
+(:mod:`repro.extensions.livelock`), the obvious question is whether a
+small modification restores wait-freedom while keeping the 5-color
+scalar palette.  This module documents one principled attempt and its
+mechanical refutation — keeping the negative result reproducible, in
+the same spirit as the MIS and 4-color falsifiers.
+
+The attempt ("defer-to-higher ``b`` updates"): the livelock is a chase
+in which each process recomputes ``b_p = mex(C)`` every round, jumping
+onto the value its neighbor just vacated.  The repair recomputes
+``b_p`` only when it collides with a *higher-identifier* neighbor's
+value, or with a lower neighbor whose register has not changed since
+the previous activation (a frozen collider must be dodged exactly
+once); a *moving* lower collider is instead waited out, on the theory
+that lower neighbors actively avoid our published values.
+
+The theory fails: the adversary can interleave so the lower neighbor
+always computes against our *stale* register and repeatedly lands on
+the value we are holding.  :func:`repro.extensions.livelock.find_livelock`
+finds a recurrent configuration for this variant on ``C_3`` with
+identifiers ``1, 2, 3`` (see ``tests/extensions/test_adaptive_five.py``),
+so the variant is **not** wait-free either.  Safety and the 5-color
+palette are unaffected (the return rule is Algorithm 2's).
+
+Together with the main finding, this strengthens the reproduction's
+conclusion: the difficulty of scalar 5-color wait-free coloring is
+structural, not an artifact of one pseudocode line.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.types import BOTTOM
+
+__all__ = ["AdaptiveFiveColoring", "AdaptiveState", "AdaptiveRegister"]
+
+
+class AdaptiveState(NamedTuple):
+    """Private state; ``prev`` remembers the views of the last activation."""
+
+    x: int
+    a: int
+    b: int
+    prev: Tuple  #: register payloads (or BOTTOM) seen last round
+
+
+class AdaptiveRegister(NamedTuple):
+    """Public payload ``(X_p, a_p, b_p)`` — identical to Algorithm 2's."""
+
+    x: int
+    a: int
+    b: int
+
+
+class AdaptiveFiveColoring(Algorithm):
+    """Algorithm 2 with defer-to-higher ``b`` updates (not wait-free)."""
+
+    name = "ext-adaptive-five-coloring"
+
+    def initial_state(self, x_input: int) -> AdaptiveState:
+        """Start like Algorithm 2, with empty view memory."""
+        return AdaptiveState(x=x_input, a=0, b=0, prev=())
+
+    def register_value(self, state: AdaptiveState) -> AdaptiveRegister:
+        """Publish ``(X_p, a_p, b_p)``."""
+        return AdaptiveRegister(x=state.x, a=state.a, b=state.b)
+
+    def step(self, state: AdaptiveState, views: Tuple) -> StepOutcome:
+        """Algorithm 2's round with the deferring ``b`` update rule."""
+        neighbors = active_views(views)
+        taken_all = set()
+        taken_higher = set()
+        for v in neighbors:
+            taken_all.add(v.a)
+            taken_all.add(v.b)
+            if v.x > state.x:
+                taken_higher.add(v.a)
+                taken_higher.add(v.b)
+
+        if state.a not in taken_all:
+            return StepOutcome.ret(state, state.a)
+        if state.b not in taken_all:
+            return StepOutcome.ret(state, state.b)
+
+        new_a = mex(taken_higher)
+        recompute = state.b in taken_higher
+        if not recompute:
+            for v in views:
+                if v is BOTTOM:
+                    continue
+                if v.x < state.x and state.b in (v.a, v.b) and v in state.prev:
+                    recompute = True  # frozen lower collider: dodge once
+                    break
+        new_b = mex(taken_all) if recompute else state.b
+        return StepOutcome.cont(
+            AdaptiveState(x=state.x, a=new_a, b=new_b, prev=tuple(views))
+        )

@@ -1,0 +1,128 @@
+"""FastSixColoring: the repaired wait-free O(log* n) algorithm (ours).
+
+Combines the two components of the paper that *are* individually sound:
+
+* **Algorithm 1's pair coloring** — return when the pair
+  ``c_p = (a_p, b_p)`` differs from both neighbors' pairs.  The pair
+  return rule is what Lemma 3.4's termination argument actually uses,
+  and the bounded explorer verifies it exhaustively: the configuration
+  graph of Algorithm 1 is acyclic for every id order on ``C_3``/``C_4``.
+* **Algorithm 3's identifier reduction** — the Cole–Vishkin-style
+  green-light component (lines 11–19 of Algorithm 3, verbatim), which
+  shrinks monotone chains to constant length in O(log* n) activations
+  while maintaining the Lemma 4.5 proper-identifier invariant.
+
+The result is wait-free (exhaustively on small ``n``; see
+EXPERIMENTS.md E14), properly colors the terminated subgraph, runs in
+O(log* n) activations empirically across the scheduler zoo, and uses
+the **6-color** pair palette ``{(a, b) : a + b ≤ 2}`` — one color more
+than the paper's claimed (but livelock-prone, see
+:mod:`repro.extensions.livelock`) 5-color Algorithms 2–3.  Whether a
+wait-free 5-color O(log* n) algorithm exists in this model is, per our
+findings, effectively re-opened; the failed repair in
+:mod:`repro.extensions.adaptive_five` documents one natural attempt.
+
+Why the combination stays correct:
+
+* *safety* — outputs are pairs; a process returns ``c_p`` only when it
+  differs from both neighbors' published pairs, and published pairs of
+  returned processes are frozen, so outputs properly color the
+  terminated subgraph exactly as in Theorem 3.1's correctness part;
+* *identifier invariant* — the reduction component is byte-identical
+  to Algorithm 3's, so Lemma 4.5 applies unchanged: the evolving
+  ``X_p`` always properly color the cycle, which is the precondition
+  Algorithm 1's analysis needs of its (now dynamic) identifiers;
+* *liveness* — Algorithm 1's termination argument is driven by the
+  monotone-chain structure of the identifiers; the reduction caps the
+  chains at length ≤ 10 after O(log* n) activations, after which the
+  Lemma 3.9 bound is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple, Union
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.coin_tossing import reduce_identifier
+from repro.core.fast_coloring5 import INFINITE_ROUND
+from repro.core.palette import TriangularPalette
+from repro.types import BOTTOM
+
+__all__ = ["FastSixColoring", "FastSixState", "FastSixRegister", "FAST_SIX_PALETTE"]
+
+#: Output palette: the 6 pairs with a + b <= 2 (same as Algorithm 1).
+FAST_SIX_PALETTE = TriangularPalette(2)
+
+Round = Union[int, float]
+
+
+class FastSixState(NamedTuple):
+    """Private state: evolving identifier, green-light counter, pair."""
+
+    x: int
+    r: Round
+    a: int
+    b: int
+
+
+class FastSixRegister(NamedTuple):
+    """Public payload ``(X_p, r_p, (a_p, b_p))``."""
+
+    x: int
+    r: Round
+    color: Tuple[int, int]
+
+
+class FastSixColoring(Algorithm):
+    """Wait-free 6-coloring of ``C_n`` in O(log* n) activations (repair)."""
+
+    name = "ext-fast-six-coloring"
+
+    def __init__(self, *, green_light: bool = True):
+        self.green_light = green_light
+        if not green_light:
+            self.name = "ext-fast-six-ablated-no-green-light"
+
+    def initial_state(self, x_input: int) -> FastSixState:
+        """Start with identifier ``x_input``, pair ``(0, 0)``, ``r = 0``."""
+        return FastSixState(x=x_input, r=0, a=0, b=0)
+
+    def register_value(self, state: FastSixState) -> FastSixRegister:
+        """Publish ``(X_p, r_p, (a_p, b_p))``."""
+        return FastSixRegister(x=state.x, r=state.r, color=(state.a, state.b))
+
+    def step(self, state: FastSixState, views: Tuple) -> StepOutcome:
+        """One round: Algorithm 1's pair coloring + Algorithm 3's reduction."""
+        neighbors = active_views(views)
+        my_color = (state.a, state.b)
+
+        # ---- Algorithm 1 component: pair return + component updates --
+        if my_color not in {v.color for v in neighbors}:
+            return StepOutcome.ret(state, my_color)
+
+        new_a = mex(v.color[0] for v in neighbors if v.x > state.x)
+        new_b = mex(v.color[1] for v in neighbors if v.x < state.x)
+        new_x = state.x
+        new_r = state.r
+
+        # ---- Algorithm 3 component: guarded identifier reduction -----
+        both_awake = len(views) == 2 and all(v is not BOTTOM for v in views)
+        if both_awake and state.r < INFINITE_ROUND:
+            q, qq = views
+            if state.r <= min(q.r, qq.r) or not self.green_light:
+                lo, hi = min(q.x, qq.x), max(q.x, qq.x)
+                if lo < state.x < hi:
+                    new_r = state.r + 1
+                    candidate = reduce_identifier(state.x, lo)
+                    if candidate < lo:
+                        new_x = candidate
+                else:
+                    new_r = INFINITE_ROUND
+                    if state.x < lo:
+                        fresh = mex({
+                            reduce_identifier(q.x, state.x),
+                            reduce_identifier(qq.x, state.x),
+                        })
+                        new_x = min(state.x, fresh)
+
+        return StepOutcome.cont(FastSixState(x=new_x, r=new_r, a=new_a, b=new_b))

@@ -1,0 +1,199 @@
+"""The Algorithm 2/3 livelock: a mechanically-checked reproduction finding.
+
+While validating Theorem 3.11 exhaustively, the bounded explorer
+(:mod:`repro.lowerbounds.explorer`) found that **Algorithm 2 as printed
+is not wait-free** under the paper's stated semantics — and Algorithm 3
+inherits the schedule.  Minimal witness (``C_3``, identifiers
+``1, 2, 3``):
+
+1. ``σ(1) = {p0}`` — the id-1 process runs solo, sees ``⊥, ⊥`` and
+   returns color ``a = 0`` (wait-freedom forces solo termination); its
+   register freezes at ``(X=1, a=0, b=0)``.
+2. ``σ(2) = {p1}``, ``σ(3) = {p2}`` — each wakes once and updates.
+3. ``σ(t) = {p1, p2}`` forever — activated in lockstep, each reads the
+   other's *previous* state (Equation (1)).  Since both of ``p1``'s
+   candidates collapse (``a_1 = b_1 = mex{0, b̂_2}``) while ``p2``'s
+   ``a_2 = 0`` is permanently blocked by ``p0``'s frozen 0, the system
+   enters the two-variable chase
+
+       a_1(t) = mex{0, b_2(t−1)},   b_2(t) = mex{0, a_1(t−1)},
+
+   which, seeded equal, toggles ``1 ↔ 2`` in phase forever: at every
+   check, ``a_1(t−1) = b̂_2(t)`` and ``b_2(t−1) = â_1(t)``, so neither
+   process ever returns.  The configuration repeats with period 2 —
+   an infinite execution in which both processes take infinitely many
+   steps without terminating, contradicting the Theorem 3.11/4.4
+   termination claims.
+
+Where the paper's argument breaks: Lemma 3.13's even case asserts
+``b̂_p(t4) = 0 < min{â_q, b̂_q, â_q', b̂_q'}`` for a local maximum
+``p`` — but a neighbor that returned early (here ``p0``, which woke up
+solo) freezes ``â_q' = b̂_q' = 0``, so ``0 ∈ C`` forever and
+``b_p > 0``; the odd case's "reasoning as in Lemma 3.4" transfers
+Algorithm 1's *pair*-comparison argument to Algorithm 2's *scalar*
+return rule, where it no longer holds.  Algorithm 1 itself is immune:
+the explorer proves its configuration graph acyclic (exhaustively, all
+id orders, ``n ∈ {3, 4}``), with exact worst cases far inside the
+Theorem 3.1 bound.  See EXPERIMENTS.md (E13) and
+:mod:`repro.extensions.fast_six` for the repaired O(log* n) algorithm.
+
+Safety is unaffected: in every execution the outputs still properly
+color the terminated subgraph (the return rule alone enforces safety);
+the gap is purely a liveness/termination gap.  Note the witness cycle
+activates *every* working process — it is a **fair** schedule — so the
+finding is stronger than "not wait-free": Algorithms 2–3 are not even
+starvation-free; exactly the obstruction-freedom the paper proves for
+the ``b``-subcomponent survives (see
+:mod:`repro.lowerbounds.progress`, experiment E18).
+
+**The crash-triggered variant (E13b).**  The phase-locked pair does not
+require a contrived adversary: crashing two processes at distance 3 on
+an otherwise *synchronous* schedule reproduces it for Algorithm 3.  The
+crashed processes freeze their registers at ``(X, r=0, a=0, b=0)``; the
+two survivors between them are activated in natural lockstep, their
+identifiers reduce onto chase-seeding values, and they toggle forever —
+:func:`demonstrate_crash_livelock` replays it (``0..19`` on ``C_20``,
+crashing every third process after one step starves the pair
+``{1, 2}``).  So the failure mode sits squarely inside the paper's
+fault model: "fault tolerant" coloring with Algorithm 3 can starve
+healthy processes after crashes under the most natural schedule.
+Random schedules break the phase lock almost surely, which is why the
+empirical sweeps all terminate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import Algorithm
+from repro.core.coloring5 import FiveColoring
+from repro.lowerbounds.explorer import BoundedExplorer, SearchOutcome
+from repro.model.execution import ExecutionResult, run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+
+__all__ = [
+    "CRASH_WITNESS_CRASHED",
+    "CRASH_WITNESS_N",
+    "CRASH_WITNESS_TIME",
+    "LIVELOCK_IDS",
+    "demonstrate_crash_livelock",
+    "demonstrate_livelock",
+    "find_livelock",
+    "livelock_prefix",
+    "livelock_schedule",
+]
+
+#: The canonical witness identifiers on ``C_3``.
+LIVELOCK_IDS: Tuple[int, int, int] = (1, 2, 3)
+
+#: The schedule prefix after which the configuration starts repeating
+#: with period 2 under ``{p1, p2}`` lockstep.
+_PREFIX: Tuple[frozenset, ...] = (
+    frozenset({0}),
+    frozenset({1}),
+    frozenset({2}),
+    frozenset({1, 2}),
+)
+
+#: The repeating loop body.
+_LOOP: Tuple[frozenset, ...] = (frozenset({1, 2}),)
+
+
+def livelock_prefix() -> List[frozenset]:
+    """The schedule prefix reaching the recurrent configuration."""
+    return list(_PREFIX)
+
+
+def livelock_schedule(loop_iterations: int = 100) -> FiniteSchedule:
+    """The witness schedule: prefix + ``loop_iterations`` loop bodies.
+
+    Under this schedule processes 1 and 2 accumulate
+    ``loop_iterations`` further activations each without returning, for
+    any ``loop_iterations`` — no finite activation bound exists.
+    """
+    steps = list(_PREFIX) + list(_LOOP) * loop_iterations
+    return FiniteSchedule(steps)
+
+
+def demonstrate_livelock(
+    algorithm: Optional[Algorithm] = None,
+    loop_iterations: int = 100,
+) -> ExecutionResult:
+    """Run the witness schedule and return the (non-terminating) result.
+
+    Defaults to Algorithm 2; :class:`~repro.core.fast_coloring5.FastFiveColoring`
+    exhibits the same behavior.  In the returned result, processes 1
+    and 2 have ``4 + loop_iterations``-ish activations and no output.
+    """
+    algorithm = algorithm if algorithm is not None else FiveColoring()
+    return run_execution(
+        algorithm,
+        Cycle(3),
+        list(LIVELOCK_IDS),
+        livelock_schedule(loop_iterations),
+    )
+
+
+#: Parameters of the crash-triggered witness (E13b): cycle size, the
+#: crash set (every third process), and the crash time.
+CRASH_WITNESS_N = 20
+CRASH_WITNESS_CRASHED = tuple(range(0, CRASH_WITNESS_N, 3))
+CRASH_WITNESS_TIME = 2
+
+
+def demonstrate_crash_livelock(
+    algorithm: Optional[Algorithm] = None,
+    steps: int = 2000,
+) -> ExecutionResult:
+    """The crash-triggered livelock: synchronous schedule, two crashes.
+
+    Runs ``C_20`` with identifiers ``0..19``, crashing every third
+    process after its first activation, under the plain synchronous
+    schedule for ``steps`` time steps.  With Algorithm 3 (the default
+    here — its identifier reduction drives the surviving pair onto the
+    chase values), the pair ``{1, 2}`` between the crashed ``{0, 3}``
+    never returns.  Algorithm 2 happens to terminate on this particular
+    witness (its raw identifiers avoid the chase seed) — its own
+    starvation witness is the schedule-based
+    :func:`demonstrate_livelock`.  With
+    :class:`repro.extensions.fast_six.FastSixColoring` every survivor
+    returns.
+    """
+    from repro.model.faults import crash_after_time
+    from repro.schedulers import SynchronousScheduler
+
+    from repro.core.fast_coloring5 import FastFiveColoring
+
+    algorithm = algorithm if algorithm is not None else FastFiveColoring()
+    plan = crash_after_time(
+        SynchronousScheduler(),
+        {p: CRASH_WITNESS_TIME for p in CRASH_WITNESS_CRASHED},
+    )
+    return run_execution(
+        algorithm,
+        Cycle(CRASH_WITNESS_N),
+        list(range(CRASH_WITNESS_N)),
+        plan,
+        max_time=steps,
+    )
+
+
+def find_livelock(
+    algorithm: Algorithm,
+    n: int = 3,
+    identifiers: Optional[Sequence[int]] = None,
+    *,
+    max_depth: int = 100,
+    max_configs: int = 400_000,
+) -> SearchOutcome:
+    """Search for a livelock of any cycle algorithm from scratch.
+
+    Thin wrapper over
+    :meth:`repro.lowerbounds.explorer.BoundedExplorer.find_livelock`,
+    provided here so the finding is reproducible without hand-feeding
+    the canonical witness.
+    """
+    ids = list(identifiers) if identifiers is not None else list(range(1, n + 1))
+    explorer = BoundedExplorer(algorithm, Cycle(n), ids)
+    return explorer.find_livelock(max_depth=max_depth, max_configs=max_configs)

@@ -1,0 +1,30 @@
+"""The synchronous failure-free LOCAL-model substrate (baselines).
+
+* :mod:`repro.localmodel.engine` — lock-step round engine;
+* :mod:`repro.localmodel.cole_vishkin` — Cole–Vishkin ``log* + O(1)``
+  3-coloring of the oriented ring [17];
+* :mod:`repro.localmodel.linial` — priority-greedy (Δ+1)-coloring and
+  the elementary iterated color reduction [26].
+"""
+
+from repro.localmodel.cole_vishkin import (
+    ColeVishkinRing,
+    cv_phase_a_rounds,
+    cv_reduce,
+    cv_width_schedule,
+)
+from repro.localmodel.engine import LocalAlgorithm, LocalOutcome, LocalResult, run_local
+from repro.localmodel.linial import IteratedColorReduction, PriorityGreedyColoring
+
+__all__ = [
+    "ColeVishkinRing",
+    "IteratedColorReduction",
+    "LocalAlgorithm",
+    "LocalOutcome",
+    "LocalResult",
+    "PriorityGreedyColoring",
+    "cv_phase_a_rounds",
+    "cv_reduce",
+    "cv_width_schedule",
+    "run_local",
+]

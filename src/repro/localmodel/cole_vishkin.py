@@ -1,0 +1,141 @@
+"""Cole–Vishkin 3-coloring of the ring in the synchronous LOCAL model.
+
+The classic deterministic coin-tossing algorithm [17] the paper's
+identifier-reduction component is adapted from, in its textbook
+synchronous form — the baseline for experiment E11:
+
+* **Phase A** (``log* + O(1)`` rounds): every node repeatedly replaces
+  its color by ``2k + bit_k(c)`` where ``k`` is the first bit position
+  at which its color differs from its *predecessor's* color, both
+  viewed as bit-strings of a common, publicly known width.  Each round
+  shrinks the color width ``w`` to ``bitlen(2w − 1)``, reaching the
+  fixed width 3 (colors ``≤ 5``) after ``log*``-many rounds.
+* **Phase B** (3 rounds): color classes 5, 4, 3 are eliminated in
+  turn — every node holding the eliminated color simultaneously
+  recolors to the smallest color not used by its two neighbors (always
+  ``≤ 2``).  A color class is an independent set, so simultaneous
+  recoloring is safe.
+
+Differences from the paper's asynchronous adaptation (Algorithm 3):
+
+* the reduction here follows a global *orientation* (each node reduces
+  against its predecessor), available in the LOCAL model because the
+  round structure is shared — the asynchronous version must instead
+  reduce along *monotone chains* and protect the proper-coloring
+  invariant with green-light counters;
+* the classic reduction pads both strings to a common width, so it
+  needs a public bound ``id_bits`` on identifier length (the paper's
+  ``[0, poly(n)]`` namespace provides one); the paper's ``f`` instead
+  caps the bit index by the shorter length, which is only safe on
+  monotone chains (Lemma 4.3) — a subtle divergence this module's
+  tests document.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.errors import ExecutionError
+from repro.localmodel.engine import LocalAlgorithm, LocalOutcome
+
+__all__ = ["ColeVishkinRing", "cv_reduce", "cv_phase_a_rounds", "cv_width_schedule"]
+
+
+def cv_reduce(x: int, y: int, width: int) -> int:
+    """One classic CV reduction of ``x`` against ``y`` at common ``width``.
+
+    Requires ``x ≠ y`` and both below ``2**width``; returns
+    ``2k + bit_k(x)`` for the least differing bit ``k < width``.
+    """
+    if x == y:
+        raise ExecutionError("CV reduction requires distinct colors")
+    if x >= (1 << width) or y >= (1 << width):
+        raise ExecutionError(f"colors {x}, {y} exceed width {width}")
+    diff = x ^ y
+    k = (diff & -diff).bit_length() - 1
+    return 2 * k + ((x >> k) & 1)
+
+
+def cv_width_schedule(id_bits: int) -> list:
+    """The deterministic width sequence ``w₀ = id_bits, w_{t+1} =
+    bitlen(2·w_t − 1)`` down to (and including) the fixed point 3."""
+    if id_bits < 1:
+        raise ExecutionError("id_bits must be >= 1")
+    widths = [max(id_bits, 3)]
+    while widths[-1] > 3:
+        widths.append(int(2 * widths[-1] - 1).bit_length())
+    return widths
+
+
+def cv_phase_a_rounds(id_bits: int) -> int:
+    """Rounds of Phase A: reductions until width 3, plus one more
+    (width-3 colors are ``≤ 7``; one further reduction gives ``≤ 5``)."""
+    return len(cv_width_schedule(id_bits))
+
+
+class _CVState(NamedTuple):
+    color: int
+    width: int        #: current public color width
+    round_index: int  #: rounds executed so far
+    phase_a: int      #: total Phase A rounds
+
+
+class ColeVishkinRing(LocalAlgorithm):
+    """Synchronous 3-coloring of the oriented ring in ``log* + O(1)`` rounds.
+
+    Requires the :class:`~repro.model.topology.Cycle` neighbor
+    convention: each node's first neighbor is its predecessor
+    ``i − 1 (mod n)``.  ``id_bits`` is a public upper bound on the
+    identifier bit length (nodes need not know ``n`` itself).
+    """
+
+    name = "cole-vishkin-ring"
+
+    def __init__(self, id_bits: int = 64):
+        self.id_bits = id_bits
+        self._phase_a = cv_phase_a_rounds(id_bits)
+        self._schedule = cv_width_schedule(id_bits)
+
+    def initial_state(self, x_input: int, degree: int) -> _CVState:
+        """Start with the identifier as color."""
+        if degree != 2:
+            raise ExecutionError("ColeVishkinRing runs on rings only")
+        if x_input >= (1 << self.id_bits):
+            raise ExecutionError(
+                f"identifier {x_input} exceeds id_bits={self.id_bits}"
+            )
+        return _CVState(
+            color=x_input, width=self._schedule[0], round_index=0,
+            phase_a=self._phase_a,
+        )
+
+    def message(self, state: _CVState) -> int:
+        """Broadcast the current color."""
+        return state.color
+
+    def update(self, state: _CVState, messages: Tuple[int, ...]) -> LocalOutcome:
+        """One synchronous round: Phase A reduction or Phase B recolor."""
+        pred_color, succ_color = messages
+        t = state.round_index
+
+        if t < state.phase_a:
+            # Phase A: reduce against the predecessor at the public width.
+            new_color = cv_reduce(state.color, pred_color, state.width)
+            next_width = (
+                self._schedule[t + 1] if t + 1 < len(self._schedule) else 3
+            )
+            return LocalOutcome.cont(
+                _CVState(new_color, next_width, t + 1, state.phase_a)
+            )
+
+        # Phase B: eliminate color classes 5, 4, 3 over three rounds.
+        b_round = t - state.phase_a  # 0, 1, 2
+        eliminated = 5 - b_round
+        color = state.color
+        if color == eliminated:
+            taken = {pred_color, succ_color}
+            color = next(c for c in range(3) if c not in taken)
+        new_state = _CVState(color, 3, t + 1, state.phase_a)
+        if b_round == 2:
+            return LocalOutcome.decide(new_state, color)
+        return LocalOutcome.cont(new_state)

@@ -1,0 +1,131 @@
+"""The synchronous failure-free LOCAL model (Peleg [29]).
+
+The baseline model the paper contrasts with: computation proceeds in
+lock-step rounds, each consisting of (1) an information exchange along
+every edge and (2) a local update at every node.  No crashes, no
+asynchrony — so the only resource is the number of rounds.
+
+This substrate exists for experiment E11: measuring the classic
+Cole–Vishkin ``½ log* n + O(1)`` 3-coloring of the ring (and a greedy
+Linial-style color reduction for general graphs) against Algorithm 3's
+asynchronous O(log* n), to report the constant-factor price of
+asynchrony + crash tolerance.
+
+Interface mirrors :class:`repro.core.algorithm.Algorithm` but
+synchronously: per round every node broadcasts
+:meth:`LocalAlgorithm.message` to all neighbors and applies
+:meth:`LocalAlgorithm.update` to the received tuple (ordered by its
+neighbor order).  A node that outputs keeps broadcasting its final
+message so neighbors can still read it — the standard convention when
+measuring round counts of early-stopping algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.model.topology import Topology
+from repro.types import ProcessId
+
+__all__ = ["LocalAlgorithm", "LocalResult", "run_local"]
+
+
+class LocalAlgorithm(ABC):
+    """A deterministic per-node protocol for the synchronous LOCAL model."""
+
+    #: Human-readable name for reports.
+    name: str = "local-algorithm"
+
+    @abstractmethod
+    def initial_state(self, x_input: Any, degree: int) -> Any:
+        """State of a node with input ``x_input`` and the given degree."""
+
+    @abstractmethod
+    def message(self, state: Any) -> Any:
+        """The value broadcast to all neighbors this round."""
+
+    @abstractmethod
+    def update(self, state: Any, messages: Tuple[Any, ...]) -> "LocalOutcome":
+        """Consume the neighbors' messages; possibly decide an output."""
+
+
+@dataclass(frozen=True)
+class LocalOutcome:
+    """Result of one synchronous update: new state, optional output."""
+
+    state: Any
+    output: Any = None
+    decided: bool = False
+
+    @classmethod
+    def cont(cls, state: Any) -> "LocalOutcome":
+        """Keep running."""
+        return cls(state=state)
+
+    @classmethod
+    def decide(cls, state: Any, output: Any) -> "LocalOutcome":
+        """Commit to ``output`` (the node keeps echoing its message)."""
+        return cls(state=state, output=output, decided=True)
+
+
+@dataclass
+class LocalResult:
+    """Outputs and round count of one synchronous execution."""
+
+    outputs: Dict[ProcessId, Any]
+    rounds: int
+    decision_rounds: Dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def all_decided(self) -> bool:
+        """Whether every node decided."""
+        return bool(self.outputs)
+
+
+def run_local(
+    algorithm: LocalAlgorithm,
+    topology: Topology,
+    inputs: Sequence[Any],
+    *,
+    max_rounds: int = 10_000,
+) -> LocalResult:
+    """Run a LOCAL algorithm until every node decides.
+
+    Raises :class:`ExecutionError` if ``max_rounds`` pass without
+    global decision — LOCAL baselines here are all finite-round.
+    """
+    if len(inputs) != topology.n:
+        raise ExecutionError(f"got {len(inputs)} inputs for {topology.n} nodes")
+
+    states: Dict[ProcessId, Any] = {
+        p: algorithm.initial_state(inputs[p], topology.degree(p))
+        for p in topology.processes()
+    }
+    outputs: Dict[ProcessId, Any] = {}
+    decision_rounds: Dict[ProcessId, int] = {}
+
+    for round_index in range(1, max_rounds + 1):
+        if len(outputs) == topology.n:
+            return LocalResult(outputs, round_index - 1, decision_rounds)
+        messages = {p: algorithm.message(states[p]) for p in topology.processes()}
+        new_states: Dict[ProcessId, Any] = {}
+        for p in topology.processes():
+            received = tuple(messages[q] for q in topology.neighbors(p))
+            if p in outputs:
+                new_states[p] = states[p]
+                continue
+            outcome = algorithm.update(states[p], received)
+            new_states[p] = outcome.state
+            if outcome.decided:
+                outputs[p] = outcome.output
+                decision_rounds[p] = round_index
+        states = new_states
+
+    if len(outputs) == topology.n:
+        return LocalResult(outputs, max_rounds, decision_rounds)
+    raise ExecutionError(
+        f"{algorithm.name} did not globally decide within {max_rounds} rounds"
+    )

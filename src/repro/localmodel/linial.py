@@ -1,0 +1,121 @@
+"""LOCAL-model coloring baselines for general graphs.
+
+Two textbook synchronous baselines accompanying the Cole–Vishkin ring
+algorithm for experiment E11 and for calibrating Algorithm 4 (App. A):
+
+* :class:`PriorityGreedyColoring` — the sequential greedy coloring run
+  distributedly by identifier priority: a node decides ``mex`` of its
+  decided neighbors' colors once all higher-identifier neighbors have
+  decided.  Uses at most ``Δ + 1`` colors; round complexity equals the
+  longest decreasing-identifier path (Θ(n) worst case, O(log n /
+  log log n) expected on random ids) — the synchronous analogue of the
+  monotone-chain running time of Algorithms 1–2, making the comparison
+  with the paper's chain analysis direct.
+
+* :class:`IteratedColorReduction` — reduce an ``m``-coloring (e.g. the
+  identifiers themselves) to ``Δ + 1`` colors in ``m − Δ − 1`` rounds
+  by eliminating the top color class each round; all nodes share the
+  public bound ``m``.  This is the elementary reduction Linial's [26]
+  O(Δ²)-in-O(log* n) construction accelerates; we keep the elementary
+  form (the cover-free-family machinery is out of the reproduction's
+  scope) and note it in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.localmodel.engine import LocalAlgorithm, LocalOutcome
+
+__all__ = ["PriorityGreedyColoring", "IteratedColorReduction"]
+
+
+class _GreedyState(NamedTuple):
+    x: int
+    color: Optional[int]  #: None until decided
+
+
+class _GreedyMessage(NamedTuple):
+    x: int
+    color: Optional[int]
+
+
+class PriorityGreedyColoring(LocalAlgorithm):
+    """Greedy (Δ+1)-coloring by identifier priority."""
+
+    name = "priority-greedy"
+
+    def initial_state(self, x_input: int, degree: int) -> _GreedyState:
+        """Start undecided with identifier ``x_input``."""
+        return _GreedyState(x=x_input, color=None)
+
+    def message(self, state: _GreedyState) -> _GreedyMessage:
+        """Broadcast identifier and decision status."""
+        return _GreedyMessage(x=state.x, color=state.color)
+
+    def update(self, state: _GreedyState, messages: Tuple) -> LocalOutcome:
+        """Decide ``mex`` of neighbors once all higher ids have decided."""
+        higher_undecided = any(
+            m.x > state.x and m.color is None for m in messages
+        )
+        if higher_undecided:
+            return LocalOutcome.cont(state)
+        taken = {m.color for m in messages if m.color is not None}
+        color = 0
+        while color in taken:
+            color += 1
+        return LocalOutcome.decide(_GreedyState(x=state.x, color=color), color)
+
+
+class _ReduceState(NamedTuple):
+    color: int
+    round_index: int
+
+
+class IteratedColorReduction(LocalAlgorithm):
+    """Reduce an ``m``-coloring to ``Δ+1`` colors, one class per round.
+
+    In round ``t`` the nodes colored ``m − t`` (an independent set)
+    simultaneously recolor to the smallest color unused by their
+    neighborhood; after ``m − Δ − 1`` rounds every color is ``≤ Δ``.
+    Inputs must be a proper coloring with values in ``{0, …, m−1}``.
+    """
+
+    name = "iterated-color-reduction"
+
+    def __init__(self, m: int, max_degree: int):
+        if m < max_degree + 1:
+            raise ExecutionError("m must exceed the target palette Δ+1")
+        self.m = m
+        self.max_degree = max_degree
+        self.rounds = m - max_degree - 1
+
+    def initial_state(self, x_input: int, degree: int) -> _ReduceState:
+        """Start from the given input color."""
+        if not (0 <= x_input < self.m):
+            raise ExecutionError(f"input color {x_input} outside 0..{self.m - 1}")
+        if degree > self.max_degree:
+            raise ExecutionError(
+                f"node degree {degree} exceeds declared Δ={self.max_degree}"
+            )
+        return _ReduceState(color=x_input, round_index=0)
+
+    def message(self, state: _ReduceState) -> int:
+        """Broadcast the current color."""
+        return state.color
+
+    def update(self, state: _ReduceState, messages: Tuple[int, ...]) -> LocalOutcome:
+        """Recolor if holding this round's eliminated class."""
+        t = state.round_index
+        eliminated = self.m - 1 - t
+        color = state.color
+        if color == eliminated:
+            taken = set(messages)
+            color = 0
+            while color in taken:
+                color += 1
+        new_state = _ReduceState(color=color, round_index=t + 1)
+        if t + 1 >= self.rounds:
+            return LocalOutcome.decide(new_state, color)
+        return LocalOutcome.cont(new_state)

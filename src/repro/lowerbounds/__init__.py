@@ -1,0 +1,62 @@
+"""Lower-bound tooling: bounded exhaustive search and falsifiers.
+
+* :mod:`repro.lowerbounds.explorer` — exhaustive schedule-space search
+  for small systems (violation search, livelock detection, exact
+  worst-case activation counts);
+* :mod:`repro.lowerbounds.mis` — Property 2.1 made operational:
+  candidate MIS algorithms and their defeat;
+* :mod:`repro.lowerbounds.small_palette` — Property 2.3 made
+  operational: candidate 4-color algorithms and their defeat, plus
+  exact Algorithm 2 worst cases.
+"""
+
+from repro.lowerbounds.explorer import BoundedExplorer, ExplorerConfig, SearchOutcome
+from repro.lowerbounds.progress import ProgressReport, classify_progress
+from repro.lowerbounds.neighborhood import (
+    ViewGraph,
+    exact_chromatic_number,
+    is_bipartite,
+    neighborhood_graph,
+)
+from repro.lowerbounds.mis import (
+    CautiousMIS,
+    EagerLocalMaxMIS,
+    FlagConfirmMIS,
+    candidate_mis_algorithms,
+    falsify_mis,
+    mis_violation_predicate,
+)
+from repro.lowerbounds.small_palette import (
+    CappedFiveColoring,
+    PureGreedyColoring,
+    RankGreedyColoring,
+    alg2_exact_worst_case,
+    candidate_small_palette_algorithms,
+    coloring_violation_predicate,
+    falsify_coloring,
+)
+
+__all__ = [
+    "BoundedExplorer",
+    "CappedFiveColoring",
+    "CautiousMIS",
+    "EagerLocalMaxMIS",
+    "ExplorerConfig",
+    "FlagConfirmMIS",
+    "ProgressReport",
+    "PureGreedyColoring",
+    "RankGreedyColoring",
+    "classify_progress",
+    "SearchOutcome",
+    "ViewGraph",
+    "alg2_exact_worst_case",
+    "exact_chromatic_number",
+    "is_bipartite",
+    "neighborhood_graph",
+    "candidate_mis_algorithms",
+    "candidate_small_palette_algorithms",
+    "coloring_violation_predicate",
+    "falsify_coloring",
+    "falsify_mis",
+    "mis_violation_predicate",
+]

@@ -1,0 +1,201 @@
+"""MIS on the asynchronous cycle is not wait-free solvable (Property 2.1).
+
+The paper proves this by reduction: a wait-free cycle-MIS algorithm
+would solve strong symmetry breaking in shared memory, which
+Attiya–Paz [6, Thm 11] rule out.  Impossibility over *all* algorithms
+cannot be established by simulation, so the reproduction makes the
+statement operational in two ways:
+
+1. the reduction itself is implemented and runnable
+   (:func:`repro.shm.simulation.run_mis_as_ssb`): any candidate's
+   failure is mechanically translated into an SSB failure;
+2. this module provides **candidate** MIS algorithms — each embodying
+   a natural strategy — and :func:`falsify_mis` searches schedule
+   space exhaustively (small ``n``) until every candidate is defeated,
+   either by a *safety* violation (the MIS conditions become
+   unsatisfiable) or by a *liveness* violation (a configuration-graph
+   cycle: the adversary can starve termination forever, refuting
+   wait-freedom).
+
+The candidates:
+
+* :class:`EagerLocalMaxMIS` — decide in one look: join the MIS iff no
+  visible neighbor has a larger identifier.  Wait-free but unsafe: two
+  adjacent processes started solo both see no one and both join.
+* :class:`CautiousMIS` — wait until both neighbors are visible, then
+  local maxima join and the rest follow.  Safe under full schedules
+  but not wait-free: a sleeping neighbor blocks it forever.
+* :class:`FlagConfirmMIS` — publish a tentative membership flag, join
+  after seeing it uncontested twice, defer to a flagged neighbor
+  otherwise.  A best-effort compromise; the explorer finds the
+  interleaving that breaks it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views
+from repro.lowerbounds.explorer import BoundedExplorer, ExplorerConfig, SearchOutcome
+from repro.model.topology import Cycle, Topology
+from repro.shm.tasks import MISSpec
+from repro.types import BOTTOM
+
+__all__ = [
+    "EagerLocalMaxMIS",
+    "CautiousMIS",
+    "FlagConfirmMIS",
+    "mis_violation_predicate",
+    "falsify_mis",
+    "candidate_mis_algorithms",
+]
+
+
+class _MISRegister(NamedTuple):
+    x: int
+    flag: int  #: tentative membership bit
+
+
+class _MISState(NamedTuple):
+    x: int
+    flag: int
+    stable: int  #: consecutive rounds the flag was uncontested
+
+
+class EagerLocalMaxMIS(Algorithm):
+    """Join the MIS iff no *visible* neighbor has a larger identifier.
+
+    Decides at its first activation — maximally wait-free, and exactly
+    thereby unsafe: solo prefixes force adjacent double-joins.
+    """
+
+    name = "mis-eager-local-max"
+
+    def initial_state(self, x_input: int) -> _MISState:
+        return _MISState(x=x_input, flag=1, stable=0)
+
+    def register_value(self, state: _MISState) -> _MISRegister:
+        return _MISRegister(x=state.x, flag=state.flag)
+
+    def step(self, state: _MISState, views: Tuple) -> StepOutcome:
+        others = active_views(views)
+        if all(state.x > v.x for v in others):
+            return StepOutcome.ret(state, 1)
+        return StepOutcome.ret(_MISState(state.x, 0, 0), 0)
+
+
+class CautiousMIS(Algorithm):
+    """Wait for both neighbors, then join iff locally maximal (and defer
+    to a larger-id neighbor that has not yet renounced).
+
+    Safe on schedules where everyone participates, but a sleeping
+    neighbor blocks it forever — the explorer exhibits the livelock.
+    """
+
+    name = "mis-cautious"
+
+    def initial_state(self, x_input: int) -> _MISState:
+        return _MISState(x=x_input, flag=1, stable=0)
+
+    def register_value(self, state: _MISState) -> _MISRegister:
+        return _MISRegister(x=state.x, flag=state.flag)
+
+    def step(self, state: _MISState, views: Tuple) -> StepOutcome:
+        if any(v is BOTTOM for v in views):
+            return StepOutcome.cont(state)  # keep waiting: not wait-free
+        if all(state.x > v.x for v in views):
+            return StepOutcome.ret(state, 1)
+        if any(v.flag == 1 and v.x > state.x for v in views):
+            return StepOutcome.ret(_MISState(state.x, 0, 0), 0)
+        # Larger neighbors renounced: claim membership ourselves.
+        return StepOutcome.ret(state, 1)
+
+
+class FlagConfirmMIS(Algorithm):
+    """Two-phase flag/confirm strategy.
+
+    Publish ``flag = 1`` while believing to be locally maximal among
+    visible flagged processes; return 1 after the flag survives two
+    consecutive uncontested rounds, return 0 once a flagged visible
+    neighbor with a larger identifier has been seen twice.
+    """
+
+    name = "mis-flag-confirm"
+
+    def initial_state(self, x_input: int) -> _MISState:
+        return _MISState(x=x_input, flag=1, stable=0)
+
+    def register_value(self, state: _MISState) -> _MISRegister:
+        return _MISRegister(x=state.x, flag=state.flag)
+
+    def step(self, state: _MISState, views: Tuple) -> StepOutcome:
+        others = active_views(views)
+        contested = any(v.flag == 1 and v.x > state.x for v in others)
+        if contested:
+            if state.flag == 0 and state.stable >= 1:
+                return StepOutcome.ret(_MISState(state.x, 0, 0), 0)
+            return StepOutcome.cont(_MISState(state.x, 0, state.stable + (state.flag == 0)))
+        if state.flag == 1 and state.stable >= 1:
+            return StepOutcome.ret(state, 1)
+        return StepOutcome.cont(
+            _MISState(state.x, 1, state.stable + 1 if state.flag == 1 else 0)
+        )
+
+
+def candidate_mis_algorithms() -> Dict[str, Algorithm]:
+    """The candidate zoo, keyed by name."""
+    algorithms = [EagerLocalMaxMIS(), CautiousMIS(), FlagConfirmMIS()]
+    return {a.name: a for a in algorithms}
+
+
+def mis_violation_predicate(topology: Topology):
+    """Safety predicate for the explorer: a configuration whose returned
+    outputs are already a lost position for the MIS spec (the adversary
+    stops the schedule right there)."""
+    spec = MISSpec(topology)
+
+    def predicate(config: ExplorerConfig) -> Optional[str]:
+        outputs = config.output_dict()
+        if not outputs:
+            return None
+        violations = spec.doomed(outputs)
+        if violations:
+            return "; ".join(violations)
+        return None
+
+    return predicate
+
+
+def falsify_mis(
+    algorithm: Algorithm,
+    n: int = 3,
+    identifiers: Optional[Sequence[int]] = None,
+    *,
+    max_depth: int = 12,
+    max_configs: int = 200_000,
+) -> SearchOutcome:
+    """Defeat one candidate MIS algorithm on ``C_n``.
+
+    First searches for a safety violation (doomed outputs), then for a
+    livelock (wait-freedom violation).  Returns the first successful
+    :class:`~repro.lowerbounds.explorer.SearchOutcome`; if neither
+    search finds anything *and* both were exhaustive, the candidate
+    survives the bounded check (no candidate in
+    :func:`candidate_mis_algorithms` does).
+    """
+    topology = Cycle(n)
+    ids = list(identifiers) if identifiers is not None else list(range(1, n + 1))
+    explorer = BoundedExplorer(algorithm, topology, ids)
+
+    safety = explorer.find_violation(
+        mis_violation_predicate(topology),
+        max_depth=max_depth,
+        max_configs=max_configs,
+    )
+    if safety.found:
+        return safety
+    liveness = explorer.find_livelock(max_depth=max_depth, max_configs=max_configs)
+    if liveness.found:
+        return liveness
+    # Neither found: report the stronger (exhaustive) of the two.
+    return safety if safety.exhausted else liveness

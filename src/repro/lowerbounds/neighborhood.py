@@ -1,0 +1,225 @@
+"""Linial's neighborhood-graph apparatus (Property 2.2, [26]).
+
+The paper's round-complexity optimality rests on Linial's lower bound:
+even synchronously and failure-free, 3-coloring the ring needs
+``Ω(log* n)`` rounds.  The finite heart of that proof is executable:
+
+A ``t``-round LOCAL algorithm on the oriented ring with identifiers
+from ``{0, …, m−1}`` is exactly a function from *radius-t views*
+(windows of ``2t+1`` distinct identifiers) to colors, such that any two
+views that can sit on adjacent nodes get different colors.  Packaging
+the views as vertices and the adjacency constraint as edges yields the
+**neighborhood graph** ``N_t(m)``, and:
+
+    a t-round k-coloring algorithm exists  ⟺  χ(N_t(m)) ≤ k.
+
+This module builds ``N_0(m)`` and ``N_1(m)``, decides 2-colorability
+(bipartiteness), and computes exact chromatic numbers for small ``m``
+by clique-seeded DSATUR branch-and-bound.  What the small cases already
+*prove* (experiment E17):
+
+* ``χ(N_0(m)) = m`` — with zero communication, nothing beats using the
+  whole identifier space;
+* ``N_1(m)`` contains odd cycles for every ``m ≥ 3`` — hence **no
+  1-round algorithm 2-colors rings**, for any identifier space
+  (the finite shadow of the Ω(n) bound for 2-coloring);
+* exact ``χ(N_1(m))`` values quantify how much one round of
+  communication buys; Linial's theorem says ``χ(N_t(m)) ≥
+  log^{(2t)} m``, so these values must (and do) grow without bound as
+  ``m`` does — which is precisely why O(1)-round 3-coloring is
+  impossible and ``log* n`` rounds are necessary.
+
+Realizability caveat: an edge of ``N_1(m)`` is a window of 4 distinct
+identifiers, realizable on every ring with ``n ≥ 4``; the lower bounds
+derived here therefore apply to algorithms that must work for all
+``n`` — the same regime as the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ViewGraph",
+    "neighborhood_graph",
+    "is_bipartite",
+    "greedy_chromatic_upper_bound",
+    "clique_lower_bound",
+    "exact_chromatic_number",
+]
+
+
+class ViewGraph:
+    """A small undirected graph over hashable view-vertices."""
+
+    def __init__(self):
+        self._adj: Dict[object, set] = {}
+
+    def add_vertex(self, v) -> None:
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u, v) -> None:
+        if u == v:
+            raise ReproError("neighborhood graphs are loop-free")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> List[object]:
+        return list(self._adj)
+
+    def neighbors(self, v) -> set:
+        return self._adj[v]
+
+
+def neighborhood_graph(t: int, m: int) -> ViewGraph:
+    """Build ``N_t(m)`` for the oriented ring, ``t ∈ {0, 1}``.
+
+    ``t = 0``: vertices are single identifiers; any two distinct
+    identifiers can be neighbors on some ring.
+    ``t = 1``: vertices are ordered distinct triples ``(a, b, c)``
+    (predecessor, self, successor); ``(a, b, c) ~ (b, c, d)`` for every
+    ``d ∉ {a, b, c}``.
+    """
+    if m < 3:
+        raise ReproError("need an identifier space of size >= 3")
+    graph = ViewGraph()
+    ids = range(m)
+    if t == 0:
+        for a in ids:
+            graph.add_vertex(a)
+        for a, b in itertools.combinations(ids, 2):
+            graph.add_edge(a, b)
+        return graph
+    if t == 1:
+        for triple in itertools.permutations(ids, 3):
+            graph.add_vertex(triple)
+        for a, b, c in itertools.permutations(ids, 3):
+            for d in ids:
+                if d not in (a, b, c):
+                    graph.add_edge((a, b, c), (b, c, d))
+        return graph
+    raise ReproError("only t in {0, 1} is supported (sizes explode beyond)")
+
+
+def is_bipartite(graph: ViewGraph) -> bool:
+    """2-colorability by BFS; ``False`` means no 2-color algorithm."""
+    color: Dict[object, int] = {}
+    for start in graph.vertices():
+        if start in color:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if v not in color:
+                    color[v] = 1 - color[u]
+                    stack.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def greedy_chromatic_upper_bound(graph: ViewGraph) -> int:
+    """Largest-degree-first greedy coloring (an upper bound on χ)."""
+    order = sorted(graph.vertices(), key=lambda v: -len(graph.neighbors(v)))
+    colors: Dict[object, int] = {}
+    best = 0
+    for v in order:
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+        best = max(best, c + 1)
+    return best
+
+
+def clique_lower_bound(graph: ViewGraph) -> int:
+    """A greedily grown clique (a lower bound on χ)."""
+    best = 0
+    vertices = sorted(graph.vertices(), key=lambda v: -len(graph.neighbors(v)))
+    for seed in vertices[: min(len(vertices), 40)]:
+        clique = [seed]
+        candidates = set(graph.neighbors(seed))
+        while candidates:
+            v = max(candidates, key=lambda u: len(graph.neighbors(u) & candidates))
+            clique.append(v)
+            candidates &= graph.neighbors(v)
+        best = max(best, len(clique))
+    return best
+
+
+def _k_colorable(graph: ViewGraph, k: int, node_budget: int) -> Optional[bool]:
+    """Exact k-colorability by DSATUR branch-and-bound.
+
+    Returns ``True``/``False``, or ``None`` if ``node_budget`` search
+    nodes were exhausted (inconclusive).
+    """
+    vertices = graph.vertices()
+    colors: Dict[object, int] = {}
+    budget = [node_budget]
+
+    def saturation(v) -> int:
+        return len({colors[u] for u in graph.neighbors(v) if u in colors})
+
+    def pick() -> object:
+        uncolored = [v for v in vertices if v not in colors]
+        return max(
+            uncolored,
+            key=lambda v: (saturation(v), len(graph.neighbors(v))),
+        )
+
+    def solve() -> Optional[bool]:
+        if len(colors) == len(vertices):
+            return True
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        v = pick()
+        taken = {colors[u] for u in graph.neighbors(v) if u in colors}
+        # Symmetry breaking: allow at most one brand-new color.
+        used = max(colors.values(), default=-1)
+        inconclusive = False
+        for c in range(min(used + 2, k)):
+            if c in taken:
+                continue
+            colors[v] = c
+            result = solve()
+            del colors[v]
+            if result is True:
+                return True
+            if result is None:
+                inconclusive = True
+        return None if inconclusive else False
+
+    return solve()
+
+
+def exact_chromatic_number(
+    graph: ViewGraph, *, node_budget: int = 2_000_000,
+) -> Tuple[int, bool]:
+    """``(χ, exact)`` — chromatic number, or a greedy upper bound with
+    ``exact=False`` when the search budget runs out."""
+    lower = max(2, clique_lower_bound(graph)) if graph.m else 1
+    upper = greedy_chromatic_upper_bound(graph)
+    for k in range(lower, upper):
+        result = _k_colorable(graph, k, node_budget)
+        if result is True:
+            return k, True
+        if result is None:
+            return upper, False
+    return upper, True

@@ -1,0 +1,221 @@
+"""Exact progress-condition classification (the §1.3 taxonomy).
+
+The paper leans on Herlihy–Shavit's progress hierarchy [25]: its main
+algorithm is claimed **wait-free**, built from a **starvation-free**
+identifier-reduction component and an **obstruction-free**
+subcomponent.  For small instances all three conditions are decidable
+by analysis of the (finite) configuration graph:
+
+* **wait-free** — every process returns within a bounded number of its
+  own activations, over all schedules ⟺ the configuration graph is
+  acyclic (any cycle can be looped forever and every move activates a
+  working process);
+* **starvation-free** — every process returns under every *fair*
+  schedule (each working process activated infinitely often) ⟺ no
+  reachable strongly-connected component contains edges whose
+  activation sets jointly cover the component's working set (inside
+  such an SCC the adversary can build a fair infinite run; conversely,
+  an infinite fair run eventually stays inside one SCC and must
+  activate all working processes there);
+* **obstruction-free** — from every reachable configuration, every
+  working process that runs *solo* eventually returns ⟺ no solo chain
+  revisits a configuration before returning.
+
+:func:`classify_progress` computes all three exactly (up to a
+configuration budget).  Experiment E18 tabulates the shipped
+algorithms: notably, Algorithm 2 comes out **obstruction-free but not
+starvation-free** — the E13 chase is a *fair* cycle — which sharpens
+the finding: the paper's composed wait-freedom claim fails at the
+starvation-freedom level already, while the obstruction-freedom of its
+subcomponent survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.lowerbounds.explorer import BoundedExplorer, ExplorerConfig
+from repro.model.topology import Topology
+from repro.types import ProcessId
+
+__all__ = ["ProgressReport", "classify_progress"]
+
+
+@dataclass
+class ProgressReport:
+    """Exact (or budget-truncated) progress verdicts for one instance."""
+
+    wait_free: Optional[bool]
+    starvation_free: Optional[bool]
+    obstruction_free: Optional[bool]
+    configs: int
+    exhausted: bool
+
+    def summary(self) -> str:
+        """Compact ``WF/SF/OF`` rendering."""
+        def mark(value: Optional[bool]) -> str:
+            return "?" if value is None else ("yes" if value else "NO")
+
+        suffix = "" if self.exhausted else " (truncated)"
+        return (
+            f"wait-free={mark(self.wait_free)} "
+            f"starvation-free={mark(self.starvation_free)} "
+            f"obstruction-free={mark(self.obstruction_free)}"
+            f" [{self.configs} configs]{suffix}"
+        )
+
+
+def _reachable_graph(
+    explorer: BoundedExplorer, max_configs: int,
+) -> Tuple[Dict[ExplorerConfig, List[Tuple[FrozenSet[ProcessId], ExplorerConfig]]], bool]:
+    """BFS-enumerate the configuration graph (config -> labeled edges)."""
+    start = explorer.initial_config()
+    graph: Dict[ExplorerConfig, List[Tuple[FrozenSet[ProcessId], ExplorerConfig]]] = {}
+    frontier = [start]
+    graph[start] = []
+    exhausted = True
+    while frontier:
+        config = frontier.pop()
+        edges = []
+        for subset in explorer.moves(config):
+            successor = explorer.apply(config, subset)
+            edges.append((subset, successor))
+            if successor not in graph:
+                if len(graph) >= max_configs:
+                    exhausted = False
+                    continue
+                graph[successor] = []
+                frontier.append(successor)
+        graph[config] = edges
+    return graph, exhausted
+
+
+def _tarjan_sccs(graph) -> List[List[ExplorerConfig]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: Dict[ExplorerConfig, int] = {}
+    low: Dict[ExplorerConfig, int] = {}
+    on_stack: Set[ExplorerConfig] = set()
+    stack: List[ExplorerConfig] = []
+    sccs: List[List[ExplorerConfig]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for _subset, successor in edges:
+                if successor not in graph:
+                    continue  # truncated frontier
+                if successor not in index:
+                    index[successor] = low[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph[successor])))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def classify_progress(
+    algorithm,
+    topology: Topology,
+    inputs: Sequence,
+    *,
+    max_configs: int = 150_000,
+) -> ProgressReport:
+    """Classify wait-/starvation-/obstruction-freedom on one instance."""
+    explorer = BoundedExplorer(algorithm, topology, inputs)
+    graph, exhausted = _reachable_graph(explorer, max_configs)
+
+    # ---- cycles / SCC analysis --------------------------------------
+    sccs = _tarjan_sccs(graph)
+    members: Dict[ExplorerConfig, int] = {}
+    for i, component in enumerate(sccs):
+        for config in component:
+            members[config] = i
+
+    has_cycle = False
+    fair_cycle = False
+    for i, component in enumerate(sccs):
+        internal = [
+            (subset, succ)
+            for config in component
+            for subset, succ in graph[config]
+            if succ in members and members[succ] == i
+        ]
+        if not internal:
+            continue
+        has_cycle = True
+        working = set(component[0].working())
+        coverage: Set[ProcessId] = set()
+        for subset, _succ in internal:
+            coverage |= subset
+        if working <= coverage:
+            fair_cycle = True
+            break
+
+    wait_free: Optional[bool] = (not has_cycle) if exhausted else (
+        False if has_cycle else None
+    )
+    starvation_free: Optional[bool] = (not fair_cycle) if exhausted else (
+        False if fair_cycle else None
+    )
+
+    # ---- obstruction-freedom: solo chains ---------------------------
+    obstruction_free: Optional[bool] = True
+    for config in graph:
+        for p in config.working():
+            seen = {config}
+            cursor = config
+            while True:
+                cursor = explorer.apply(cursor, frozenset({p}))
+                if cursor.outputs[p] is not None:
+                    break
+                if cursor in seen:
+                    obstruction_free = False
+                    break
+                seen.add(cursor)
+                if len(seen) > 10_000:
+                    obstruction_free = None
+                    break
+            if obstruction_free is False:
+                break
+        if obstruction_free is False:
+            break
+    if obstruction_free is True and not exhausted:
+        obstruction_free = None
+
+    return ProgressReport(
+        wait_free=wait_free,
+        starvation_free=starvation_free,
+        obstruction_free=obstruction_free,
+        configs=len(graph),
+        exhausted=exhausted,
+    )

@@ -1,0 +1,219 @@
+"""Five colors are necessary: falsifying 4-color candidates (Property 2.3).
+
+On ``C_3`` the paper's model coincides with 3-process immediate-snapshot
+shared memory, where renaming needs ``2n − 1 = 5`` names [6, 14] — so no
+generic wait-free cycle-coloring algorithm can use fewer than 5 colors.
+As with MIS, the impossibility quantifies over all algorithms; the
+reproduction makes it operational by defeating *candidate* 4-color
+algorithms with exhaustive bounded search:
+
+* :class:`PureGreedyColoring` — one color, first-fit against current
+  neighbor colors (uses only ``{0, 1, 2}``).  Obstruction-free but not
+  wait-free: two neighbors activated in lock-step chase each other's
+  color forever (the explorer returns the loop).
+* :class:`RankGreedyColoring` — Algorithm 1's ``a``-component alone
+  (defer only to higher identifiers; colors in ``{0, 1, 2}``).  The
+  explorer finds the interleaving where it stalls or collides.
+* :class:`CappedFiveColoring` — Algorithm 2 with the ``b``-component
+  clamped into ``{0, …, 3}``.  The clamp breaks Lemma 3.12's
+  freshness argument; the explorer exhibits the resulting livelock or
+  improper output.
+
+For contrast, :func:`alg2_exact_worst_case` runs the same machinery on
+the real Algorithm 2 and proves (exhaustively, small ``n``) that *no*
+schedule produces a violation and that the configuration graph is
+acyclic — the positive counterpart used by experiment E9/E10 tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views, mex
+from repro.core.coloring5 import FiveColoring
+from repro.lowerbounds.explorer import BoundedExplorer, ExplorerConfig, SearchOutcome
+from repro.model.topology import Cycle, Topology
+
+__all__ = [
+    "PureGreedyColoring",
+    "RankGreedyColoring",
+    "CappedFiveColoring",
+    "coloring_violation_predicate",
+    "falsify_coloring",
+    "candidate_small_palette_algorithms",
+    "alg2_exact_worst_case",
+]
+
+
+class _GreedyRegister(NamedTuple):
+    x: int
+    c: int
+
+
+class _GreedyState(NamedTuple):
+    x: int
+    c: int
+
+
+class PureGreedyColoring(Algorithm):
+    """First-fit recoloring with a single color component (3 colors)."""
+
+    name = "coloring-pure-greedy"
+
+    def initial_state(self, x_input: int) -> _GreedyState:
+        return _GreedyState(x=x_input, c=0)
+
+    def register_value(self, state: _GreedyState) -> _GreedyRegister:
+        return _GreedyRegister(x=state.x, c=state.c)
+
+    def step(self, state: _GreedyState, views: Tuple) -> StepOutcome:
+        others = active_views(views)
+        taken = {v.c for v in others}
+        if state.c not in taken:
+            return StepOutcome.ret(state, state.c)
+        return StepOutcome.cont(_GreedyState(state.x, mex(taken)))
+
+
+class RankGreedyColoring(Algorithm):
+    """Algorithm 1's ``a``-component alone: defer to higher identifiers."""
+
+    name = "coloring-rank-greedy"
+
+    def initial_state(self, x_input: int) -> _GreedyState:
+        return _GreedyState(x=x_input, c=0)
+
+    def register_value(self, state: _GreedyState) -> _GreedyRegister:
+        return _GreedyRegister(x=state.x, c=state.c)
+
+    def step(self, state: _GreedyState, views: Tuple) -> StepOutcome:
+        others = active_views(views)
+        taken = {v.c for v in others}
+        if state.c not in taken:
+            return StepOutcome.ret(state, state.c)
+        higher = {v.c for v in others if v.x > state.x}
+        return StepOutcome.cont(_GreedyState(state.x, mex(higher)))
+
+
+class _CappedState(NamedTuple):
+    x: int
+    a: int
+    b: int
+
+
+class _CappedRegister(NamedTuple):
+    x: int
+    a: int
+    b: int
+
+
+class CappedFiveColoring(Algorithm):
+    """Algorithm 2 with the ``b`` first-fit clamped into ``{0..3}``.
+
+    The honest attempt at a 4-color variant: identical to Algorithm 2
+    except ``b_p ← min({0,…,3} \\ C)`` falling back to recycling color
+    3 when ``C`` covers all four — which is exactly where the paper's
+    freshness argument (Lemma 3.12) needs the fifth color.
+    """
+
+    name = "coloring-capped-four"
+
+    def initial_state(self, x_input: int) -> _CappedState:
+        return _CappedState(x=x_input, a=0, b=0)
+
+    def register_value(self, state: _CappedState) -> _CappedRegister:
+        return _CappedRegister(x=state.x, a=state.a, b=state.b)
+
+    def step(self, state: _CappedState, views: Tuple) -> StepOutcome:
+        others = active_views(views)
+        taken_all = set()
+        taken_higher = set()
+        for v in others:
+            taken_all.add(v.a)
+            taken_all.add(v.b)
+            if v.x > state.x:
+                taken_higher.add(v.a)
+                taken_higher.add(v.b)
+        if state.a not in taken_all:
+            return StepOutcome.ret(state, state.a)
+        if state.b not in taken_all:
+            return StepOutcome.ret(state, state.b)
+        new_a = mex(taken_higher)
+        free = [c for c in range(4) if c not in taken_all]
+        new_b = free[0] if free else 3
+        return StepOutcome.cont(_CappedState(state.x, new_a, new_b))
+
+
+def candidate_small_palette_algorithms() -> Dict[str, Algorithm]:
+    """The candidate zoo, keyed by name."""
+    algorithms = [PureGreedyColoring(), RankGreedyColoring(), CappedFiveColoring()]
+    return {a.name: a for a in algorithms}
+
+
+def coloring_violation_predicate(topology: Topology, palette_size: int):
+    """Safety predicate: monochromatic edge among returned outputs, or
+    an output outside ``{0, …, palette_size−1}``."""
+
+    def predicate(config: ExplorerConfig) -> Optional[str]:
+        outputs = config.output_dict()
+        for p, c in outputs.items():
+            if not (0 <= c < palette_size):
+                return f"process {p} output {c} outside 0..{palette_size - 1}"
+        for p, q in topology.edges():
+            if p in outputs and q in outputs and outputs[p] == outputs[q]:
+                return f"adjacent {p}, {q} both output {outputs[p]}"
+        return None
+
+    return predicate
+
+
+def falsify_coloring(
+    algorithm: Algorithm,
+    n: int = 3,
+    identifiers: Optional[Sequence[int]] = None,
+    *,
+    palette_size: int = 4,
+    max_depth: int = 14,
+    max_configs: int = 200_000,
+) -> SearchOutcome:
+    """Defeat one candidate small-palette coloring algorithm on ``C_n``.
+
+    Searches safety first (improper or out-of-palette output), then
+    liveness (livelock ⇒ not wait-free).
+    """
+    topology = Cycle(n)
+    ids = list(identifiers) if identifiers is not None else list(range(1, n + 1))
+    explorer = BoundedExplorer(algorithm, topology, ids)
+
+    safety = explorer.find_violation(
+        coloring_violation_predicate(topology, palette_size),
+        max_depth=max_depth,
+        max_configs=max_configs,
+    )
+    if safety.found:
+        return safety
+    liveness = explorer.find_livelock(max_depth=max_depth, max_configs=max_configs)
+    if liveness.found:
+        return liveness
+    return safety if safety.exhausted else liveness
+
+
+def alg2_exact_worst_case(
+    n: int = 3,
+    identifiers: Optional[Sequence[int]] = None,
+    *,
+    max_configs: int = 500_000,
+) -> Dict[int, float]:
+    """Exact worst-case activation counts of Algorithm 2 on ``C_n``.
+
+    Exhaustive over *all* schedules — the small-``n`` ground truth that
+    the Theorem 3.11 bounds are checked against in experiment E3.
+    Returns ``{pid: worst-case activations}``; all values are finite
+    iff Algorithm 2 is wait-free on this instance (it is).
+    """
+    topology = Cycle(n)
+    ids = list(identifiers) if identifiers is not None else list(range(1, n + 1))
+    explorer = BoundedExplorer(FiveColoring(), topology, ids)
+    return {
+        p: explorer.max_activations(p, max_configs=max_configs)
+        for p in range(n)
+    }

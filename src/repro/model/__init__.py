@@ -1,0 +1,60 @@
+"""The asynchronous state-model substrate (paper Section 2).
+
+Subpackage layout:
+
+* :mod:`repro.model.topology` — graphs mediating register visibility;
+* :mod:`repro.model.registers` — single-writer/multi-reader registers;
+* :mod:`repro.model.schedule` — schedules ``σ`` and adapters;
+* :mod:`repro.model.execution` — the round engine (Equation (1));
+* :mod:`repro.model.trace` — per-step execution traces;
+* :mod:`repro.model.faults` — fail-stop crash injection.
+"""
+
+from repro.model.contract import ContractReport, check_algorithm
+from repro.model.execution import ExecutionResult, Executor, run_execution
+from repro.model.witness import Witness, witness_from_outcome
+from repro.model.faults import CrashPlan, crash_after_activations, crash_after_time
+from repro.model.registers import RegisterFile
+from repro.model.schedule import (
+    FiniteSchedule,
+    FunctionSchedule,
+    RecordedSchedule,
+    Schedule,
+)
+from repro.model.topology import (
+    CompleteGraph,
+    Cycle,
+    GeneralGraph,
+    Path,
+    Star,
+    Topology,
+    Torus,
+)
+from repro.model.trace import StepEvent, Trace
+
+__all__ = [
+    "CompleteGraph",
+    "ContractReport",
+    "CrashPlan",
+    "Cycle",
+    "ExecutionResult",
+    "Executor",
+    "FiniteSchedule",
+    "FunctionSchedule",
+    "GeneralGraph",
+    "Path",
+    "RecordedSchedule",
+    "RegisterFile",
+    "Schedule",
+    "Star",
+    "StepEvent",
+    "Topology",
+    "Torus",
+    "Trace",
+    "Witness",
+    "check_algorithm",
+    "crash_after_activations",
+    "crash_after_time",
+    "run_execution",
+    "witness_from_outcome",
+]

@@ -1,0 +1,146 @@
+"""Conformance harness for user-written algorithms.
+
+The engine, the bounded explorer and the shared-memory simulation all
+rely on contracts that Python cannot enforce statically:
+
+* states and register payloads must be **immutable and hashable**
+  (the explorer hashes configurations; the engine snapshots registers
+  by reference);
+* ``step`` must be **deterministic** and must not mutate its inputs
+  (re-running a recorded schedule must reproduce the execution);
+* ``register_value`` must be a pure function of the state;
+* a returned process's outcome must carry the final state.
+
+:func:`check_algorithm` drives a candidate algorithm through a battery
+of randomized executions and flags contract violations with actionable
+messages — the first thing to run when a user-implemented protocol
+misbehaves.  It is used by this repo's own test-suite against every
+shipped algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.algorithm import Algorithm
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule, RecordedSchedule
+from repro.model.topology import Cycle, Topology
+from repro.schedulers import UniformSubsetScheduler
+
+__all__ = ["ContractReport", "check_algorithm"]
+
+
+@dataclass
+class ContractReport:
+    """Findings of one conformance check."""
+
+    violations: List[str] = field(default_factory=list)
+    executions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation was found."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record one violation (deduplicated)."""
+        if message not in self.violations:
+            self.violations.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"contract OK ({self.executions} executions)"
+        bullet = "\n  - ".join(self.violations)
+        return f"contract VIOLATED ({self.executions} executions):\n  - {bullet}"
+
+
+def _check_hashable(value: Any, what: str, report: ContractReport) -> None:
+    try:
+        hash(value)
+    except TypeError:
+        report.add(
+            f"{what} is not hashable ({type(value).__name__}); use plain "
+            "tuples / NamedTuples so the explorer can hash configurations"
+        )
+
+
+def check_algorithm(
+    algorithm: Algorithm,
+    *,
+    topology: Optional[Topology] = None,
+    inputs: Optional[Sequence[Any]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    max_time: int = 5_000,
+) -> ContractReport:
+    """Run the conformance battery against ``algorithm``.
+
+    Defaults to ``C_5`` with identifiers ``3, 11, 6, 14, 9``; pass a
+    topology/inputs pair matching the algorithm's expectations
+    otherwise.  Non-termination within ``max_time`` is *not* a
+    violation (the schedule may starve); determinism and immutability
+    are checked regardless.
+    """
+    topology = topology if topology is not None else Cycle(5)
+    inputs = list(inputs) if inputs is not None else [3, 11, 6, 14, 9]
+    report = ContractReport()
+
+    # --- purity of initial_state / register_value -------------------
+    state_a = algorithm.initial_state(inputs[0])
+    state_b = algorithm.initial_state(inputs[0])
+    if state_a != state_b:
+        report.add("initial_state is not deterministic for equal inputs")
+    _check_hashable(state_a, "initial_state(...)", report)
+
+    reg_a = algorithm.register_value(state_a)
+    reg_b = algorithm.register_value(state_a)
+    if reg_a != reg_b:
+        report.add("register_value is not a pure function of the state")
+    _check_hashable(reg_a, "register_value(...)", report)
+
+    # --- replay determinism + per-step checks -----------------------
+    for seed in seeds:
+        recorder = RecordedSchedule(UniformSubsetScheduler(seed=seed))
+        first = run_execution(
+            algorithm, topology, inputs, recorder, max_time=max_time,
+        )
+        replay = run_execution(
+            algorithm, topology, inputs, recorder.replay(), max_time=max_time,
+        )
+        report.executions += 2
+        if first.outputs != replay.outputs:
+            report.add(
+                f"replaying a recorded schedule changed the outputs "
+                f"(seed {seed}): step() is nondeterministic or mutates state"
+            )
+        if first.activations != replay.activations:
+            report.add(
+                f"replaying a recorded schedule changed activation counts "
+                f"(seed {seed})"
+            )
+        for p, final_state in first.final_states.items():
+            _check_hashable(final_state, f"state of process {p}", report)
+
+    # --- step must not mutate its inputs ----------------------------
+    import copy
+
+    from repro.types import BOTTOM
+
+    state = algorithm.initial_state(inputs[0])
+    degree = topology.degree(0)
+    neighbor_reg = algorithm.register_value(algorithm.initial_state(inputs[1]))
+    views = tuple(
+        neighbor_reg if i == 0 else BOTTOM for i in range(degree)
+    )
+    state_copy = copy.deepcopy(state)
+    views_copy = copy.deepcopy(views)
+    algorithm.step(state, views)
+    report.executions += 1
+    if state != state_copy:
+        report.add("step() mutated the state object passed to it")
+    if views != views_copy:
+        report.add("step() mutated the views tuple passed to it")
+
+    return report

@@ -1,0 +1,285 @@
+"""The asynchronous execution engine (paper Sections 2.1–2.2).
+
+One *asynchronous round* of a process is write-then-read-then-update;
+when several processes are activated at the same time ``t``, the system
+behaves as if all of them first wrote, then all read, then all updated
+(Equation (1)).  :class:`Executor` implements exactly this semantics:
+
+1. restrict ``σ(t)`` to *working* processes — those that have neither
+   returned nor been dropped by the schedule (``σ̄`` in the paper);
+2. publish the register value of every activated process (batch write);
+3. let every activated process read the registers of its topology
+   neighbors (local immediate snapshot) and run its private update,
+   possibly returning an output.
+
+An execution is deterministic given (algorithm, topology, inputs,
+schedule); the engine never consults a clock or RNG.  Crashes need no
+engine support: a crashed process is simply one the schedule stops
+activating (Section 2.2), though :mod:`repro.model.faults` offers a
+convenient wrapper.
+
+The *round complexity* of a terminating execution is the maximum number
+of working activations over processes, matching the paper's
+``max { i | ∃p : p ∈ σ̄(t_p^{(i)}) }``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.model.registers import RegisterFile
+from repro.model.schedule import Schedule
+from repro.model.topology import Topology
+from repro.model.trace import StepEvent, Trace
+from repro.types import ProcessId
+
+__all__ = ["Executor", "ExecutionResult", "run_execution"]
+
+#: Default safety cap on simulated time, so a buggy non-terminating
+#: algorithm under an infinite schedule fails fast instead of hanging.
+DEFAULT_MAX_TIME = 1_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Everything measurable about one finished execution.
+
+    Attributes
+    ----------
+    outputs:
+        ``{p: color}`` for every process that returned.
+    activations:
+        ``{p: count}`` of *working* activations for every process
+        (0 for processes that never woke up).
+    return_times:
+        ``{p: t}`` time at which each returning process returned.
+    final_time:
+        The last time index the engine executed (0 if the schedule was
+        empty).
+    time_exhausted:
+        True when the run stopped because ``max_time`` was hit while
+        processes were still working — usually a sign of a bug in a
+        supposedly wait-free algorithm, or of too small a cap.
+    trace:
+        The recorded :class:`~repro.model.trace.Trace`, or ``None``.
+    final_states:
+        Private state of every process when the run stopped (returned
+        processes keep their last state), for white-box assertions.
+    """
+
+    n: int
+    outputs: Dict[ProcessId, Any]
+    activations: Dict[ProcessId, int]
+    return_times: Dict[ProcessId, int]
+    final_time: int
+    time_exhausted: bool
+    trace: Optional[Trace]
+    final_states: Dict[ProcessId, Any] = field(default_factory=dict)
+
+    @property
+    def terminated(self) -> Set[ProcessId]:
+        """Processes that returned an output."""
+        return set(self.outputs)
+
+    @property
+    def pending(self) -> Set[ProcessId]:
+        """Processes that never returned (crashed, starved, or cut off)."""
+        return {p for p in range(self.n) if p not in self.outputs}
+
+    @property
+    def all_terminated(self) -> bool:
+        """Whether every process returned."""
+        return len(self.outputs) == self.n
+
+    @property
+    def round_complexity(self) -> int:
+        """Max number of working activations of any process (§2.2)."""
+        return max(self.activations.values(), default=0)
+
+    def activation_of(self, p: ProcessId) -> int:
+        """Working activations of process ``p``."""
+        return self.activations.get(p, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(n={self.n}, terminated={len(self.outputs)}, "
+            f"rounds={self.round_complexity}, final_time={self.final_time})"
+        )
+
+
+class Executor:
+    """Runs one algorithm on one topology under any schedule.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph mediating register visibility.
+    algorithm:
+        Any object implementing the per-process protocol of
+        :class:`repro.core.algorithm.Algorithm`.
+    inputs:
+        ``inputs[p]`` is the input (identifier ``X_p``) of process ``p``.
+    record_trace:
+        Record activation sets, writes and returns per step.
+    record_registers:
+        Additionally snapshot the whole register file each step (implies
+        ``record_trace``); needed for execution-wide invariants such as
+        Lemma 4.5.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm,
+        inputs: Sequence[Any],
+        *,
+        record_trace: bool = False,
+        record_registers: bool = False,
+    ):
+        if len(inputs) != topology.n:
+            raise ExecutionError(
+                f"got {len(inputs)} inputs for {topology.n} processes"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.inputs = list(inputs)
+        self.record_trace = record_trace or record_registers
+        self.record_registers = record_registers
+
+    def run(
+        self,
+        schedule: Schedule,
+        max_time: int = DEFAULT_MAX_TIME,
+        idle_limit: int = 10_000,
+    ) -> ExecutionResult:
+        """Execute the schedule and return the measured result.
+
+        The run stops as soon as every process has returned, when the
+        schedule is exhausted, or when ``max_time`` steps have been
+        simulated — whichever comes first.  As a simulation cutoff (not
+        part of the model), the run also stops after ``idle_limit``
+        consecutive steps in which no working process was activated:
+        under such a schedule suffix nothing can ever change, so the
+        remaining processes are starved forever.  Pass ``idle_limit=0``
+        to disable the cutoff.
+        """
+        topo = self.topology
+        alg = self.algorithm
+        n = topo.n
+
+        states: Dict[ProcessId, Any] = {
+            p: alg.initial_state(self.inputs[p]) for p in topo.processes()
+        }
+        registers = RegisterFile(n)
+        outputs: Dict[ProcessId, Any] = {}
+        return_times: Dict[ProcessId, int] = {}
+        activations: Dict[ProcessId, int] = {p: 0 for p in topo.processes()}
+        trace = Trace() if self.record_trace else None
+
+        time = 0
+        idle_streak = 0
+        time_exhausted = False
+        for raw_step in schedule.steps(n):
+            if len(outputs) == n:
+                break
+            time += 1
+            if time > max_time:
+                time -= 1
+                time_exhausted = True
+                break
+
+            # The paper's σ̄(t): drop processes whose stopping condition
+            # was already fulfilled.
+            working = frozenset(p for p in raw_step if p not in outputs)
+            if not working:
+                # A step activating only finished processes costs no
+                # activations; record nothing but keep time advancing.
+                idle_streak += 1
+                if trace is not None:
+                    trace.append(
+                        StepEvent(time, working, {}, {},
+                                  registers.snapshot() if self.record_registers else None)
+                    )
+                if idle_limit and idle_streak >= idle_limit:
+                    break
+                continue
+            idle_streak = 0
+
+            # Phase 1 — all activated processes write.
+            writes: Dict[ProcessId, Any] = {}
+            for p in working:
+                value = alg.register_value(states[p])
+                writes[p] = value
+            registers.write_all(writes.items())
+
+            # Phase 2+3 — each activated process reads its neighbors'
+            # registers and performs its private update.  Writes all
+            # happened above, and updates only touch private state, so
+            # per-process iteration order is immaterial.
+            returned: Dict[ProcessId, Any] = {}
+            for p in working:
+                views = registers.read_many(topo.neighbors(p))
+                outcome = alg.step(states[p], views)
+                activations[p] += 1
+                if outcome.returned:
+                    outputs[p] = outcome.output
+                    return_times[p] = time
+                    returned[p] = outcome.output
+                states[p] = outcome.state
+
+            if trace is not None:
+                trace.append(
+                    StepEvent(
+                        time,
+                        working,
+                        writes,
+                        returned,
+                        registers.snapshot() if self.record_registers else None,
+                    )
+                )
+
+        return ExecutionResult(
+            n=n,
+            outputs=outputs,
+            activations=activations,
+            return_times=return_times,
+            final_time=time,
+            time_exhausted=time_exhausted,
+            trace=trace,
+            final_states=states,
+        )
+
+
+def run_execution(
+    algorithm,
+    topology: Topology,
+    inputs: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_time: int = DEFAULT_MAX_TIME,
+    record_trace: bool = False,
+    record_registers: bool = False,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Executor`.
+
+    Example
+    -------
+    >>> from repro.core.fast_coloring5 import FastFiveColoring
+    >>> from repro.model.topology import Cycle
+    >>> from repro.schedulers.synchronous import SynchronousScheduler
+    >>> result = run_execution(
+    ...     FastFiveColoring(), Cycle(5), [10, 3, 77, 42, 5],
+    ...     SynchronousScheduler())
+    >>> result.all_terminated
+    True
+    """
+    executor = Executor(
+        topology,
+        algorithm,
+        inputs,
+        record_trace=record_trace,
+        record_registers=record_registers,
+    )
+    return executor.run(schedule, max_time=max_time)

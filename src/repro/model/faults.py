@@ -1,0 +1,92 @@
+"""Fail-stop fault injection (paper Section 2.2).
+
+In the paper's model a *crash* is not a separate event: a crashed
+process is simply one that the schedule never activates again after
+some time.  :class:`CrashPlan` packages that idea as a composable
+schedule wrapper, so any scheduler — synchronous, random, adversarial —
+can be combined with any crash pattern, and the wait-freedom claims
+(survivors terminate and are properly colored regardless of who
+crashes when) can be swept systematically (experiment E8).
+
+Two crash triggers are supported per process:
+
+* crash at a global *time* ``t`` — the process takes no step at any
+  time ``≥ t``;
+* crash after *k activations* — the process is removed once it has
+  been activated ``k`` times (this models "a process takes a few steps
+  and dies", the pattern used in Lemma 4.8-style scenarios).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ScheduleError
+from repro.model.schedule import ActivationSet, Schedule, validate_step
+from repro.types import ProcessId
+
+__all__ = ["CrashPlan", "crash_after_time", "crash_after_activations"]
+
+
+class CrashPlan(Schedule):
+    """Wrap a schedule, censoring activations of crashed processes.
+
+    Parameters
+    ----------
+    inner:
+        The underlying schedule (who *would* be activated).
+    crash_times:
+        ``{p: t}`` — process ``p`` takes no step at any time ``≥ t``.
+        ``t = 1`` means the process never wakes up at all.
+    crash_after:
+        ``{p: k}`` — process ``p`` is censored after having been
+        activated ``k`` times (``k = 0`` means never activated).
+
+    A process may appear in both maps; whichever trigger fires first
+    wins.  Processes not mentioned never crash.
+    """
+
+    def __init__(
+        self,
+        inner: Schedule,
+        crash_times: Optional[Dict[ProcessId, int]] = None,
+        crash_after: Optional[Dict[ProcessId, int]] = None,
+    ):
+        self._inner = inner
+        self._crash_times = dict(crash_times or {})
+        self._crash_after = dict(crash_after or {})
+        for p, t in self._crash_times.items():
+            if t < 1:
+                raise ScheduleError(f"crash time for {p} must be >= 1, got {t}")
+        for p, k in self._crash_after.items():
+            if k < 0:
+                raise ScheduleError(f"crash activation count for {p} must be >= 0")
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        seen: Dict[ProcessId, int] = {}
+        for time, step in enumerate(self._inner.steps(n), start=1):
+            step = validate_step(step, n)
+            alive = set()
+            for p in step:
+                if p in self._crash_times and time >= self._crash_times[p]:
+                    continue
+                if p in self._crash_after and seen.get(p, 0) >= self._crash_after[p]:
+                    continue
+                alive.add(p)
+                seen[p] = seen.get(p, 0) + 1
+            yield frozenset(alive)
+
+    @property
+    def crashed_processes(self) -> set:
+        """Processes subject to some crash trigger."""
+        return set(self._crash_times) | set(self._crash_after)
+
+
+def crash_after_time(inner: Schedule, crash_times: Dict[ProcessId, int]) -> CrashPlan:
+    """Shorthand for a time-triggered :class:`CrashPlan`."""
+    return CrashPlan(inner, crash_times=crash_times)
+
+
+def crash_after_activations(inner: Schedule, crash_after: Dict[ProcessId, int]) -> CrashPlan:
+    """Shorthand for an activation-count-triggered :class:`CrashPlan`."""
+    return CrashPlan(inner, crash_after=crash_after)

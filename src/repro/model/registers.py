@@ -1,0 +1,97 @@
+"""Single-writer/multiple-reader registers with the paper's visibility rule.
+
+Section 2.1: process ``p_i`` is the single writer of register ``R_i``;
+registers are initialized to ``⊥``.  Section 2.2, Equation (1), pins
+down what concurrent activations see: when the set ``σ(t)`` of processes
+is activated at time ``t``, *all of them first write, then all of them
+read* — so a reader activated at time ``t`` sees, in the register of a
+co-activated neighbor, the value that neighbor just wrote, which is the
+neighbor's state at the end of its previous activation:
+
+    x̂_p(t) = x_p(t-1)   if p ∈ σ(t)
+    x̂_p(t) = x̂_p(t-1)   otherwise.
+
+The :class:`RegisterFile` implements exactly this: the execution engine
+calls :meth:`write_all` for the whole activation set before any
+:meth:`read` of the step.  Ownership is enforced — a write to a register
+by a non-owner raises :class:`~repro.errors.RegisterError` — so a buggy
+algorithm cannot silently violate the single-writer discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import RegisterError
+from repro.types import BOTTOM, ProcessId
+
+__all__ = ["RegisterFile"]
+
+
+class RegisterFile:
+    """The ``n`` single-writer registers ``R_0 .. R_{n-1}``.
+
+    Values are opaque to the register file; algorithms write immutable
+    snapshots of their public state (plain tuples), which makes traces
+    cheap to record and configurations hashable for the bounded
+    explorer.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise RegisterError("need at least one register")
+        self._values: List[Any] = [BOTTOM] * n
+        self._write_counts: List[int] = [0] * n
+
+    @property
+    def n(self) -> int:
+        """Number of registers."""
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(self, owner: ProcessId, value: Any) -> None:
+        """Write ``value`` into the register owned by ``owner``."""
+        self._check(owner)
+        self._values[owner] = value
+        self._write_counts[owner] += 1
+
+    def write_all(self, writes: Iterable[Tuple[ProcessId, Any]]) -> None:
+        """Apply a batch of writes atomically-before-any-read.
+
+        The engine passes the writes of the entire activation set
+        ``σ(t)`` here, then performs all reads — realizing Equation (1).
+        """
+        for owner, value in writes:
+            self.write(owner, value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self, register: ProcessId) -> Any:
+        """Current content of ``R_register`` (``BOTTOM`` if never written)."""
+        self._check(register)
+        return self._values[register]
+
+    def read_many(self, registers: Iterable[ProcessId]) -> Tuple[Any, ...]:
+        """Read several registers in one local immediate snapshot."""
+        return tuple(self.read(r) for r in registers)
+
+    def write_count(self, register: ProcessId) -> int:
+        """How many times ``R_register`` has been written (diagnostics)."""
+        self._check(register)
+        return self._write_counts[register]
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Immutable snapshot of all register contents (for traces)."""
+        return tuple(self._values)
+
+    def _check(self, register: ProcessId) -> None:
+        if not (0 <= register < len(self._values)):
+            raise RegisterError(
+                f"register index {register} out of range 0..{len(self._values) - 1}"
+            )
+
+    def __repr__(self) -> str:
+        return f"RegisterFile(n={self.n})"

@@ -1,0 +1,130 @@
+"""Schedules: the adversary's choice of who is activated when (§2.2).
+
+An execution in the paper's model is fully determined by the algorithm,
+the topology, the input identifiers, and the *schedule*
+``σ = σ(1), σ(2), …`` where ``σ(t)`` is the set of processes activated
+at time ``t``.  Multiple processes activated at the same time behave as
+if they all wrote first, then all read (Equation (1)); this is realized
+by :class:`~repro.model.execution.Executor`.
+
+This module provides the abstract :class:`Schedule` protocol plus the
+plumbing adapters; concrete adversaries (synchronous, round-robin,
+random, proof-extracted adversaries) live in :mod:`repro.schedulers`.
+
+A schedule yields ``frozenset`` activation sets and may be infinite; the
+engine restricts each ``σ(t)`` to *working* processes (the paper's
+``σ̄``) and stops as soon as every process has returned, so an infinite
+schedule does not mean an infinite execution for a wait-free algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Sequence
+
+from repro.errors import ScheduleError
+from repro.types import ProcessId
+
+__all__ = [
+    "ActivationSet",
+    "Schedule",
+    "FiniteSchedule",
+    "FunctionSchedule",
+    "RecordedSchedule",
+    "validate_step",
+]
+
+ActivationSet = FrozenSet[ProcessId]
+
+
+def validate_step(step: Iterable[ProcessId], n: int) -> ActivationSet:
+    """Normalize one activation set and check its process ids.
+
+    Empty steps are legal (they model global idle time) but the engine
+    skips them at zero cost.
+    """
+    s = frozenset(step)
+    for p in s:
+        if not (0 <= p < n):
+            raise ScheduleError(f"schedule activates unknown process {p} (n={n})")
+    return s
+
+
+class Schedule:
+    """Abstract schedule: an iterable of activation sets.
+
+    Subclasses implement :meth:`steps`; a schedule object is reusable —
+    every call to :meth:`steps` starts a fresh iteration (important for
+    running the same adversary against several algorithms).
+    """
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        """Yield ``σ(1), σ(2), …`` for a system of ``n`` processes."""
+        raise NotImplementedError
+
+    def __iter__(self):  # pragma: no cover - convenience only
+        raise TypeError(
+            "iterate via schedule.steps(n); a Schedule needs to know n"
+        )
+
+
+class FiniteSchedule(Schedule):
+    """A fixed, finite list of activation sets.
+
+    After the listed steps are exhausted the schedule ends; processes
+    that have not returned by then are considered crashed/starved (the
+    paper's second stopping scenario).
+    """
+
+    def __init__(self, steps: Sequence[Iterable[ProcessId]]):
+        self._raw: List[FrozenSet[ProcessId]] = [frozenset(s) for s in steps]
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        for s in self._raw:
+            yield validate_step(s, n)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __repr__(self) -> str:
+        return f"FiniteSchedule(len={len(self._raw)})"
+
+
+class FunctionSchedule(Schedule):
+    """A schedule computed on demand from the time index.
+
+    ``fn(t, n)`` must return the activation set for time ``t ≥ 1``.
+    Useful for one-off adversaries in tests without defining a class.
+    """
+
+    def __init__(self, fn: Callable[[int, int], Iterable[ProcessId]], horizon: int = 10**9):
+        self._fn = fn
+        self._horizon = horizon
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        for t in range(1, self._horizon + 1):
+            yield validate_step(self._fn(t, n), n)
+
+
+class RecordedSchedule(Schedule):
+    """Wrap another schedule and record the steps actually consumed.
+
+    The recording (:attr:`record`) replays as a :class:`FiniteSchedule`,
+    which makes any interesting random execution reproducible and lets
+    the falsifiers in :mod:`repro.lowerbounds` report a concrete
+    violating schedule.
+    """
+
+    def __init__(self, inner: Schedule):
+        self._inner = inner
+        self.record: List[ActivationSet] = []
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        self.record = []
+        for s in self._inner.steps(n):
+            s = validate_step(s, n)
+            self.record.append(s)
+            yield s
+
+    def replay(self) -> FiniteSchedule:
+        """A finite schedule replaying exactly the steps consumed so far."""
+        return FiniteSchedule(self.record)

@@ -1,0 +1,244 @@
+"""Network topologies mediating register visibility (paper Section 2.1).
+
+The paper's model is the shared-memory state model *restricted by a
+graph*: process ``p`` may read only the registers of its neighbors (and
+its own).  The cycle ``C_n`` is the paper's main object; the appendix
+extends Algorithm 1 to arbitrary graphs of maximum degree Δ, and the
+``C_3`` ≡ 3-process-shared-memory equivalence (Property 2.3) uses the
+complete graph.
+
+A :class:`Topology` is immutable after construction and exposes, for
+each process id in ``0..n-1``, the ordered tuple of its neighbors.  The
+neighbor *order is arbitrary* — the paper explicitly does not assume a
+coherent notion of left/right — and algorithms must not rely on it; the
+test-suite includes executions with shuffled neighbor orders to enforce
+this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.types import ProcessId
+
+__all__ = [
+    "Topology",
+    "Cycle",
+    "Path",
+    "CompleteGraph",
+    "GeneralGraph",
+    "Star",
+    "Torus",
+]
+
+
+class Topology:
+    """An undirected graph on processes ``0..n-1`` with ordered adjacency.
+
+    Parameters
+    ----------
+    neighbors:
+        Mapping from each process id to the sequence of its neighbors.
+        Must be symmetric (``q in neighbors[p]`` iff ``p in
+        neighbors[q]``), irreflexive, and duplicate-free.
+    name:
+        Human-readable label used in reprs and experiment reports.
+    """
+
+    def __init__(self, neighbors: Dict[ProcessId, Sequence[ProcessId]], name: str = "graph"):
+        if not neighbors:
+            raise TopologyError("a topology needs at least one process")
+        ids = sorted(neighbors)
+        if ids != list(range(len(ids))):
+            raise TopologyError(f"process ids must be 0..n-1, got {ids[:10]}...")
+        frozen: Dict[ProcessId, Tuple[ProcessId, ...]] = {}
+        for p, nbrs in neighbors.items():
+            nbrs = tuple(nbrs)
+            if len(set(nbrs)) != len(nbrs):
+                raise TopologyError(f"duplicate neighbor in adjacency of {p}")
+            for q in nbrs:
+                if q == p:
+                    raise TopologyError(f"self-loop at process {p}")
+                if q not in neighbors:
+                    raise TopologyError(f"neighbor {q} of {p} is not a process")
+                if p not in neighbors[q]:
+                    raise TopologyError(f"asymmetric adjacency between {p} and {q}")
+            frozen[p] = nbrs
+        self._neighbors = frozen
+        self._n = len(ids)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Core accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    def processes(self) -> range:
+        """All process ids, ``0..n-1``."""
+        return range(self._n)
+
+    def neighbors(self, p: ProcessId) -> Tuple[ProcessId, ...]:
+        """Ordered neighbors of ``p`` (order is arbitrary, fixed)."""
+        return self._neighbors[p]
+
+    def degree(self, p: ProcessId) -> int:
+        """Degree of process ``p``."""
+        return len(self._neighbors[p])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph."""
+        return max(len(v) for v in self._neighbors.values())
+
+    def edges(self) -> Iterator[Tuple[ProcessId, ProcessId]]:
+        """Each undirected edge once, as an ordered pair ``(p, q)``, p < q."""
+        for p, nbrs in self._neighbors.items():
+            for q in nbrs:
+                if p < q:
+                    yield (p, q)
+
+    def are_adjacent(self, p: ProcessId, q: ProcessId) -> bool:
+        """Whether ``p ~ q``."""
+        return q in self._neighbors[p]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_shuffled_neighbors(self, rng) -> "Topology":
+        """Return a copy whose per-process neighbor order is shuffled.
+
+        Used by tests to check that no algorithm depends on a coherent
+        left/right orientation (the paper makes none available).
+        """
+        shuffled = {}
+        for p, nbrs in self._neighbors.items():
+            order = list(nbrs)
+            rng.shuffle(order)
+            shuffled[p] = tuple(order)
+        return Topology(shuffled, name=self.name + "+shuffled")
+
+    def induced_subgraph(self, keep: Iterable[ProcessId]) -> Dict[ProcessId, Tuple[ProcessId, ...]]:
+        """Adjacency of the subgraph induced by ``keep`` (original ids).
+
+        This is *not* a :class:`Topology` (ids are not relabeled); it is
+        what the correctness condition of the paper quantifies over: the
+        graph induced by the terminating processes.
+        """
+        kept = set(keep)
+        return {
+            p: tuple(q for q in self._neighbors[p] if q in kept)
+            for p in kept
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._n}, name={self.name!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Topology) and self._neighbors == other._neighbors
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((p, nbrs) for p, nbrs in self._neighbors.items())))
+
+
+class Cycle(Topology):
+    """The cycle ``C_n`` for ``n ≥ 3`` — the paper's primary topology."""
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise TopologyError(f"a cycle needs n >= 3, got n={n}")
+        super().__init__(
+            {i: ((i - 1) % n, (i + 1) % n) for i in range(n)},
+            name=f"C_{n}",
+        )
+
+
+class Path(Topology):
+    """The path ``P_n`` for ``n ≥ 2`` (useful for chain-based lemma tests)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise TopologyError(f"a path needs n >= 2, got n={n}")
+        adj: Dict[ProcessId, List[ProcessId]] = {i: [] for i in range(n)}
+        for i in range(n - 1):
+            adj[i].append(i + 1)
+            adj[i + 1].append(i)
+        super().__init__({p: tuple(v) for p, v in adj.items()}, name=f"P_{n}")
+
+
+class CompleteGraph(Topology):
+    """The complete graph ``K_n`` — register visibility is all-to-all.
+
+    On ``K_n`` the paper's model coincides with the standard wait-free
+    shared-memory model with immediate snapshots (used for Property 2.3
+    with ``n = 3``, where ``C_3 = K_3``).
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise TopologyError(f"a complete graph needs n >= 2, got n={n}")
+        super().__init__(
+            {i: tuple(j for j in range(n) if j != i) for i in range(n)},
+            name=f"K_{n}",
+        )
+
+
+class Star(Topology):
+    """The star ``S_k``: one hub (id 0) with ``k`` leaves — Δ stress test."""
+
+    def __init__(self, leaves: int):
+        if leaves < 1:
+            raise TopologyError("a star needs at least one leaf")
+        adj: Dict[ProcessId, Tuple[ProcessId, ...]] = {0: tuple(range(1, leaves + 1))}
+        for i in range(1, leaves + 1):
+            adj[i] = (0,)
+        super().__init__(adj, name=f"S_{leaves}")
+
+
+class Torus(Topology):
+    """The ``rows × cols`` wrap-around grid (4-regular; Δ=4 workload)."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 3 or cols < 3:
+            raise TopologyError("a torus needs rows >= 3 and cols >= 3")
+        n = rows * cols
+
+        def pid(r: int, c: int) -> int:
+            return (r % rows) * cols + (c % cols)
+
+        adj = {}
+        for r, c in itertools.product(range(rows), range(cols)):
+            adj[pid(r, c)] = (
+                pid(r - 1, c),
+                pid(r + 1, c),
+                pid(r, c - 1),
+                pid(r, c + 1),
+            )
+        assert len(adj) == n
+        super().__init__(adj, name=f"T_{rows}x{cols}")
+
+
+class GeneralGraph(Topology):
+    """An arbitrary graph given by an edge list over ``0..n-1``."""
+
+    def __init__(self, n: int, edges: Iterable[Tuple[ProcessId, ProcessId]], name: str = "G"):
+        adj: Dict[ProcessId, List[ProcessId]] = {i: [] for i in range(n)}
+        for (p, q) in edges:
+            if not (0 <= p < n and 0 <= q < n):
+                raise TopologyError(f"edge ({p},{q}) outside 0..{n-1}")
+            if q not in adj[p]:
+                adj[p].append(q)
+            if p not in adj[q]:
+                adj[q].append(p)
+        super().__init__({p: tuple(v) for p, v in adj.items()}, name=name)
+
+    @classmethod
+    def from_networkx(cls, graph, name: str = "G") -> "GeneralGraph":
+        """Build from a ``networkx`` graph with nodes relabeled to 0..n-1."""
+        nodes = list(graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in graph.edges()]
+        return cls(len(nodes), edges, name=name)

@@ -1,0 +1,96 @@
+"""Execution traces for invariant checking and debugging.
+
+The proofs in the paper reason about whole executions — e.g. Lemma 4.5
+asserts that the *published* identifiers ``X̂_p(t)`` form a proper
+coloring at every time ``t`` of every execution.  To test such lemmas we
+need more than final outputs: :class:`Trace` records, per time step, the
+activation set, the values written, the register-file snapshot, and the
+returns.  Recording is opt-in (``record_registers=True`` on the
+executor) since snapshots cost O(n) per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.types import ProcessId
+
+__all__ = ["StepEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """Everything that happened at one time step ``t``.
+
+    Attributes
+    ----------
+    time:
+        The global time ``t ≥ 1``.
+    activated:
+        The working processes activated at ``t`` (the paper's ``σ̄(t)``;
+        already-returned processes are filtered out by the engine).
+    writes:
+        ``{p: value}`` for each activated process — the register value
+        published at this step (the process's state at the end of its
+        previous activation, per Equation (1)).
+    returned:
+        ``{p: output}`` for the processes that fulfilled their stopping
+        condition at this step.
+    registers:
+        Full register-file snapshot *after* the writes of this step, or
+        ``None`` when register recording is off.
+    """
+
+    time: int
+    activated: FrozenSet[ProcessId]
+    writes: Dict[ProcessId, Any]
+    returned: Dict[ProcessId, Any]
+    registers: Optional[Tuple[Any, ...]]
+
+
+@dataclass
+class Trace:
+    """The ordered sequence of :class:`StepEvent` of one execution."""
+
+    events: List[StepEvent] = field(default_factory=list)
+
+    def append(self, event: StepEvent) -> None:
+        """Record one step (engine-internal)."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def activations_of(self, p: ProcessId) -> List[int]:
+        """The times at which process ``p`` was activated (working)."""
+        return [e.time for e in self.events if p in e.activated]
+
+    def return_time_of(self, p: ProcessId) -> Optional[int]:
+        """The time at which ``p`` returned, or ``None``."""
+        for e in self.events:
+            if p in e.returned:
+                return e.time
+        return None
+
+    def register_history(self, p: ProcessId) -> List[Tuple[int, Any]]:
+        """``(time, value)`` pairs for every write to ``R_p``.
+
+        Requires register recording; values repeat when ``p`` rewrites
+        the same payload.
+        """
+        history: List[Tuple[int, Any]] = []
+        for e in self.events:
+            if p in e.writes:
+                history.append((e.time, e.writes[p]))
+        return history
+
+    def final_registers(self) -> Optional[Tuple[Any, ...]]:
+        """The last recorded register snapshot, if any."""
+        for e in reversed(self.events):
+            if e.registers is not None:
+                return e.registers
+        return None

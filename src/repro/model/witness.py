@@ -1,0 +1,143 @@
+"""Witness serialization: save and replay executions as JSON artifacts.
+
+Findings like E13 are only as good as their reproducibility.  A
+*witness* packages everything needed to replay one execution —
+topology kind, identifiers, and the exact schedule steps — as a plain
+JSON document, so a violating schedule found by the explorer (or an
+interesting random run pinned by
+:class:`~repro.model.schedule.RecordedSchedule`) can be checked into a
+repository, attached to a bug report, and replayed bit-for-bit later.
+
+Only cycle and complete-graph topologies (the reproduction's subjects)
+plus explicit edge lists are supported; payload colors/outputs are not
+stored — replaying regenerates them deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import CompleteGraph, Cycle, GeneralGraph, Topology
+
+__all__ = ["Witness", "witness_from_outcome"]
+
+_FORMAT = "repro-witness-v1"
+
+
+@dataclass
+class Witness:
+    """A replayable execution description."""
+
+    topology: Topology
+    inputs: List[Any]
+    steps: List[frozenset]
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def schedule(self) -> FiniteSchedule:
+        """The witness's schedule."""
+        return FiniteSchedule(self.steps)
+
+    def replay(self, algorithm, *, max_time: int = 1_000_000,
+               record_registers: bool = False):
+        """Run ``algorithm`` on the witnessed instance."""
+        from repro.model.execution import run_execution
+
+        return run_execution(
+            algorithm, self.topology, self.inputs, self.schedule(),
+            max_time=max_time, record_registers=record_registers,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        if isinstance(self.topology, Cycle):
+            topo: Dict[str, Any] = {"kind": "cycle", "n": self.topology.n}
+        elif isinstance(self.topology, CompleteGraph):
+            topo = {"kind": "complete", "n": self.topology.n}
+        else:
+            topo = {
+                "kind": "edges",
+                "n": self.topology.n,
+                "edges": sorted(self.topology.edges()),
+            }
+        return json.dumps(
+            {
+                "format": _FORMAT,
+                "description": self.description,
+                "topology": topo,
+                "inputs": list(self.inputs),
+                "steps": [sorted(step) for step in self.steps],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Witness":
+        """Parse a witness serialized by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"witness is not valid JSON: {exc}") from exc
+        if data.get("format") != _FORMAT:
+            raise ReproError(
+                f"unsupported witness format {data.get('format')!r}"
+            )
+        topo_spec = data["topology"]
+        kind = topo_spec["kind"]
+        if kind == "cycle":
+            topology: Topology = Cycle(topo_spec["n"])
+        elif kind == "complete":
+            topology = CompleteGraph(topo_spec["n"])
+        elif kind == "edges":
+            topology = GeneralGraph(
+                topo_spec["n"], [tuple(e) for e in topo_spec["edges"]],
+            )
+        else:
+            raise ReproError(f"unknown topology kind {kind!r}")
+        return cls(
+            topology=topology,
+            inputs=list(data["inputs"]),
+            steps=[frozenset(step) for step in data["steps"]],
+            description=data.get("description", ""),
+        )
+
+    def save(self, path) -> None:
+        """Write the witness to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Witness":
+        """Read a witness from ``path``."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def witness_from_outcome(
+    topology: Topology,
+    inputs: Sequence[Any],
+    outcome,
+    *,
+    description: Optional[str] = None,
+) -> Witness:
+    """Package a :class:`~repro.lowerbounds.explorer.SearchOutcome`.
+
+    Raises :class:`ReproError` when the outcome carries no witness.
+    """
+    if outcome.witness is None:
+        raise ReproError("search outcome has no witness to package")
+    return Witness(
+        topology=topology,
+        inputs=list(inputs),
+        steps=list(outcome.witness),
+        description=description if description is not None else outcome.description,
+    )

@@ -1,0 +1,108 @@
+"""ASCII rendering of cycles, colorings and execution timelines.
+
+Small presentation helpers shared by the CLI and the examples: no
+external dependencies, plain text, suitable for piping into logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.model.execution import ExecutionResult
+from repro.model.topology import Topology
+from repro.model.trace import Trace
+from repro.types import ProcessId
+
+__all__ = ["render_cycle", "render_outputs", "render_timeline", "color_glyph"]
+
+#: Distinct glyphs for small palettes (index = color).
+_GLYPHS = "01234567896ABCDEF"
+
+
+def color_glyph(color: Any) -> str:
+    """A one-character glyph for a color (scalar or pair)."""
+    if isinstance(color, tuple):
+        return f"({color[0]},{color[1]})"
+    if isinstance(color, int) and 0 <= color < len(_GLYPHS):
+        return _GLYPHS[color]
+    return "?"
+
+
+def render_cycle(
+    inputs: Sequence[Any],
+    outputs: Optional[Dict[ProcessId, Any]] = None,
+    *,
+    width: int = 72,
+) -> str:
+    """Render a cycle's ids and (optionally) output colors as rows.
+
+    Example output for ``n = 6``::
+
+        pos    0    1    2    3    4    5
+        id    17    3   42    8   99   54
+        col    0    1    0    2    1    0
+    """
+    n = len(inputs)
+    outputs = outputs or {}
+    cell = max(4, max(len(str(x)) for x in inputs) + 1)
+    per_row = max(1, (width - 6) // cell)
+
+    lines = []
+    for start in range(0, n, per_row):
+        idx = range(start, min(start + per_row, n))
+        lines.append("pos " + "".join(str(i).rjust(cell) for i in idx))
+        lines.append("id  " + "".join(str(inputs[i]).rjust(cell) for i in idx))
+        if outputs:
+            lines.append(
+                "col "
+                + "".join(
+                    (str(outputs[i]) if i in outputs else "·").rjust(cell)
+                    for i in idx
+                )
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_outputs(result: ExecutionResult) -> str:
+    """One-line-per-process summary of an execution's outcome."""
+    lines = []
+    for p in range(result.n):
+        if p in result.outputs:
+            lines.append(
+                f"p{p}: color={result.outputs[p]!r} "
+                f"after {result.activations.get(p, 0)} activations "
+                f"(returned at t={result.return_times[p]})"
+            )
+        else:
+            lines.append(
+                f"p{p}: no output ({result.activations.get(p, 0)} activations)"
+            )
+    return "\n".join(lines)
+
+
+def render_timeline(
+    trace: Trace,
+    n: int,
+    *,
+    max_steps: int = 60,
+) -> str:
+    """A compact activation timeline: one row per process, one column
+    per time step; ``█`` = activated, ``R`` = returned, ``·`` = idle."""
+    events = trace.events[:max_steps]
+    rows = []
+    for p in range(n):
+        cells = []
+        for e in events:
+            if p in e.returned:
+                cells.append("R")
+            elif p in e.activated:
+                cells.append("█")
+            else:
+                cells.append("·")
+        rows.append(f"p{p:<3d} " + "".join(cells))
+    header = "     " + "".join(
+        str(e.time % 10) for e in events
+    )
+    suffix = "" if len(trace.events) <= max_steps else f"  (+{len(trace.events) - max_steps} more)"
+    return header + suffix + "\n" + "\n".join(rows)

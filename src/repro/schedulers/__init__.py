@@ -1,0 +1,50 @@
+"""The scheduler zoo: concrete adversaries for the asynchronous model.
+
+* :mod:`repro.schedulers.synchronous` — lock-step (LOCAL-model) runs;
+* :mod:`repro.schedulers.round_robin` — maximal sequentialization;
+* :mod:`repro.schedulers.random_async` — seeded random ensembles;
+* :mod:`repro.schedulers.adversarial` — proof-extracted adversaries
+  (solo runs, late wake-ups, starved chains, staggered wake-ups);
+* :mod:`repro.schedulers.composite` — phase/burst/interleave
+  combinators.
+
+Crash injection composes with all of these via
+:class:`repro.model.faults.CrashPlan`.
+"""
+
+from repro.schedulers.adversarial import (
+    AlternatingScheduler,
+    LateWakeupScheduler,
+    SlowChainScheduler,
+    SoloScheduler,
+    StaggeredScheduler,
+)
+from repro.schedulers.composite import (
+    BurstScheduler,
+    ConcatScheduler,
+    InterleaveScheduler,
+)
+from repro.schedulers.random_async import (
+    BernoulliScheduler,
+    GeometricRateScheduler,
+    UniformSubsetScheduler,
+)
+from repro.schedulers.round_robin import BlockRoundRobinScheduler, RoundRobinScheduler
+from repro.schedulers.synchronous import SynchronousScheduler
+
+__all__ = [
+    "AlternatingScheduler",
+    "BernoulliScheduler",
+    "BlockRoundRobinScheduler",
+    "BurstScheduler",
+    "ConcatScheduler",
+    "GeometricRateScheduler",
+    "InterleaveScheduler",
+    "LateWakeupScheduler",
+    "RoundRobinScheduler",
+    "SlowChainScheduler",
+    "SoloScheduler",
+    "StaggeredScheduler",
+    "SynchronousScheduler",
+    "UniformSubsetScheduler",
+]

@@ -1,0 +1,35 @@
+"""The synchronous (lock-step, failure-free) scheduler.
+
+Activates every process at every time step: the LOCAL-model schedule,
+and the schedule under which the paper's round-complexity lower bound
+(Property 2.2, via Linial) already bites.  Wait-free algorithms must of
+course also work here, and this is the natural schedule for measuring
+best-structured-case activation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.model.schedule import ActivationSet, Schedule
+
+__all__ = ["SynchronousScheduler"]
+
+
+class SynchronousScheduler(Schedule):
+    """``σ(t) = {0, …, n−1}`` for every ``t`` up to ``horizon``.
+
+    ``horizon`` only bounds the generator; for a terminating algorithm
+    the engine stops as soon as everyone returns.
+    """
+
+    def __init__(self, horizon: int = 10**9):
+        self.horizon = horizon
+
+    def steps(self, n: int) -> Iterator[ActivationSet]:
+        everyone = frozenset(range(n))
+        for _ in range(self.horizon):
+            yield everyone
+
+    def __repr__(self) -> str:
+        return "SynchronousScheduler()"

@@ -1,0 +1,19 @@
+"""Self-stabilization substrate and the (Δ+1)-coloring rule (§1.4).
+
+* :mod:`repro.selfstab.engine` — shared-variable model with a
+  daemon-driven move semantics;
+* :mod:`repro.selfstab.coloring` — id-priority greedy recoloring,
+  stabilizing from arbitrary corruption.
+"""
+
+from repro.selfstab.coloring import ColoringRule, NodeState, corrupt_states
+from repro.selfstab.engine import Rule, StabilizationResult, run_selfstab
+
+__all__ = [
+    "ColoringRule",
+    "NodeState",
+    "Rule",
+    "StabilizationResult",
+    "corrupt_states",
+    "run_selfstab",
+]

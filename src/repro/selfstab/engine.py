@@ -1,0 +1,131 @@
+"""Self-stabilization substrate (paper §1.4's other related model).
+
+Self-stabilizing coloring (e.g. [9, 10, 11, 12]) makes the *opposite*
+trade from the paper: the initial state may be arbitrarily corrupted
+(all variables adversarial), but the execution must be failure-free
+from then on; the paper instead assumes a clean start and tolerates
+crashes throughout.  Experiment E16 runs the two models side by side.
+
+The classic shared-variable model: each node holds an externally
+readable state; a *daemon* repeatedly selects nodes among the
+*enabled* ones (those whose guard holds given their neighbors' current
+states); selected nodes atomically apply their move.  We implement the
+**distributed daemon** (any non-empty subset of enabled nodes moves
+simultaneously, reading pre-move states) — the central daemon (exactly
+one node per step) is the special case of singleton selections, and the
+same :class:`~repro.model.schedule.Schedule` zoo drives selections,
+restricted to enabled nodes.
+
+An execution is *stabilized* once no node is enabled; the
+stabilization time is the number of moves performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.model.schedule import Schedule, validate_step
+from repro.model.topology import Topology
+from repro.types import ProcessId
+
+__all__ = ["Rule", "StabilizationResult", "run_selfstab"]
+
+
+class Rule:
+    """A self-stabilizing rule: a guard and a move, per node.
+
+    Subclasses implement :meth:`enabled` and :meth:`move`; node states
+    are opaque values read directly by neighbors (the shared-variable
+    model has no registers/buffers — neighbors' *current* states are
+    always visible).
+    """
+
+    name = "selfstab-rule"
+
+    def enabled(self, state: Any, neighbor_states: Tuple[Any, ...]) -> bool:
+        """Whether the node may move given its neighbors' states."""
+        raise NotImplementedError
+
+    def move(self, state: Any, neighbor_states: Tuple[Any, ...]) -> Any:
+        """The node's new state (applied atomically)."""
+        raise NotImplementedError
+
+    def legitimate(self, states: Sequence[Any], topology: Topology) -> bool:
+        """Whether a global configuration is legitimate (for reporting)."""
+        raise NotImplementedError
+
+
+@dataclass
+class StabilizationResult:
+    """Outcome of one self-stabilizing execution."""
+
+    states: List[Any]
+    moves: int
+    steps: int
+    stabilized: bool
+    moves_per_node: Dict[ProcessId, int]
+
+    @property
+    def max_moves(self) -> int:
+        """Largest per-node move count."""
+        return max(self.moves_per_node.values(), default=0)
+
+
+def run_selfstab(
+    rule: Rule,
+    topology: Topology,
+    initial_states: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_steps: int = 100_000,
+) -> StabilizationResult:
+    """Run ``rule`` from a (possibly corrupted) initial configuration.
+
+    Each schedule step proposes an activation set; the daemon move is
+    its intersection with the enabled nodes (empty intersections cost a
+    step but no moves).  Stops when no node is enabled, the schedule
+    ends, or ``max_steps`` elapse.
+    """
+    if len(initial_states) != topology.n:
+        raise ExecutionError(
+            f"got {len(initial_states)} states for {topology.n} nodes"
+        )
+    states = list(initial_states)
+    moves = 0
+    steps = 0
+    moves_per_node: Dict[ProcessId, int] = {p: 0 for p in topology.processes()}
+
+    def enabled_set() -> List[ProcessId]:
+        return [
+            p
+            for p in topology.processes()
+            if rule.enabled(
+                states[p], tuple(states[q] for q in topology.neighbors(p))
+            )
+        ]
+
+    for raw_step in schedule.steps(topology.n):
+        if not enabled_set():
+            return StabilizationResult(states, moves, steps, True, moves_per_node)
+        if steps >= max_steps:
+            break
+        steps += 1
+        movers = [
+            p for p in validate_step(raw_step, topology.n) if p in enabled_set()
+        ]
+        if not movers:
+            continue
+        snapshot = list(states)  # distributed daemon: read pre-move states
+        for p in movers:
+            states[p] = rule.move(
+                snapshot[p], tuple(snapshot[q] for q in topology.neighbors(p))
+            )
+            moves += 1
+            moves_per_node[p] += 1
+
+    return StabilizationResult(
+        states, moves, steps, stabilized=not enabled_set(),
+        moves_per_node=moves_per_node,
+    )

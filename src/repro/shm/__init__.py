@@ -1,0 +1,40 @@
+"""The shared-memory substrate and the paper's model reductions.
+
+* :mod:`repro.shm.layer` — immediate-snapshot shared memory as the
+  complete-graph instance of the state model;
+* :mod:`repro.shm.renaming` — wait-free rank-based (2n−1)-renaming
+  (Attiya et al. [3]), the baseline the paper's palette bound rests on;
+* :mod:`repro.shm.tasks` — renaming / SSB / MIS task specifications;
+* :mod:`repro.shm.simulation` — the Property 2.1 and 2.3 reductions.
+"""
+
+from repro.shm.layer import run_shared_memory, shared_memory_system
+from repro.shm.renaming import (
+    RankRenaming,
+    RenamingRegister,
+    RenamingState,
+    renaming_namespace,
+)
+from repro.shm.simulation import (
+    CycleInSharedMemory,
+    SimInput,
+    run_cycle_in_shared_memory,
+    run_mis_as_ssb,
+)
+from repro.shm.tasks import MISSpec, RenamingSpec, SSBSpec
+
+__all__ = [
+    "CycleInSharedMemory",
+    "MISSpec",
+    "RankRenaming",
+    "RenamingRegister",
+    "RenamingSpec",
+    "RenamingState",
+    "SSBSpec",
+    "SimInput",
+    "renaming_namespace",
+    "run_cycle_in_shared_memory",
+    "run_mis_as_ssb",
+    "run_shared_memory",
+    "shared_memory_system",
+]

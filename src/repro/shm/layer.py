@@ -1,0 +1,64 @@
+"""The classic shared-memory substrate with immediate snapshots (§2.1).
+
+The paper's model is the shared-memory model *restricted by a graph*;
+conversely, the unrestricted model is recovered by running the same
+engine on the complete graph: every process reads every register, and
+the batched write-then-read-all semantics of
+:class:`~repro.model.execution.Executor` gives exactly the immediate-
+snapshot communication primitive the paper describes (all concurrently
+activated processes first write, then all read everything).
+
+This module packages that correspondence: :func:`run_shared_memory`
+runs any :class:`~repro.core.algorithm.Algorithm` in an ``n``-process
+immediate-snapshot shared-memory system.  It is the substrate for the
+(2n−1)-renaming baseline (:mod:`repro.shm.renaming`) and for the
+paper's two reductions (:mod:`repro.shm.simulation`).
+
+Note on views: in the complete graph, process ``p``'s neighbor tuple is
+``(0, …, p−1, p+1, …, n−1)`` in that order, so a shared-memory
+algorithm sees a full snapshot minus its own register — its own state
+is available directly.  Algorithms needing their own published value
+can recompute it via :meth:`register_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.model.execution import ExecutionResult, run_execution
+from repro.model.schedule import Schedule
+from repro.model.topology import CompleteGraph
+
+__all__ = ["run_shared_memory", "shared_memory_system"]
+
+
+def shared_memory_system(n: int) -> CompleteGraph:
+    """The topology realizing an ``n``-process shared-memory system."""
+    return CompleteGraph(n)
+
+
+def run_shared_memory(
+    algorithm,
+    inputs: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_time: int = 1_000_000,
+    record_trace: bool = False,
+    record_registers: bool = False,
+) -> ExecutionResult:
+    """Run ``algorithm`` in an immediate-snapshot shared-memory system.
+
+    Equivalent to :func:`repro.model.execution.run_execution` on
+    :class:`~repro.model.topology.CompleteGraph` — stated as its own
+    entry point because the shared-memory papers the reproduction
+    leans on ([3], [6], [7]) are phrased in this model.
+    """
+    return run_execution(
+        algorithm,
+        shared_memory_system(len(inputs)),
+        inputs,
+        schedule,
+        max_time=max_time,
+        record_trace=record_trace,
+        record_registers=record_registers,
+    )

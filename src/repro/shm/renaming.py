@@ -1,0 +1,103 @@
+"""Wait-free (2n−1)-renaming in shared memory (Attiya et al. [3]).
+
+The paper's closest algorithmic ancestor: rank-based renaming
+([7, Algorithm 55]; [3, Step 4 of Algorithm A]).  Each process
+repeatedly suggests a name; on conflict it re-suggests the ``r``-th
+smallest name not suggested by anyone else, where ``r`` is the rank of
+its identifier among the processes it currently sees:
+
+    Initially: suggestion s_p ← 0
+    Forever:
+        write (X_p, s_p); read all registers
+        if s_q = s_p for some other participating q:
+            r ← rank of X_p in { X_q : q participating } (1-based)
+            s_p ← r-th smallest natural not in { s_q : q ≠ p }
+        else:
+            return s_p
+
+Guarantees, in the immediate-snapshot shared-memory model:
+
+* **wait-free** — every process returns in a bounded number of its own
+  steps regardless of others;
+* **uniqueness** — returned names are pairwise distinct;
+* **namespace** — names lie in ``{0, …, 2n−2}`` (``2n−1`` names): a
+  process of rank ``r`` among at most ``n`` participants skips at most
+  ``n−1`` taken names before its ``r``-th free one, so suggestions
+  never exceed ``(n−1) + (r−1) ≤ 2n−2``.
+
+The lower bound side (Attiya–Paz [6], Castañeda–Rajsbaum [14]) —
+``2n−1`` names are *necessary* when ``n`` is a power of a prime — is
+what gives the paper's Property 2.3: on ``C_3`` (= 3-process shared
+memory) at least ``2·3−1 = 5`` colors are needed, matching the 5-color
+palette of Algorithms 2–3.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views
+
+__all__ = ["RankRenaming", "RenamingState", "RenamingRegister", "renaming_namespace"]
+
+
+def renaming_namespace(n: int) -> range:
+    """The guaranteed output namespace ``{0, …, 2n−2}``."""
+    return range(2 * n - 1)
+
+
+class RenamingState(NamedTuple):
+    """Private state of a renaming process."""
+
+    x: int   #: the original identifier X_p
+    s: int   #: the current name suggestion
+
+
+class RenamingRegister(NamedTuple):
+    """Public register payload ``(X_p, s_p)``."""
+
+    x: int
+    s: int
+
+
+class RankRenaming(Algorithm):
+    """Rank-based wait-free (2n−1)-renaming, for the complete graph.
+
+    Run it with :func:`repro.shm.layer.run_shared_memory`; on any other
+    topology the rank computation sees only neighbors and the
+    uniqueness guarantee degrades to neighborhood-uniqueness — which is
+    exactly the cycle-renaming task of the paper, but without the
+    paper's constant-palette guarantee (suggestions are unbounded-rank
+    based).  Tests exercise the complete-graph case.
+    """
+
+    name = "rank-renaming"
+
+    def initial_state(self, x_input: int) -> RenamingState:
+        """Start suggesting name 0."""
+        return RenamingState(x=x_input, s=0)
+
+    def register_value(self, state: RenamingState) -> RenamingRegister:
+        """Publish ``(X_p, s_p)``."""
+        return RenamingRegister(x=state.x, s=state.s)
+
+    def step(self, state: RenamingState, views: Tuple) -> StepOutcome:
+        """One suggest-or-return round."""
+        others = active_views(views)
+        conflict = any(v.s == state.s for v in others)
+        if not conflict:
+            return StepOutcome.ret(state, state.s)
+
+        participants = [v.x for v in others] + [state.x]
+        rank = sorted(participants).index(state.x) + 1  # 1-based
+        taken = {v.s for v in others}
+        # r-th smallest natural not taken by anyone else.
+        name = 0
+        remaining = rank
+        while True:
+            if name not in taken:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            name += 1
+        return StepOutcome.cont(RenamingState(x=state.x, s=name))

@@ -1,0 +1,148 @@
+"""The paper's two model reductions, implemented as simulations (§2.3).
+
+**Property 2.3's equivalence** — on ``C_3`` the paper's model *is* the
+3-process shared-memory model, because each node's two neighbors are
+all other processes.  More generally, :class:`CycleInSharedMemory`
+simulates any cycle algorithm inside a shared-memory system: process
+``p_i`` runs the code of cycle node ``i``, reading the full snapshot
+but *discarding* every register except those of ``i ± 1 (mod n)``.
+This is the direction "shared memory is at least as strong as the
+cycle model"; on ``n = 3`` the discarded set is empty and the two
+models coincide exactly — which is how the ``2n−1 = 5`` renaming lower
+bound transfers to cycle coloring.
+
+**Property 2.1's reduction** — a wait-free MIS algorithm for ``C_n``
+would solve strong symmetry breaking (SSB) in ``n``-process shared
+memory, contradicting Attiya–Paz.  :func:`run_mis_as_ssb` implements
+the construction of the proof verbatim: simulate the MIS algorithm on
+the cycle inside shared memory and read the MIS bits as SSB outputs.
+Since SSB is unsolvable, every *candidate* MIS algorithm must fail;
+:mod:`repro.lowerbounds.mis` searches for the failing schedules, and
+this module translates each failure into an SSB failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Sequence, Tuple
+
+from repro.core.algorithm import Algorithm, StepOutcome
+from repro.errors import ExecutionError
+from repro.model.execution import ExecutionResult
+from repro.model.schedule import Schedule
+from repro.shm.layer import run_shared_memory
+from repro.shm.tasks import SSBSpec
+from repro.types import BOTTOM
+
+__all__ = ["CycleInSharedMemory", "SimInput", "run_cycle_in_shared_memory", "run_mis_as_ssb"]
+
+
+class SimInput(NamedTuple):
+    """Input of a simulating shared-memory process.
+
+    ``index`` is the cycle position the process simulates, ``n`` the
+    cycle length, and ``x`` the identifier handed to the simulated
+    cycle node.
+    """
+
+    index: int
+    n: int
+    x: Any
+
+
+class _SimRegister(NamedTuple):
+    """Public payload: the simulated node's position and its register."""
+
+    index: int
+    inner: Any
+
+
+class CycleInSharedMemory(Algorithm):
+    """Simulate a cycle algorithm inside a shared-memory system.
+
+    Process ``p_i`` (input ``SimInput(i, n, x_i)``) runs ``inner`` as
+    cycle node ``i`` with neighbors ``i ± 1 (mod n)``: from the full
+    immediate snapshot it extracts exactly the two neighbors' simulated
+    registers and feeds them to ``inner.step``.  Outputs pass through
+    unchanged.
+    """
+
+    def __init__(self, inner: Algorithm):
+        self.inner = inner
+        self.name = f"shm-simulation({inner.name})"
+
+    def initial_state(self, x_input: SimInput):
+        """Wrap the inner node state with its cycle position."""
+        if not isinstance(x_input, SimInput):
+            raise ExecutionError(
+                "CycleInSharedMemory inputs must be SimInput(index, n, x)"
+            )
+        return (x_input.index, x_input.n, self.inner.initial_state(x_input.x))
+
+    def register_value(self, state) -> _SimRegister:
+        """Publish the simulated node's register, tagged with its position."""
+        index, _n, inner_state = state
+        return _SimRegister(index=index, inner=self.inner.register_value(inner_state))
+
+    def step(self, state, views: Tuple) -> StepOutcome:
+        """Filter the snapshot to the two cycle neighbors and delegate."""
+        index, n, inner_state = state
+        left = (index - 1) % n
+        right = (index + 1) % n
+        view_left = BOTTOM
+        view_right = BOTTOM
+        for v in views:
+            if v is BOTTOM:
+                continue
+            if v.index == left:
+                view_left = v.inner
+            if v.index == right:
+                view_right = v.inner
+        inner_views = (view_left, view_right) if left != right else (view_left,)
+        outcome = self.inner.step(inner_state, inner_views)
+        new_state = (index, n, outcome.state)
+        if outcome.returned:
+            return StepOutcome.ret(new_state, outcome.output)
+        return StepOutcome.cont(new_state)
+
+
+def run_cycle_in_shared_memory(
+    inner: Algorithm,
+    identifiers: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_time: int = 1_000_000,
+) -> ExecutionResult:
+    """Run a cycle algorithm on ``C_n`` simulated in shared memory.
+
+    Process ``p_i`` simulates cycle node ``i`` with identifier
+    ``identifiers[i]``.
+    """
+    n = len(identifiers)
+    inputs = [SimInput(index=i, n=n, x=identifiers[i]) for i in range(n)]
+    return run_shared_memory(
+        CycleInSharedMemory(inner), inputs, schedule, max_time=max_time
+    )
+
+
+def run_mis_as_ssb(
+    mis_algorithm: Algorithm,
+    identifiers: Sequence[Any],
+    schedule: Schedule,
+    *,
+    max_time: int = 1_000_000,
+):
+    """Property 2.1's construction: candidate cycle-MIS ⇒ SSB attempt.
+
+    Returns ``(result, violations)`` where ``violations`` are the SSB
+    spec violations of the simulated execution.  For a *correct* MIS
+    algorithm the list would always be empty — which is impossible, so
+    for every candidate there exists a schedule yielding violations
+    (found by :mod:`repro.lowerbounds.mis`); this function verifies a
+    given schedule exhibits one.
+    """
+    n = len(identifiers)
+    result = run_cycle_in_shared_memory(
+        mis_algorithm, identifiers, schedule, max_time=max_time
+    )
+    violations = SSBSpec(n).check(result.outputs)
+    return result, violations

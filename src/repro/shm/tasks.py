@@ -1,0 +1,124 @@
+"""Task specifications: renaming, strong symmetry breaking, MIS (§2.3).
+
+A *task specification* judges the outputs of one execution.  Because
+processes may crash, specifications quantify over the *terminating*
+processes only; each ``check`` method returns a list of human-readable
+violation strings (empty = execution satisfies the task).
+
+* :class:`RenamingSpec` — names unique and within ``{0, …, k−1}``;
+* :class:`SSBSpec` — strong symmetry breaking, the task the MIS
+  impossibility (Property 2.1) reduces to.  Attiya–Paz [6, Thm 11]
+  prove SSB has no wait-free shared-memory solution:
+  (1) if **all** processes terminate, at least one outputs 0 and at
+  least one outputs 1; (2) in **every** execution (with at least one
+  terminating process), at least one process outputs 1;
+* :class:`MISSpec` — maximal independent set on a graph:
+  (1) every terminated 0-process has a terminated neighbor that
+  output 1; (2) no two adjacent terminated processes both output 1.
+
+Note the adversarial reading of MIS condition (1): the adversary may
+end the execution at any point, so a process that terminates with
+output 0 *before* any neighbor has terminated with 1 is already a lost
+position — :meth:`MISSpec.doomed` detects it, which is what the
+bounded falsifier of :mod:`repro.lowerbounds.mis` searches for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.model.topology import Topology
+from repro.types import ProcessId
+
+__all__ = ["RenamingSpec", "SSBSpec", "MISSpec"]
+
+
+@dataclass
+class RenamingSpec:
+    """``k``-renaming among ``n`` processes: unique names in ``0..k−1``."""
+
+    n: int
+    k: int
+
+    def check(self, outputs: Dict[ProcessId, Any]) -> List[str]:
+        """Violations of uniqueness / namespace among terminated processes."""
+        violations = []
+        seen: Dict[Any, ProcessId] = {}
+        for p, name in sorted(outputs.items()):
+            if not isinstance(name, int) or not (0 <= name < self.k):
+                violations.append(f"process {p} output {name!r} outside 0..{self.k - 1}")
+            if name in seen:
+                violations.append(
+                    f"processes {seen[name]} and {p} both took name {name!r}"
+                )
+            else:
+                seen[name] = p
+        return violations
+
+
+@dataclass
+class SSBSpec:
+    """Strong symmetry breaking for ``n`` processes (outputs in {0,1})."""
+
+    n: int
+
+    def check(self, outputs: Dict[ProcessId, Any]) -> List[str]:
+        """Violations of the two SSB conditions on one execution."""
+        violations = []
+        for p, v in outputs.items():
+            if v not in (0, 1):
+                violations.append(f"process {p} output {v!r}, not a bit")
+        values = set(outputs.values())
+        if len(outputs) == self.n:
+            if 0 not in values:
+                violations.append("all processes terminated but none output 0")
+            if 1 not in values:
+                violations.append("all processes terminated but none output 1")
+        if outputs and 1 not in values:
+            violations.append("some processes terminated but none output 1")
+        return violations
+
+
+@dataclass
+class MISSpec:
+    """Maximal independent set on ``topology`` (outputs in {0,1})."""
+
+    topology: Topology
+
+    def check(self, outputs: Dict[ProcessId, Any]) -> List[str]:
+        """Violations of the MIS conditions among terminated processes.
+
+        Judges a *finished* execution: processes outside ``outputs``
+        never terminate.
+        """
+        violations = []
+        for p, v in outputs.items():
+            if v not in (0, 1):
+                violations.append(f"process {p} output {v!r}, not a bit")
+        for p, v in outputs.items():
+            if v != 0:
+                continue
+            nbr_ones = [
+                q
+                for q in self.topology.neighbors(p)
+                if outputs.get(q) == 1
+            ]
+            if not nbr_ones:
+                violations.append(
+                    f"process {p} output 0 with no terminated 1-neighbor"
+                )
+        for p, q in self.topology.edges():
+            if outputs.get(p) == 1 and outputs.get(q) == 1:
+                violations.append(f"adjacent processes {p}, {q} both output 1")
+        return violations
+
+    def doomed(self, outputs: Dict[ProcessId, Any]) -> List[str]:
+        """Violations already unavoidable mid-execution.
+
+        The adversary can stop the schedule now, so (i) two adjacent
+        terminated 1s and (ii) a terminated 0 without a terminated
+        1-neighbor are both losing positions — for (ii), crashing the
+        remaining processes finishes the violating execution.
+        """
+        return self.check(outputs)

@@ -1,0 +1,160 @@
+"""Self-contained SVG rendering of executions (no dependencies).
+
+Produces publication-ready vector graphics for the two artifacts people
+actually put in papers and bug reports:
+
+* :func:`svg_timeline` — the activation timeline of an execution
+  (one row per process, one column per time step; activations, returns
+  and idleness distinguished), e.g. the E13 livelock's tell-tale
+  two-process lockstep band;
+* :func:`svg_ring` — the colored ring: nodes on a circle, filled with
+  their output colors, pending/crashed nodes hollow.
+
+Pure string assembly; written files are valid standalone ``.svg``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence
+
+from repro.model.execution import ExecutionResult
+from repro.model.trace import Trace
+from repro.types import ProcessId
+
+__all__ = ["svg_timeline", "svg_ring", "COLOR_WHEEL"]
+
+#: Fill colors for output palette indices 0..9.
+COLOR_WHEEL = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+_CELL = 14
+_PAD = 40
+
+
+def _color_of(output: Any) -> str:
+    if isinstance(output, tuple):
+        # Pair palettes: canonical triangular index.
+        index = {(0, 0): 0, (0, 1): 1, (1, 0): 2, (0, 2): 3, (1, 1): 4, (2, 0): 5}
+        return COLOR_WHEEL[index.get(output, 9) % len(COLOR_WHEEL)]
+    if isinstance(output, int) and output >= 0:
+        return COLOR_WHEEL[output % len(COLOR_WHEEL)]
+    return "#888888"
+
+
+def svg_timeline(trace: Trace, n: int, *, max_steps: int = 120) -> str:
+    """An SVG activation timeline of a traced execution."""
+    events = trace.events[:max_steps]
+    width = _PAD + len(events) * _CELL + _PAD
+    height = _PAD + n * _CELL + _PAD
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<style>text{font:10px monospace;fill:#333}</style>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for p in range(n):
+        y = _PAD + p * _CELL
+        parts.append(f'<text x="6" y="{y + 10}">p{p}</text>')
+        for i, event in enumerate(events):
+            x = _PAD + i * _CELL
+            if p in event.returned:
+                fill = _color_of(event.returned[p])
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{_CELL - 2}" '
+                    f'height="{_CELL - 2}" fill="{fill}" stroke="#222"/>'
+                )
+            elif p in event.activated:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{_CELL - 2}" '
+                    f'height="{_CELL - 2}" fill="#cfcfcf"/>'
+                )
+            else:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{_CELL - 2}" '
+                    f'height="{_CELL - 2}" fill="#f4f4f4"/>'
+                )
+    for i in range(0, len(events), 5):
+        parts.append(
+            f'<text x="{_PAD + i * _CELL}" y="{_PAD - 8}">{i + 1}</text>'
+        )
+    parts.append(
+        f'<text x="{_PAD}" y="{height - 12}">grey = activated, '
+        "colored = returned (output color), pale = idle</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_ring(
+    inputs: Sequence[Any],
+    outputs: Optional[Dict[ProcessId, Any]] = None,
+    *,
+    radius: int = 120,
+) -> str:
+    """An SVG picture of the ring with output colors."""
+    n = len(inputs)
+    outputs = outputs or {}
+    size = 2 * radius + 2 * _PAD + 40
+    center = size / 2
+    node_r = max(8, min(16, int(2.2 * radius * math.pi / max(n, 1) / 3)))
+
+    def position(i: int):
+        angle = 2 * math.pi * i / n - math.pi / 2
+        return (
+            center + radius * math.cos(angle),
+            center + radius * math.sin(angle),
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        '<style>text{font:9px monospace;fill:#333;text-anchor:middle}</style>',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    for i in range(n):
+        x1, y1 = position(i)
+        x2, y2 = position((i + 1) % n)
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="#999"/>'
+        )
+    for i in range(n):
+        x, y = position(i)
+        if i in outputs:
+            fill = _color_of(outputs[i])
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_r}" '
+                f'fill="{fill}" stroke="#222"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_r}" '
+                'fill="white" stroke="#c33" stroke-dasharray="3,2"/>'
+            )
+        parts.append(f'<text x="{x:.1f}" y="{y + node_r + 11:.1f}">{inputs[i]}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_execution_svgs(
+    result: ExecutionResult,
+    inputs: Sequence[Any],
+    basename: str,
+) -> list:
+    """Write ``<basename>_ring.svg`` (always) and
+    ``<basename>_timeline.svg`` (when the result carries a trace);
+    returns the written paths."""
+    written = []
+    ring_path = f"{basename}_ring.svg"
+    with open(ring_path, "w", encoding="utf-8") as handle:
+        handle.write(svg_ring(inputs, result.outputs))
+    written.append(ring_path)
+    if result.trace is not None:
+        timeline_path = f"{basename}_timeline.svg"
+        with open(timeline_path, "w", encoding="utf-8") as handle:
+            handle.write(svg_timeline(result.trace, result.n))
+        written.append(timeline_path)
+    return written

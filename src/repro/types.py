@@ -1,0 +1,67 @@
+"""Shared type aliases and sentinels used across the library.
+
+The paper's model (Section 2.1) initializes every single-writer register
+with a distinguished value ``⊥`` that no algorithm ever writes.  We
+model it with the :data:`BOTTOM` singleton so that ``⊥`` compares
+unequal to every payload an algorithm can produce, and so that
+accidental arithmetic on an uninitialized register fails loudly instead
+of silently producing a bogus color.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+__all__ = [
+    "BOTTOM",
+    "Bottom",
+    "Color",
+    "ColorPair",
+    "ProcessId",
+    "Time",
+]
+
+
+class Bottom:
+    """Singleton sentinel for an uninitialized register (the paper's ``⊥``).
+
+    ``Bottom`` is falsy, hashable, and reprs as ``⊥``.  Exactly one
+    instance exists, exposed as :data:`BOTTOM`; identity comparison
+    (``value is BOTTOM``) is the idiomatic check.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Keep the singleton property across pickling (used by the
+        # bounded explorer when hashing configurations).
+        return (Bottom, ())
+
+
+BOTTOM = Bottom()
+
+#: Identifier of a process; the engine uses 0..n-1 positions on the cycle.
+ProcessId = int
+
+#: Discrete global time of the schedule, starting at 1 as in Section 2.2.
+Time = int
+
+#: A scalar output color (Algorithms 2 and 3 output colors in {0..4}).
+Color = int
+
+#: A pair color (Algorithms 1 and 4 output pairs (a, b) with a+b bounded).
+ColorPair = Tuple[int, int]
+
+#: Anything an algorithm may output.
+AnyColor = Union[Color, ColorPair]

@@ -1,0 +1,117 @@
+"""Unit tests for monotone-chain analysis (repro.analysis.chains)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chains import (
+    chain_profile,
+    is_local_extremum,
+    is_local_max,
+    is_local_min,
+    local_maxima,
+    local_minima,
+    longest_monotone_run,
+    monotone_distance_to_max,
+    monotone_distance_to_min,
+)
+
+
+class TestExtrema:
+    def test_simple_ring(self):
+        ids = [5, 1, 9, 3]  # maxima at 0? 5 vs (3,1): yes; 9 vs (1,3): yes
+        assert is_local_max(ids, 0)
+        assert is_local_max(ids, 2)
+        assert is_local_min(ids, 1)
+        assert is_local_min(ids, 3)
+        assert all(is_local_extremum(ids, i) for i in range(4))
+
+    def test_monotone_ring(self):
+        ids = list(range(6))
+        assert local_maxima(ids) == [5]
+        assert local_minima(ids) == [0]
+        assert not is_local_extremum(ids, 3)
+
+    def test_counts_balance(self):
+        """A ring always has equally many maxima and minima."""
+        for seed in range(10):
+            from repro.analysis.inputs import random_distinct_ids
+
+            ids = random_distinct_ids(12, seed=seed)
+            assert len(local_maxima(ids)) == len(local_minima(ids)) >= 1
+
+
+class TestMonotoneDistances:
+    def test_monotone_ring_distances(self):
+        ids = list(range(8))
+        # position i climbs to the max (7) in 7-i steps (going up),
+        # except position 0, which is the minimum itself.
+        assert monotone_distance_to_max(ids, 3) == 4
+        assert monotone_distance_to_max(ids, 7) == 0
+        assert monotone_distance_to_min(ids, 3) == 3
+        assert monotone_distance_to_min(ids, 0) == 0
+
+    def test_local_min_takes_shorter_ascent(self):
+        ids = [0, 5, 9, 4, 8, 2]  # min at 0: ascents 0-5-9 (2) and 0-2-8 (2)
+        assert monotone_distance_to_max(ids, 0) == 2
+
+    def test_extremum_distance_zero(self):
+        ids = [3, 7, 1, 9, 0, 5]
+        for i in local_maxima(ids):
+            assert monotone_distance_to_max(ids, i) == 0
+        for i in local_minima(ids):
+            assert monotone_distance_to_min(ids, i) == 0
+
+
+class TestLongestRun:
+    def test_monotone_is_n(self):
+        assert longest_monotone_run(list(range(10))) == 10
+
+    def test_zigzag_is_two(self):
+        from repro.analysis.inputs import zigzag_ids
+
+        assert longest_monotone_run(zigzag_ids(10)) == 2
+
+    def test_sawtooth_run_length(self):
+        from repro.analysis.inputs import sawtooth_ids
+
+        ids = sawtooth_ids(20, run=5)
+        assert 5 <= longest_monotone_run(ids) <= 7
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_run_at_least_two(self, seed):
+        from repro.analysis.inputs import random_distinct_ids
+
+        ids = random_distinct_ids(9, seed=seed)
+        assert 2 <= longest_monotone_run(ids) <= 9
+
+
+class TestChainProfile:
+    def test_profile_consistency(self):
+        ids = list(range(7))
+        profile = chain_profile(ids)
+        assert profile.n == 7
+        assert profile.num_maxima == profile.num_minima == 1
+        assert profile.longest_run == 7
+        assert profile.distances_to_max == [
+            monotone_distance_to_max(ids, i) for i in range(7)
+        ]
+
+    def test_alg1_bound_extrema(self):
+        profile = chain_profile([1, 5, 2, 9, 0, 4])
+        for i in range(6):
+            if profile.distances_to_max[i] == 0 or profile.distances_to_min[i] == 0:
+                assert profile.alg1_bound(i) == 4
+
+    def test_alg1_bound_formula(self):
+        profile = chain_profile(list(range(10)))
+        i = 4  # distances 5 (to max) and 4 (to min)
+        assert profile.alg1_bound(i) == min(15, 12, 9) + 4
+
+    def test_worst_bounds_dominate(self):
+        profile = chain_profile(list(range(12)))
+        assert profile.worst_alg1_bound == max(
+            profile.alg1_bound(i) for i in range(12)
+        )
+        assert profile.worst_alg2_bound >= profile.worst_alg1_bound - 8

@@ -1,0 +1,80 @@
+"""Unit tests for complexity accounting (repro.analysis.complexity)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    fit_against,
+    fit_linear,
+    fit_logstar,
+    lemma_3_9_bound,
+    lemma_3_14_bound,
+    logstar_budget,
+    summarize_activations,
+    theorem_3_1_bound,
+    theorem_3_11_bound,
+)
+from repro.core.coin_tossing import log_star
+
+
+class TestBoundFunctions:
+    @pytest.mark.parametrize("n,expected", [(3, 8), (4, 10), (10, 19), (100, 154)])
+    def test_theorem_3_1(self, n, expected):
+        assert theorem_3_1_bound(n) == expected
+
+    def test_lemma_3_9_extrema(self):
+        assert lemma_3_9_bound(0, 5) == 4
+        assert lemma_3_9_bound(5, 0) == 4
+
+    def test_lemma_3_9_general(self):
+        assert lemma_3_9_bound(2, 10) == min(6, 30, 12) + 4
+
+    def test_lemma_3_14(self):
+        assert lemma_3_14_bound(7) == 25
+
+    def test_theorem_3_11(self):
+        assert theorem_3_11_bound(10) == 38
+
+    def test_logstar_budget_monotone(self):
+        assert logstar_budget(4) <= logstar_budget(4096) <= logstar_budget(2 ** 64)
+
+
+class TestSummarize:
+    def test_summary(self):
+        from repro.core.coloring5 import FiveColoring
+        from repro.model.execution import run_execution
+        from repro.model.topology import Cycle
+        from repro.schedulers import SynchronousScheduler
+
+        result = run_execution(
+            FiveColoring(), Cycle(6), [3, 8, 1, 9, 2, 7], SynchronousScheduler(),
+        )
+        summary = summarize_activations(result)
+        assert summary.n == 6
+        assert summary.terminated == 6
+        assert summary.max == result.round_complexity
+        assert 0 < summary.mean <= summary.max
+        assert "max=" in str(summary)
+
+
+class TestFits:
+    def test_exact_linear(self):
+        slope, intercept = fit_against([1, 2, 3, 4], [3, 5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_fit_linear_recovers_linear_data(self):
+        ns = [16, 32, 64, 128]
+        slope, _ = fit_linear(ns, [3 * n + 8 for n in ns])
+        assert slope == pytest.approx(3.0)
+
+    def test_fit_logstar_recovers_logstar_data(self):
+        ns = [4, 16, 64, 4096, 2 ** 17]
+        slope, intercept = fit_logstar(ns, [7 * log_star(n) + 2 for n in ns])
+        assert slope == pytest.approx(7.0)
+        assert intercept == pytest.approx(2.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            fit_against([1], [2])
+        with pytest.raises(ValueError):
+            fit_against([2, 2], [1, 3])

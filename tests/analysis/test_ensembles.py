@@ -1,0 +1,76 @@
+"""Tests for ensemble statistics (repro.analysis.ensembles)."""
+
+import pytest
+
+from repro.analysis.ensembles import Distribution, EnsembleReport, run_ensemble
+from repro.analysis.inputs import monotone_ids, random_distinct_ids, zigzag_ids
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.model.topology import Cycle
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+
+class TestDistribution:
+    def test_of_sample(self):
+        dist = Distribution.of([3, 1, 4, 1, 5, 9, 2, 6])
+        assert dist.count == 8
+        assert dist.minimum == 1
+        assert dist.maximum == 9
+        assert dist.p50 == 3
+        assert dist.mean == pytest.approx(31 / 8)
+
+    def test_singleton(self):
+        dist = Distribution.of([7])
+        assert dist.minimum == dist.maximum == dist.p50 == dist.p95 == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.of([])
+
+    def test_str(self):
+        assert "p95" in str(Distribution.of([1, 2]))
+
+
+class TestRunEnsemble:
+    def _report(self) -> EnsembleReport:
+        n = 12
+        return run_ensemble(
+            FastFiveColoring,
+            Cycle(n),
+            [monotone_ids(n), zigzag_ids(n), random_distinct_ids(n, seed=1)],
+            [
+                ("sync", SynchronousScheduler()),
+                ("rr", RoundRobinScheduler()),
+                ("bern", BernoulliScheduler(p=0.5, seed=0)),
+            ],
+            palette=range(5),
+        )
+
+    def test_grid_size(self):
+        report = self._report()
+        assert report.runs == 9
+
+    def test_all_verified(self):
+        report = self._report()
+        assert report.all_ok
+        assert report.terminated_runs == report.proper_runs == 9
+
+    def test_distributions_consistent(self):
+        report = self._report()
+        assert report.max_activations.maximum >= report.mean_activations.maximum
+        assert report.max_activations.minimum >= 1
+
+    def test_colors_within_palette(self):
+        report = self._report()
+        assert set(report.colors_used) <= set(range(5))
+        assert sum(report.colors_used.values()) == 9 * 12
+
+    def test_histogram_totals(self):
+        report = self._report()
+        assert sum(report.activation_histogram.values()) == 9 * 12
+
+    def test_str_summary(self):
+        assert "runs=9" in str(self._report())

@@ -1,0 +1,99 @@
+"""Unit tests for the experiment harness (repro.analysis.experiments)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    TrialRecord,
+    format_table,
+    run_trial,
+    scheduler_suite,
+    sweep,
+)
+from repro.core.coloring5 import FiveColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.analysis.inputs import monotone_ids
+from repro.errors import ReproError
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+
+
+class TestRunTrial:
+    def test_records_verified_trial(self):
+        record = run_trial(
+            FiveColoring(), Cycle(6), [5, 2, 9, 1, 7, 3],
+            SynchronousScheduler(), palette=range(5), inputs_label="custom6",
+        )
+        assert record.all_terminated
+        assert record.verdict.ok
+        assert record.n == 6
+        assert record.inputs_label == "custom6"
+        assert record.max_activations >= 1
+
+    def test_rejects_improper_inputs(self):
+        with pytest.raises(ReproError):
+            run_trial(
+                FiveColoring(), Cycle(3), [1, 1, 2], SynchronousScheduler(),
+            )
+
+    def test_improper_inputs_allowed_when_disabled(self):
+        record = run_trial(
+            FiveColoring(), Cycle(4), [0, 1, 0, 1], SynchronousScheduler(),
+            require_proper_inputs=True,
+        )
+        assert record.all_terminated  # [0,1,0,1] is proper (not unique)
+
+    def test_as_row_flattens(self):
+        record = run_trial(
+            FiveColoring(), Cycle(4), [4, 1, 3, 0], SynchronousScheduler(),
+            palette=range(5),
+        )
+        row = record.as_row()
+        assert row["n"] == 4
+        assert row["proper"] is True
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        records = sweep(
+            FastFiveColoring,
+            [4, 8, 16],
+            monotone_ids,
+            lambda n: SynchronousScheduler(),
+            palette=range(5),
+            inputs_label="monotone",
+        )
+        assert [r.n for r in records] == [4, 8, 16]
+        assert all(r.verdict.ok and r.all_terminated for r in records)
+
+
+class TestSchedulerSuite:
+    def test_contains_core_adversaries(self):
+        suite = scheduler_suite(12)
+        assert "synchronous" in suite
+        assert "slow-chain" in suite
+        assert any(k.startswith("bernoulli") for k in suite)
+
+    def test_all_usable(self):
+        for name, schedule in scheduler_suite(6, seeds=(0,)).items():
+            record = run_trial(
+                FastFiveColoring(), Cycle(6), [9, 4, 11, 2, 8, 5], schedule,
+                palette=range(5), inputs_label=name, max_time=50_000,
+            )
+            assert record.all_terminated, name
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 100, "bb": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,89 @@
+"""Tests for register-footprint accounting (the §2.1 bits claim)."""
+
+import math
+
+import pytest
+
+from repro.analysis.footprint import FootprintReport, measure_footprint, payload_bits
+from repro.analysis.inputs import huge_ids, monotone_ids
+from repro.core.fast_coloring5 import FastFiveColoring, FastRegister
+from repro.core.coloring5 import FiveColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+from repro.types import BOTTOM
+
+
+class TestPayloadBits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (7, 3), (8, 4), (1023, 10)],
+    )
+    def test_integers(self, value, expected):
+        assert payload_bits(value) == expected
+
+    def test_infinity_is_one_flag_bit(self):
+        assert payload_bits(math.inf) == 1
+
+    def test_bottom_free(self):
+        assert payload_bits(BOTTOM) == 0
+
+    def test_tuples_sum(self):
+        assert payload_bits((7, 1)) == 3 + 1
+
+    def test_named_tuples(self):
+        reg = FastRegister(x=1000, r=2, a=0, b=4)
+        assert payload_bits(reg) == 10 + 2 + 1 + 3
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_bits({"a": 1})
+
+
+class TestMeasureFootprint:
+    def _run(self, algorithm, ids):
+        return run_execution(
+            algorithm, Cycle(len(ids)), ids, SynchronousScheduler(),
+            record_registers=True,
+        )
+
+    def test_logarithmic_in_id_magnitude(self):
+        """Footprint tracks O(log max_id): doubling the bit width of
+        the identifiers roughly doubles the footprint, independent of n."""
+        n = 32
+        small = measure_footprint(
+            self._run(FastFiveColoring(), huge_ids(n, bits=32, seed=1)).trace, n,
+        )
+        large = measure_footprint(
+            self._run(FastFiveColoring(), huge_ids(n, bits=256, seed=1)).trace, n,
+        )
+        assert small.max_bits <= 32 + 16
+        assert large.max_bits <= 256 + 16
+        assert large.max_bits > 4 * small.max_bits
+
+    def test_reduction_shrinks_registers(self):
+        """Algorithm 3's identifier reduction shows up as a shrinking
+        *typical* register (local maxima keep their ids — Lemma 4.6 —
+        so the max footprint stays put)."""
+        n = 64
+        ids = [10 ** 9 + i for i in range(n)]
+        result = self._run(FastFiveColoring(), ids)
+        report = measure_footprint(result.trace, n)
+        assert report.shrank
+        assert report.median_bits_last_write < report.median_bits_first_write
+        assert report.shrunk_fraction > 0.5
+
+    def test_static_ids_do_not_shrink(self):
+        """Algorithm 2 never rewrites identifiers: footprint constant."""
+        n = 16
+        result = self._run(FiveColoring(), monotone_ids(n))
+        report = measure_footprint(result.trace, n)
+        assert report.max_bits_first_write <= report.max_bits + 3
+
+    def test_empty_trace(self):
+        from repro.model.trace import Trace
+
+        report = measure_footprint(Trace(), 3)
+        assert report.max_bits == 0
+        assert report.shrunk_fraction == 0.0
+        assert isinstance(report, FootprintReport)

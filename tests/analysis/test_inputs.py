@@ -1,0 +1,111 @@
+"""Unit tests for identifier generators (repro.analysis.inputs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chains import longest_monotone_run
+from repro.analysis.inputs import (
+    huge_ids,
+    monotone_ids,
+    proper_coloring_inputs,
+    random_distinct_ids,
+    sawtooth_ids,
+    zigzag_ids,
+)
+from repro.analysis.verify import inputs_properly_color
+from repro.model.topology import Cycle
+
+
+def ring_proper(ids):
+    return inputs_properly_color(Cycle(len(ids)), ids)
+
+
+class TestMonotone:
+    def test_values(self):
+        assert monotone_ids(5) == [0, 1, 2, 3, 4]
+
+    def test_chain_is_n(self):
+        assert longest_monotone_run(monotone_ids(20)) == 20
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("n", [3, 4, 5, 10, 17, 100])
+    def test_proper_and_distinct(self, n):
+        ids = zigzag_ids(n)
+        assert len(set(ids)) == n
+        assert ring_proper(ids)
+
+    @pytest.mark.parametrize("n", [4, 10, 64])
+    def test_even_chain_length_two(self, n):
+        assert longest_monotone_run(zigzag_ids(n)) == 2
+
+    def test_odd_chain_at_most_three(self):
+        assert longest_monotone_run(zigzag_ids(11)) <= 3
+
+
+class TestSawtooth:
+    @pytest.mark.parametrize("n,run", [(10, 3), (20, 5), (21, 4), (50, 10)])
+    def test_proper_and_distinct(self, n, run):
+        ids = sawtooth_ids(n, run)
+        assert len(ids) == n
+        assert len(set(ids)) == n
+        assert ring_proper(ids)
+
+    @pytest.mark.parametrize("run", [2, 4, 8])
+    def test_controls_chain_length(self, run):
+        ids = sawtooth_ids(64, run)
+        assert run <= longest_monotone_run(ids) <= run + 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sawtooth_ids(10, 1)
+
+
+class TestRandomDistinct:
+    def test_distinct_and_in_space(self):
+        ids = random_distinct_ids(50, seed=1)
+        assert len(set(ids)) == 50
+        assert all(0 <= x < 50 ** 3 for x in ids)
+
+    def test_seeded(self):
+        assert random_distinct_ids(10, seed=5) == random_distinct_ids(10, seed=5)
+        assert random_distinct_ids(10, seed=5) != random_distinct_ids(10, seed=6)
+
+    def test_custom_space(self):
+        ids = random_distinct_ids(4, seed=0, id_space=10)
+        assert all(0 <= x < 10 for x in ids)
+
+    def test_space_too_small(self):
+        with pytest.raises(ValueError):
+            random_distinct_ids(10, id_space=5)
+
+
+class TestHugeIds:
+    def test_bit_width(self):
+        ids = huge_ids(8, bits=128, seed=0)
+        assert len(set(ids)) == 8
+        assert all(x.bit_length() == 128 for x in ids)
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            huge_ids(3, bits=4)
+
+
+class TestProperColoringInputs:
+    @pytest.mark.parametrize("n", [4, 5, 9, 16])
+    def test_proper(self, n):
+        assert ring_proper(proper_coloring_inputs(n))
+
+    def test_small_value_range(self):
+        assert set(proper_coloring_inputs(8)) == {0, 1}
+        assert set(proper_coloring_inputs(9)) == {0, 1, 2}
+
+    def test_odd_needs_three_colors(self):
+        with pytest.raises(ValueError):
+            proper_coloring_inputs(9, k=2)
+
+    @given(n=st.integers(3, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_always_proper(self, n):
+        assert ring_proper(proper_coloring_inputs(n))

@@ -1,0 +1,54 @@
+"""Unit tests for the algorithm interface helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.algorithm import StepOutcome, active_views, mex
+from repro.types import BOTTOM
+
+
+class TestMex:
+    @pytest.mark.parametrize(
+        "taken,expected",
+        [([], 0), ([0], 1), ([1, 2], 0), ([0, 1, 2], 3), ([0, 0, 2], 1)],
+    )
+    def test_examples(self, taken, expected):
+        assert mex(taken) == expected
+
+    @given(st.sets(st.integers(min_value=0, max_value=50)))
+    def test_mex_is_excluded_minimum(self, taken):
+        value = mex(taken)
+        assert value not in taken
+        assert all(v in taken for v in range(value))
+
+    def test_accepts_generator(self):
+        assert mex(v for v in (0, 1)) == 2
+
+
+class TestActiveViews:
+    def test_filters_bottom(self):
+        assert active_views(("a", BOTTOM, "b")) == ("a", "b")
+
+    def test_all_bottom(self):
+        assert active_views((BOTTOM, BOTTOM)) == ()
+
+    def test_preserves_order(self):
+        assert active_views((1, 2, 3)) == (1, 2, 3)
+
+
+class TestStepOutcome:
+    def test_cont(self):
+        outcome = StepOutcome.cont("s")
+        assert not outcome.returned
+        assert outcome.state == "s"
+        assert outcome.output is None
+
+    def test_ret(self):
+        outcome = StepOutcome.ret("s", 3)
+        assert outcome.returned
+        assert outcome.output == 3
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            StepOutcome.cont("s").returned = True

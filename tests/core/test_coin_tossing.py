@@ -1,0 +1,160 @@
+"""Tests for the identifier-reduction function f (paper §4.1).
+
+Lemmas 4.1–4.3 are checked exhaustively over small inputs and
+property-based over large (multi-hundred-bit) ones.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coin_tossing import (
+    REDUCTION_PLATEAU,
+    bit,
+    bit_length,
+    bound_function,
+    iterate_bound,
+    iterations_until_below,
+    log_star,
+    reduce_identifier,
+)
+
+big_naturals = st.integers(min_value=0, max_value=2 ** 512)
+
+
+class TestBitHelpers:
+    @pytest.mark.parametrize(
+        "z,expected", [(0, 0), (1, 1), (2, 2), (3, 2), (7, 3), (8, 4), (255, 8)]
+    )
+    def test_bit_length_matches_definition(self, z, expected):
+        # |Z| = ceil(log2(Z+1))
+        assert bit_length(z) == expected
+        assert bit_length(z) == math.ceil(math.log2(z + 1)) if z else True
+
+    def test_bit_extraction(self):
+        assert [bit(0b1011, k) for k in range(5)] == [1, 1, 0, 1, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length(-1)
+        with pytest.raises(ValueError):
+            bit(-1, 0)
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+
+class TestReduceIdentifier:
+    def test_worked_example(self):
+        # X=1011, Y=1001 differ first at bit 1; X_1 = 1 -> f = 2*1+1 = 3.
+        assert reduce_identifier(0b1011, 0b1001) == 3
+
+    def test_equal_inputs_use_common_length(self):
+        # diff empty: i = |X| = |Y|; f = 2|X| + X_{|X|} = 2|X| + 0.
+        assert reduce_identifier(5, 5) == 2 * bit_length(5)
+
+    def test_length_cap(self):
+        # X=8 (1000), Y=0 (length 0): i = min(4, 0) = 0, X_0 = 0.
+        assert reduce_identifier(8, 0) == 0
+
+    def test_output_bound(self):
+        # f(x, y) <= 2|x| + 1 (used by Lemma 4.1's bound function F).
+        for x in range(1, 200):
+            for y in range(0, 200, 7):
+                assert reduce_identifier(x, y) <= 2 * bit_length(x) + 1
+
+    def test_lemma_4_2_exhaustive(self):
+        """x > y >= 10 => f(x, y) < y (small range, exhaustive)."""
+        for y in range(10, 300):
+            for x in range(y + 1, y + 300):
+                assert reduce_identifier(x, y) < y, (x, y)
+
+    def test_lemma_4_3_exhaustive(self):
+        """x > y > z => f(x, y) != f(y, z) (small range, exhaustive)."""
+        for z in range(0, 40):
+            for y in range(z + 1, 42):
+                for x in range(y + 1, 44):
+                    assert reduce_identifier(x, y) != reduce_identifier(y, z), (x, y, z)
+
+    @given(x=big_naturals, y=big_naturals)
+    @settings(max_examples=300, deadline=None)
+    def test_lemma_4_2_property(self, x, y):
+        x, y = max(x, y), min(x, y)
+        if x > y >= REDUCTION_PLATEAU:
+            assert reduce_identifier(x, y) < y
+
+    @given(values=st.lists(big_naturals, min_size=3, max_size=3, unique=True))
+    @settings(max_examples=300, deadline=None)
+    def test_lemma_4_3_property(self, values):
+        x, y, z = sorted(values, reverse=True)
+        assert reduce_identifier(x, y) != reduce_identifier(y, z)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_identifier(-1, 2)
+
+
+class TestBoundFunction:
+    def test_fixed_points(self):
+        assert bound_function(7) == 7
+        assert bound_function(9) == 9
+
+    def test_dominates_f(self):
+        for x in range(1, 500):
+            assert bound_function(x) >= max(
+                reduce_identifier(x, y) for y in range(x)
+            )
+
+    def test_orbit_shape(self):
+        orbit = iterate_bound(10 ** 9, 5)
+        assert orbit[0] == 10 ** 9
+        assert orbit[1] == 2 * 30 + 1  # 2*ceil(log2(1e9+1))+1
+        assert orbit[-1] < 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bound_function(-1)
+
+
+class TestIterationsUntilBelow:
+    def test_already_below(self):
+        assert iterations_until_below(5) == 0
+
+    @pytest.mark.parametrize(
+        "exponent,maximum",
+        [(4, 2), (16, 4), (64, 5), (1024, 6), (2 ** 14, 7)],
+    )
+    def test_log_star_like_growth(self, exponent, maximum):
+        assert iterations_until_below(2 ** exponent) <= maximum
+
+    def test_lemma_4_1_constant(self):
+        """There is a constant alpha with iterations <= alpha*log*(x)."""
+        for exponent in (4, 16, 64, 256, 4096):
+            x = 2 ** exponent
+            assert iterations_until_below(x) <= 3 * log_star(x) + 3
+
+    def test_unreachable_threshold_raises(self):
+        with pytest.raises(ValueError):
+            iterations_until_below(100, threshold=7)  # F has fixed point 7
+
+
+class TestLogStar:
+    @pytest.mark.parametrize(
+        "exponent,expected",
+        [(0, 0), (1, 1), (2, 2), (4, 3), (16, 4), (65536, 5)],
+    )
+    def test_tower_values(self, exponent, expected):
+        assert log_star(2 ** exponent) == expected
+
+    def test_monotone(self):
+        values = [log_star(x) for x in range(1, 2000)]
+        assert values == sorted(values)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            log_star(0)
+
+    def test_huge_int_stability(self):
+        # bit-length based path for astronomically large ints
+        assert log_star(2 ** (2 ** 20)) == 6

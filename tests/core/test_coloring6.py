@@ -1,0 +1,151 @@
+"""Tests for Algorithm 1 (Theorem 3.1 and Lemma 3.9)."""
+
+import random
+
+import pytest
+
+from repro.analysis.chains import chain_profile
+from repro.analysis.complexity import theorem_3_1_bound
+from repro.analysis.inputs import (
+    monotone_ids,
+    proper_coloring_inputs,
+    random_distinct_ids,
+    zigzag_ids,
+)
+from repro.analysis.verify import verify_execution
+from repro.core.coloring6 import SIX_PALETTE, SixColoring, SixState
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+from repro.schedulers import SoloScheduler, SynchronousScheduler
+from tests.conftest import INPUT_FAMILIES, SCHEDULER_FACTORIES
+
+
+class TestTheorem31:
+    """Termination / palette / correctness across the scheduler zoo."""
+
+    @pytest.mark.parametrize("inputs_name", sorted(INPUT_FAMILIES))
+    @pytest.mark.parametrize("n", [3, 4, 7, 16, 33])
+    def test_guarantees_across_schedulers(self, n, inputs_name):
+        inputs = INPUT_FAMILIES[inputs_name](n)
+        bound = theorem_3_1_bound(n)
+        for sched_name, factory in SCHEDULER_FACTORIES.items():
+            result = run_execution(
+                SixColoring(), Cycle(n), inputs, factory(), max_time=100_000,
+            )
+            assert result.all_terminated, (sched_name, inputs_name, n)
+            verdict = verify_execution(Cycle(n), result, palette=SIX_PALETTE)
+            assert verdict.ok, (sched_name, inputs_name, n, verdict)
+            assert result.round_complexity <= bound, (sched_name, inputs_name)
+
+    def test_solo_process_terminates(self):
+        """Wait-freedom: a solo process returns within 4 activations."""
+        result = run_execution(
+            SixColoring(), Cycle(5), monotone_ids(5), SoloScheduler(2, solo_steps=50),
+            max_time=200,
+        )
+        assert 2 in result.outputs
+        assert result.activations[2] <= 4
+
+    def test_output_type_is_pair(self):
+        result = run_execution(
+            SixColoring(), Cycle(3), [4, 9, 2], SynchronousScheduler(),
+        )
+        for color in result.outputs.values():
+            assert isinstance(color, tuple) and len(color) == 2
+            assert color[0] + color[1] <= 2
+
+
+class TestLemma39:
+    """Per-process bound min{3l, 3l', l+l'} + 4 by monotone distances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_per_process_bound(self, seed):
+        n = 24
+        inputs = random_distinct_ids(n, seed=seed)
+        profile = chain_profile(inputs)
+        # A randomized (but seeded) asynchronous schedule.
+        from repro.schedulers import BernoulliScheduler
+
+        result = run_execution(
+            SixColoring(), Cycle(n), inputs, BernoulliScheduler(p=0.5, seed=seed),
+        )
+        assert result.all_terminated
+        for p in range(n):
+            assert result.activations[p] <= profile.alg1_bound(p), (
+                seed, p, result.activations[p], profile.alg1_bound(p),
+            )
+
+    def test_extrema_return_within_four(self):
+        n = 10
+        inputs = random_distinct_ids(n, seed=3)
+        profile = chain_profile(inputs)
+        result = run_execution(
+            SixColoring(), Cycle(n), inputs, SynchronousScheduler(),
+        )
+        for p in range(n):
+            if profile.distances_to_max[p] == 0 or profile.distances_to_min[p] == 0:
+                assert result.activations[p] <= 4
+
+
+class TestRemark310:
+    """Inputs need only be a proper coloring, not unique ids."""
+
+    @pytest.mark.parametrize("n", [4, 6, 9, 20])
+    def test_proper_coloring_inputs(self, n):
+        inputs = proper_coloring_inputs(n)
+        result = run_execution(
+            SixColoring(), Cycle(n), inputs, SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert verify_execution(Cycle(n), result, palette=SIX_PALETTE).ok
+        # With k=3 initial colors, chains have length <= 3: convergence O(1).
+        assert result.round_complexity <= 3 * 3 + 4
+
+    def test_zigzag_is_constant_time(self):
+        result = run_execution(
+            SixColoring(), Cycle(40), zigzag_ids(40), SynchronousScheduler(),
+        )
+        assert result.round_complexity <= 10
+
+
+class TestNeighborOrderIndependence:
+    """The paper gives no left/right orientation; shuffling neighbor
+    order must not change any guarantee."""
+
+    def test_shuffled_neighbors(self):
+        n = 12
+        topo = Cycle(n).with_shuffled_neighbors(random.Random(9))
+        result = run_execution(
+            SixColoring(), topo, random_distinct_ids(n, seed=1),
+            SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert verify_execution(topo, result, palette=SIX_PALETTE).ok
+
+
+class TestStepMechanics:
+    def test_returns_current_color_on_no_conflict(self):
+        alg = SixColoring()
+        state = SixState(x=5, a=1, b=0)
+        from repro.core.coloring6 import SixRegister
+
+        outcome = alg.step(state, (SixRegister(7, (0, 0)), SixRegister(3, (0, 1))))
+        assert outcome.returned and outcome.output == (1, 0)
+
+    def test_updates_on_conflict(self):
+        alg = SixColoring()
+        state = SixState(x=5, a=0, b=0)
+        from repro.core.coloring6 import SixRegister
+
+        outcome = alg.step(state, (SixRegister(7, (0, 0)), SixRegister(3, (1, 1))))
+        assert not outcome.returned
+        # a avoids higher neighbor (x=7, a=0) -> 1; b avoids lower (b=1) -> 0
+        assert outcome.state == SixState(x=5, a=1, b=0)
+
+    def test_sleeping_neighbors_ignored(self):
+        from repro.types import BOTTOM
+
+        alg = SixColoring()
+        outcome = alg.step(SixState(x=5, a=0, b=0), (BOTTOM, BOTTOM))
+        assert outcome.returned and outcome.output == (0, 0)

@@ -1,0 +1,174 @@
+"""Tests for Algorithm 3 (Theorem 4.4 empirics + Lemma 4.5 invariant)."""
+
+import pytest
+
+from repro.analysis.complexity import logstar_budget
+from repro.analysis.inputs import huge_ids, monotone_ids, random_distinct_ids
+from repro.analysis.verify import (
+    identifiers_always_proper,
+    published_identifier_violations,
+    verify_execution,
+)
+from repro.core.coin_tossing import log_star
+from repro.core.fast_coloring5 import (
+    INFINITE_ROUND,
+    FastFiveColoring,
+    FastRegister,
+    FastState,
+)
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import (
+    BernoulliScheduler,
+    SlowChainScheduler,
+    SoloScheduler,
+    SynchronousScheduler,
+)
+from tests.conftest import INPUT_FAMILIES, SCHEDULER_FACTORIES
+
+
+class TestTheorem44:
+    @pytest.mark.parametrize("inputs_name", sorted(INPUT_FAMILIES))
+    @pytest.mark.parametrize("n", [3, 4, 7, 16, 33])
+    def test_guarantees_across_schedulers(self, n, inputs_name):
+        inputs = INPUT_FAMILIES[inputs_name](n)
+        for sched_name, factory in SCHEDULER_FACTORIES.items():
+            result = run_execution(
+                FastFiveColoring(), Cycle(n), inputs, factory(), max_time=100_000,
+            )
+            assert result.all_terminated, (sched_name, inputs_name, n)
+            verdict = verify_execution(Cycle(n), result, palette=range(5))
+            assert verdict.ok, (sched_name, inputs_name, n, verdict)
+
+    @pytest.mark.parametrize("n", [8, 64, 512, 4096])
+    def test_logstar_scaling_on_worst_case_inputs(self, n):
+        """Monotone ids (Algorithm 2's Θ(n) case) stay within an
+        O(log* n) activation budget."""
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), monotone_ids(n), SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.round_complexity <= logstar_budget(n)
+
+    def test_huge_identifiers_converge_fast(self):
+        """512-bit ids: the reduction's log* dependence on magnitude."""
+        n = 64
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), huge_ids(n, bits=512, seed=1),
+            SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.round_complexity <= logstar_budget(2 ** 512)
+
+    def test_flat_across_two_orders_of_magnitude(self):
+        rounds = {}
+        for n in (32, 512, 8192):
+            result = run_execution(
+                FastFiveColoring(), Cycle(n), monotone_ids(n),
+                SynchronousScheduler(),
+            )
+            rounds[n] = result.round_complexity
+        # log*(8192) == log*(32) + 1 at most: near-constant.
+        assert rounds[8192] <= rounds[32] + 6
+
+    def test_solo_process_terminates(self):
+        result = run_execution(
+            FastFiveColoring(), Cycle(5), monotone_ids(5),
+            SoloScheduler(1, solo_steps=20), max_time=100,
+        )
+        assert 1 in result.outputs
+
+
+class TestLemma45Invariant:
+    """Published identifiers always properly color the cycle."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules(self, seed):
+        n = 20
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), monotone_ids(n),
+            BernoulliScheduler(p=0.4, seed=seed), record_registers=True,
+        )
+        assert identifiers_always_proper(Cycle(n), result.trace)
+
+    def test_slow_chain_schedule(self):
+        n = 18
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), monotone_ids(n),
+            SlowChainScheduler(slow=range(9), slowdown=7),
+            record_registers=True,
+        )
+        assert identifiers_always_proper(Cycle(n), result.trace)
+
+    def test_ablation_unguarded_adoption_breaks_invariant(self):
+        """A2: dropping the Y < min guard lets published ids collide."""
+        broken = False
+        for seed in range(60):
+            n = 10
+            result = run_execution(
+                FastFiveColoring(guarded_adoption=False), Cycle(n),
+                random_distinct_ids(n, seed=seed + 700),
+                BernoulliScheduler(p=0.5, seed=seed),
+                record_registers=True,
+            )
+            if published_identifier_violations(Cycle(n), result.trace):
+                broken = True
+                break
+        assert broken, "A2 ablation unexpectedly preserved Lemma 4.5"
+
+
+class TestIdentifierReduction:
+    def test_identifiers_shrink_to_plateau(self):
+        n = 32
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), [10 ** 6 + i for i in range(n)],
+            SynchronousScheduler(), record_registers=True,
+        )
+        final = result.trace.final_registers()
+        # After convergence, ids sit at/below the plateau or are local
+        # maxima that never reduced; most must have collapsed.
+        small = sum(1 for reg in final if reg.x <= 10)
+        assert small >= n // 2
+
+    def test_blocked_without_both_neighbors(self):
+        """A process whose neighbor never woke keeps its identifier."""
+        alg = FastFiveColoring()
+        from repro.types import BOTTOM
+
+        state = FastState(x=1000, r=0, a=0, b=0)
+        views = (FastRegister(5, 0, 0, 0), BOTTOM)
+        outcome = alg.step(state, views)
+        assert outcome.state.x == 1000
+        assert outcome.state.r == 0
+
+    def test_local_extremum_sets_r_infinite(self):
+        alg = FastFiveColoring()
+        state = FastState(x=100, r=0, a=0, b=0)
+        views = (FastRegister(5, 0, 0, 0), FastRegister(7, 0, 0, 0))
+        outcome = alg.step(state, views)
+        assert outcome.state.r == INFINITE_ROUND
+        assert outcome.state.x == 100  # maxima never reduce
+
+    def test_local_minimum_reduces_once(self):
+        alg = FastFiveColoring()
+        state = FastState(x=100, r=0, a=0, b=0)
+        views = (FastRegister(500, 0, 0, 0), FastRegister(700, 0, 0, 0))
+        outcome = alg.step(state, views)
+        assert outcome.state.r == INFINITE_ROUND
+        assert outcome.state.x <= 2  # mex of two f-values
+
+    def test_green_light_blocks_when_behind(self):
+        """r_p > min(r_q, r_q') means no identifier update."""
+        alg = FastFiveColoring()
+        state = FastState(x=50, r=3, a=0, b=0)
+        views = (FastRegister(5, 1, 0, 0), FastRegister(70, 9, 0, 0))
+        outcome = alg.step(state, views)
+        assert outcome.state.x == 50
+        assert outcome.state.r == 3
+
+    def test_strictly_between_increments_r(self):
+        alg = FastFiveColoring()
+        state = FastState(x=50, r=2, a=0, b=0)
+        views = (FastRegister(20, 2, 0, 0), FastRegister(90, 5, 0, 0))
+        outcome = alg.step(state, views)
+        assert outcome.state.r == 3

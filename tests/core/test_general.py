@@ -1,0 +1,94 @@
+"""Tests for Algorithm 4 (Appendix A: O(Δ²)-coloring general graphs)."""
+
+import pytest
+
+from repro.analysis.verify import verify_execution
+from repro.core.general import GeneralGraphColoring
+from repro.model.execution import run_execution
+from repro.model.topology import CompleteGraph, Cycle, GeneralGraph, Star, Torus
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+TOPOLOGIES = {
+    "cycle": lambda: Cycle(12),
+    "torus": lambda: Torus(4, 5),
+    "star": lambda: Star(7),
+    "complete": lambda: CompleteGraph(6),
+    "irregular": lambda: GeneralGraph(
+        7, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 4)],
+    ),
+}
+
+
+class TestAppendixA:
+    @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize(
+        "schedule_factory",
+        [
+            SynchronousScheduler,
+            RoundRobinScheduler,
+            lambda: BernoulliScheduler(p=0.5, seed=4),
+        ],
+    )
+    def test_guarantees(self, topo_name, schedule_factory):
+        topo = TOPOLOGIES[topo_name]()
+        inputs = [(7 * i + 3) % (topo.n * 5) for i in range(topo.n)]
+        # Make inputs distinct (proper-coloring precondition).
+        inputs = list(range(0, 3 * topo.n, 3))
+        result = run_execution(
+            GeneralGraphColoring(), topo, inputs, schedule_factory(),
+            max_time=50_000,
+        )
+        assert result.all_terminated, topo_name
+        palette = GeneralGraphColoring.palette(topo.max_degree())
+        verdict = verify_execution(topo, result, palette=palette)
+        assert verdict.ok, (topo_name, verdict)
+
+    def test_palette_size_is_quadratic(self):
+        for delta in (2, 4, 8, 12):
+            palette = GeneralGraphColoring.palette(delta)
+            assert palette.size == (delta + 1) * (delta + 2) // 2
+
+    def test_matches_algorithm1_on_cycles(self):
+        """On a cycle, Algorithm 4 is Algorithm 1: same outputs under
+        the same deterministic schedule."""
+        from repro.core.coloring6 import SixColoring
+
+        n = 10
+        inputs = list(range(0, 30, 3))
+        r4 = run_execution(
+            GeneralGraphColoring(), Cycle(n), inputs, SynchronousScheduler(),
+        )
+        r1 = run_execution(
+            SixColoring(), Cycle(n), inputs, SynchronousScheduler(),
+        )
+        assert r4.outputs == r1.outputs
+        assert r4.activations == r1.activations
+
+    def test_random_graphs_with_networkx(self):
+        nx = pytest.importorskip("networkx")
+        for seed in range(3):
+            g = nx.gnp_random_graph(24, 0.18, seed=seed)
+            topo = GeneralGraph.from_networkx(g, name=f"gnp-{seed}")
+            inputs = [13 * i + 5 for i in range(topo.n)]
+            result = run_execution(
+                GeneralGraphColoring(), topo, inputs,
+                BernoulliScheduler(p=0.6, seed=seed), max_time=50_000,
+            )
+            assert result.all_terminated
+            palette = GeneralGraphColoring.palette(max(topo.max_degree(), 1))
+            assert verify_execution(topo, result, palette=palette).ok
+
+    def test_crashes_on_torus(self):
+        from repro.model.faults import crash_after_time
+
+        topo = Torus(4, 4)
+        inputs = [5 * i for i in range(topo.n)]
+        plan = crash_after_time(SynchronousScheduler(), {0: 1, 5: 2, 10: 3})
+        result = run_execution(GeneralGraphColoring(), topo, inputs, plan)
+        palette = GeneralGraphColoring.palette(4)
+        assert verify_execution(topo, result, palette=palette).ok
+        assert (set(range(topo.n)) - {0, 5, 10}) <= result.terminated

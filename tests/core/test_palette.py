@@ -1,0 +1,57 @@
+"""Unit tests for repro.core.palette."""
+
+import pytest
+
+from repro.core.palette import SCALAR_FIVE, TriangularPalette, scalar_palette
+from repro.errors import PaletteViolation
+
+
+class TestTriangularPalette:
+    def test_algorithm1_palette_size(self):
+        assert TriangularPalette(2).size == 6
+
+    @pytest.mark.parametrize("bound,size", [(0, 1), (1, 3), (3, 10), (10, 66)])
+    def test_size_formula(self, bound, size):
+        assert TriangularPalette(bound).size == (bound + 1) * (bound + 2) // 2
+        assert TriangularPalette(bound).size == size
+
+    def test_membership(self):
+        p = TriangularPalette(2)
+        assert (0, 0) in p
+        assert (2, 0) in p
+        assert (1, 2) not in p
+        assert "nope" not in p
+
+    def test_encode_decode_roundtrip(self):
+        p = TriangularPalette(4)
+        for pair in p:
+            assert p.decode(p.encode(pair)) == pair
+
+    def test_encode_is_bijective(self):
+        p = TriangularPalette(3)
+        codes = {p.encode(pair) for pair in p}
+        assert codes == set(range(p.size))
+
+    def test_canonical_order_by_diagonal(self):
+        p = TriangularPalette(2)
+        assert list(p)[:3] == [(0, 0), (0, 1), (1, 0)]
+
+    def test_encode_rejects_foreign_pair(self):
+        with pytest.raises(PaletteViolation):
+            TriangularPalette(2).encode((3, 0))
+
+    def test_decode_rejects_bad_index(self):
+        with pytest.raises(PaletteViolation):
+            TriangularPalette(2).decode(6)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularPalette(-1)
+
+
+class TestScalarPalette:
+    def test_five(self):
+        assert list(SCALAR_FIVE) == [0, 1, 2, 3, 4]
+
+    def test_scalar_palette(self):
+        assert list(scalar_palette(3)) == [0, 1, 2]

@@ -1,0 +1,165 @@
+"""Tests for the DECOUPLED coloring algorithms (the §1.4 separation)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.inputs import random_distinct_ids
+from repro.analysis.verify import coloring_violations
+from repro.decoupled import (
+    AnnouncementColoring,
+    CVFullInfoRing,
+    CVInput,
+    cv_window_output,
+    cv_window_radius,
+    run_decoupled,
+)
+from repro.localmodel import ColeVishkinRing, run_local
+from repro.model.faults import crash_after_time
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle, Star, Torus
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+
+class TestAnnouncementColoring:
+    @pytest.mark.parametrize("n", [3, 4, 7, 20])
+    def test_three_colors_on_rings(self, n):
+        """The separation: 3 colors suffice in DECOUPLED (vs >= 5 in
+        the paper's fully asynchronous model)."""
+        ids = random_distinct_ids(n, seed=n)
+        for schedule in (
+            SynchronousScheduler(),
+            RoundRobinScheduler(),
+            BernoulliScheduler(p=0.4, seed=n),
+        ):
+            result = run_decoupled(AnnouncementColoring(), Cycle(n), ids, schedule)
+            assert result.all_decided
+            assert not coloring_violations(Cycle(n), result.outputs)
+            assert set(result.outputs.values()) <= {0, 1, 2}
+
+    def test_wait_free_under_crashes(self):
+        n = 21
+        plan = crash_after_time(
+            SynchronousScheduler(), {p: 2 for p in range(0, n, 3)},
+        )
+        result = run_decoupled(
+            AnnouncementColoring(), Cycle(n), list(range(n)), plan,
+        )
+        survivors = set(range(n)) - set(range(0, n, 3))
+        assert survivors <= set(result.outputs)
+        assert not coloring_violations(Cycle(n), result.outputs)
+
+    def test_solo_process_decides(self):
+        result = run_decoupled(
+            AnnouncementColoring(), Cycle(5), [9, 2, 7, 4, 11],
+            FiniteSchedule([[2], [2]]),
+        )
+        assert result.outputs == {2: 0}
+        assert result.activations[2] == 2
+
+    def test_delta_plus_one_on_general_graphs(self):
+        for topo in (Torus(3, 4), Star(6)):
+            ids = random_distinct_ids(topo.n, seed=3)
+            result = run_decoupled(
+                AnnouncementColoring(), topo, ids,
+                BernoulliScheduler(p=0.5, seed=1),
+            )
+            assert result.all_decided
+            assert not coloring_violations(topo, result.outputs)
+            assert max(result.outputs.values()) <= topo.max_degree()
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_random_schedules(self, data):
+        n = data.draw(st.integers(3, 7))
+        ids = data.draw(
+            st.lists(st.integers(0, 200), min_size=n, max_size=n, unique=True)
+        )
+        steps = data.draw(
+            st.lists(
+                st.sets(st.integers(0, n - 1), min_size=1, max_size=n),
+                min_size=5, max_size=40,
+            )
+        )
+        schedule = FiniteSchedule(
+            [frozenset(s) for s in steps] + [frozenset(range(n))] * (3 * n + 10)
+        )
+        result = run_decoupled(AnnouncementColoring(), Cycle(n), ids, schedule)
+        assert result.all_decided
+        assert not coloring_violations(Cycle(n), result.outputs)
+        assert set(result.outputs.values()) <= {0, 1, 2}
+
+
+class TestCVFullInfo:
+    @staticmethod
+    def ring_inputs(ids):
+        n = len(ids)
+        return [
+            CVInput(x=ids[i], pred=ids[(i - 1) % n], succ=ids[(i + 1) % n])
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("n", [16, 101, 400])
+    def test_matches_local_engine_exactly(self, n):
+        ids = random_distinct_ids(n, seed=n)
+        decoupled = run_decoupled(
+            CVFullInfoRing(id_bits=64), Cycle(n), self.ring_inputs(ids),
+            SynchronousScheduler(),
+        )
+        local = run_local(ColeVishkinRing(id_bits=64), Cycle(n), ids)
+        assert decoupled.outputs == local.outputs
+
+    def test_logstar_round_complexity(self):
+        n = 256
+        ids = random_distinct_ids(n, seed=1)
+        result = run_decoupled(
+            CVFullInfoRing(id_bits=64), Cycle(n), self.ring_inputs(ids),
+            SynchronousScheduler(),
+        )
+        # decide once the radius-R window flooded: R + O(1) rounds.
+        assert result.final_round <= cv_window_radius(64) + 3
+
+    def test_small_ring_wraparound(self):
+        """Windows longer than the ring wrap and stay correct."""
+        ids = [40, 10, 77, 23, 58]
+        result = run_decoupled(
+            CVFullInfoRing(id_bits=64), Cycle(5), self.ring_inputs(ids),
+            SynchronousScheduler(),
+        )
+        local = run_local(ColeVishkinRing(id_bits=64), Cycle(5), ids)
+        assert result.outputs == local.outputs
+
+    def test_waits_for_missing_records(self):
+        """With a never-waking node inside the window, neighbors keep
+        waiting (the documented non-wait-free direction of [18])."""
+        n = 12
+        ids = random_distinct_ids(n, seed=2)
+        plan = crash_after_time(SynchronousScheduler(), {4: 1})
+        result = run_decoupled(
+            CVFullInfoRing(id_bits=64), Cycle(n), self.ring_inputs(ids),
+            plan, max_rounds=60,
+        )
+        assert result.pending  # somebody's window never fills
+        assert not coloring_violations(Cycle(n), result.outputs)
+
+    def test_window_output_validates_size(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            cv_window_output([1, 2, 3], 1, id_bits=64)
+
+    def test_rejects_plain_inputs(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_decoupled(
+                CVFullInfoRing(), Cycle(3), [1, 2, 3], SynchronousScheduler(),
+            )

@@ -1,0 +1,143 @@
+"""Unit tests for the DECOUPLED engine (message flooding semantics)."""
+
+from typing import NamedTuple
+
+import pytest
+
+from repro.decoupled.engine import (
+    DecoupledAlgorithm,
+    DecoupledOutcome,
+    Emission,
+    run_decoupled,
+)
+from repro.errors import ExecutionError
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle, Path
+from repro.schedulers import SynchronousScheduler
+
+
+class _EchoState(NamedTuple):
+    x: int
+    emitted: bool
+    seen: tuple
+
+
+class Echo(DecoupledAlgorithm):
+    """Emit own id once; decide after ``decide_after`` activations,
+    outputting the sorted (payload, distance) pairs seen."""
+
+    name = "echo"
+
+    def __init__(self, decide_after=3):
+        self.decide_after = decide_after
+
+    def initial_state(self, x_input):
+        return (_EchoState(x_input, False, ()), 0)
+
+    def step(self, state, buffer, round_index):
+        inner, count = state
+        count += 1
+        seen = tuple(sorted((e.payload, d) for e, d in buffer))
+        inner = _EchoState(inner.x, True, seen)
+        emit = inner.x if count == 1 else None
+        if count >= self.decide_after:
+            return DecoupledOutcome.decide((inner, count), seen, emit=emit)
+        return DecoupledOutcome.cont((inner, count), emit=emit)
+
+
+class TestFlooding:
+    def test_messages_travel_one_hop_per_round(self):
+        """On P_3, node 0's round-1 emission reaches node 1 at round 2
+        and node 2 at round 3 — regardless of node 1's activity."""
+        result = run_decoupled(
+            Echo(decide_after=1), Path(3), [10, 20, 30],
+            FiniteSchedule([[0], [2], [2], [2]]),
+        )
+        # node 2 decided at its first activation (round 2): too early.
+        assert result.outputs[2] == ()
+        result = run_decoupled(
+            Echo(decide_after=2), Path(3), [10, 20, 30],
+            FiniteSchedule([[0], [2], [2], [2]]),
+        )
+        # second activation of node 2 is at round 3: the message arrived
+        # (alongside node 2's own round-2 emission at distance 0).
+        assert result.outputs[2] == ((10, 2), (30, 0))
+
+    def test_relay_through_sleeping_nodes(self):
+        """Node 1 never wakes, yet node 0's message reaches node 2 —
+        the defining DECOUPLED property."""
+        result = run_decoupled(
+            Echo(decide_after=2), Path(3), [10, 20, 30],
+            FiniteSchedule([[0], [0], [2], [2]]),
+        )
+        assert (10, 2) in result.outputs[2]
+
+    def test_late_waker_finds_buffer(self):
+        result = run_decoupled(
+            Echo(decide_after=1), Path(2), [10, 20],
+            FiniteSchedule([[0], [], [], [], [], [1]]),
+        )
+        assert result.outputs[1] == ((10, 1),)
+
+    def test_same_round_emissions_not_visible(self):
+        """Co-activated processes do not see each other's current-round
+        emissions (distance >= 1 means arrival next round)."""
+        result = run_decoupled(
+            Echo(decide_after=1), Path(2), [10, 20],
+            FiniteSchedule([[0, 1]]),
+        )
+        assert result.outputs[0] == ()
+        assert result.outputs[1] == ()
+
+    def test_own_emissions_visible(self):
+        result = run_decoupled(
+            Echo(decide_after=2), Path(2), [10, 20],
+            FiniteSchedule([[0], [0]]),
+        )
+        assert (10, 0) in result.outputs[0]
+
+
+class TestAccounting:
+    def test_activation_counts(self):
+        result = run_decoupled(
+            Echo(decide_after=3), Path(2), [1, 2],
+            FiniteSchedule([[0, 1], [0], [0], [1], [1]]),
+        )
+        assert result.activations == {0: 3, 1: 3}
+        assert result.decision_rounds == {0: 3, 1: 5}
+        assert result.activation_complexity == 3
+
+    def test_decided_processes_not_reactivated(self):
+        result = run_decoupled(
+            Echo(decide_after=1), Path(2), [1, 2],
+            FiniteSchedule([[0], [0], [0], [1]]),
+        )
+        assert result.activations[0] == 1
+
+    def test_stops_when_all_decided(self):
+        result = run_decoupled(
+            Echo(decide_after=1), Path(2), [1, 2], SynchronousScheduler(),
+        )
+        assert result.final_round == 1
+        assert result.all_decided
+
+    def test_max_rounds_cutoff(self):
+        result = run_decoupled(
+            Echo(decide_after=10 ** 9), Path(2), [1, 2],
+            SynchronousScheduler(), max_rounds=7,
+        )
+        assert result.final_round == 7
+        assert result.pending == {0, 1}
+
+    def test_input_count_validated(self):
+        from repro.decoupled.engine import DecoupledExecutor
+
+        with pytest.raises(ExecutionError):
+            DecoupledExecutor(Path(3), Echo(), [1, 2])
+
+    def test_distances_on_cycle(self):
+        from repro.decoupled.engine import DecoupledExecutor
+
+        executor = DecoupledExecutor(Cycle(6), Echo(), list(range(6)))
+        assert executor._distances[0][3] == 3
+        assert executor._distances[0][5] == 1

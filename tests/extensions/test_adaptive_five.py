@@ -1,0 +1,36 @@
+"""Tests for the falsified 5-color repair attempt."""
+
+from repro.analysis.inputs import random_distinct_ids
+from repro.analysis.verify import verify_execution
+from repro.extensions.adaptive_five import AdaptiveFiveColoring
+from repro.extensions.livelock import find_livelock
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+
+class TestNegativeResult:
+    def test_still_not_wait_free(self):
+        """The documented refutation: the explorer finds a livelock."""
+        outcome = find_livelock(AdaptiveFiveColoring(), n=3)
+        assert outcome.found
+
+    def test_safety_unchanged(self):
+        """Return rule is Algorithm 2's, so safety holds on executions
+        that do terminate."""
+        for seed in range(5):
+            n = 12
+            result = run_execution(
+                AdaptiveFiveColoring(), Cycle(n),
+                random_distinct_ids(n, seed=seed),
+                BernoulliScheduler(p=0.5, seed=seed), max_time=50_000,
+            )
+            verdict = verify_execution(Cycle(n), result, palette=range(5))
+            assert verdict.ok
+
+    def test_terminates_on_friendly_schedules(self):
+        result = run_execution(
+            AdaptiveFiveColoring(), Cycle(10), random_distinct_ids(10, seed=1),
+            SynchronousScheduler(), max_time=50_000,
+        )
+        assert result.all_terminated

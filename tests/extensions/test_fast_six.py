@@ -1,0 +1,99 @@
+"""Tests for FastSixColoring — the repaired algorithm (E14)."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.complexity import logstar_budget
+from repro.analysis.inputs import huge_ids, monotone_ids, random_distinct_ids
+from repro.analysis.verify import identifiers_always_proper, verify_execution
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.extensions.livelock import livelock_schedule
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+from tests.conftest import INPUT_FAMILIES, SCHEDULER_FACTORIES
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("inputs_name", sorted(INPUT_FAMILIES))
+    @pytest.mark.parametrize("n", [3, 4, 7, 16, 33])
+    def test_across_schedulers(self, n, inputs_name):
+        inputs = INPUT_FAMILIES[inputs_name](n)
+        for sched_name, factory in SCHEDULER_FACTORIES.items():
+            result = run_execution(
+                FastSixColoring(), Cycle(n), inputs, factory(), max_time=100_000,
+            )
+            assert result.all_terminated, (sched_name, inputs_name, n)
+            verdict = verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE)
+            assert verdict.ok, (sched_name, inputs_name, n, verdict)
+
+    def test_survives_the_livelock_schedule(self):
+        """The E13 witness schedule is harmless to the repair."""
+        result = run_execution(
+            FastSixColoring(), Cycle(3), [1, 2, 3], livelock_schedule(200),
+        )
+        assert result.all_terminated
+
+    def test_survives_crash_witness(self):
+        from repro.extensions.livelock import demonstrate_crash_livelock
+
+        result = demonstrate_crash_livelock(FastSixColoring(), steps=5_000)
+        assert not (set(result.pending) - {0, 3, 6, 9, 12, 15, 18})
+
+
+class TestExhaustiveWaitFreedom:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_configuration_graph_acyclic_all_orders(self, n):
+        for perm in itertools.permutations(range(1, n + 1)):
+            explorer = BoundedExplorer(FastSixColoring(), Cycle(n), list(perm))
+            outcome = explorer.find_livelock(max_depth=200, max_configs=400_000)
+            assert not outcome.found, perm
+            assert outcome.exhausted, perm
+
+    def test_exact_worst_case_c3(self):
+        explorer = BoundedExplorer(FastSixColoring(), Cycle(3), [1, 2, 3])
+        worst = {p: explorer.max_activations(p) for p in range(3)}
+        assert all(v != float("inf") for v in worst.values())
+        assert max(worst.values()) <= 12
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n", [16, 256, 4096])
+    def test_logstar_budget_on_monotone(self, n):
+        result = run_execution(
+            FastSixColoring(), Cycle(n), monotone_ids(n), SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.round_complexity <= logstar_budget(n)
+
+    def test_huge_ids(self):
+        n = 48
+        result = run_execution(
+            FastSixColoring(), Cycle(n), huge_ids(n, bits=512, seed=3),
+            SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.round_complexity <= logstar_budget(2 ** 512)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lemma_4_5_invariant(self, seed):
+        from repro.schedulers import BernoulliScheduler
+
+        n = 16
+        result = run_execution(
+            FastSixColoring(), Cycle(n), monotone_ids(n),
+            BernoulliScheduler(p=0.45, seed=seed), record_registers=True,
+        )
+        assert identifiers_always_proper(Cycle(n), result.trace)
+
+    def test_outputs_are_pairs_in_palette(self):
+        result = run_execution(
+            FastSixColoring(), Cycle(9), random_distinct_ids(9, seed=2),
+            SynchronousScheduler(),
+        )
+        for color in result.outputs.values():
+            assert color in FAST_SIX_PALETTE

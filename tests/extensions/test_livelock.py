@@ -1,0 +1,89 @@
+"""Tests pinning the E13/E13b reproduction finding."""
+
+import pytest
+
+from repro.analysis.verify import verify_execution
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.livelock import (
+    CRASH_WITNESS_CRASHED,
+    CRASH_WITNESS_N,
+    LIVELOCK_IDS,
+    demonstrate_crash_livelock,
+    demonstrate_livelock,
+    find_livelock,
+    livelock_prefix,
+    livelock_schedule,
+)
+from repro.model.topology import Cycle
+
+
+class TestCanonicalWitness:
+    @pytest.mark.parametrize("loops", [10, 100, 1000])
+    def test_alg2_never_returns_under_loop(self, loops):
+        """Processes 1, 2 take unboundedly many steps without output."""
+        result = demonstrate_livelock(loop_iterations=loops)
+        assert result.outputs.keys() == {0}
+        assert result.activations[1] >= loops
+        assert result.activations[2] >= loops
+
+    def test_alg3_inherits(self):
+        result = demonstrate_livelock(FastFiveColoring(), loop_iterations=50)
+        assert result.outputs.keys() == {0}
+
+    def test_safety_never_violated_during_livelock(self):
+        result = demonstrate_livelock(loop_iterations=50)
+        assert verify_execution(Cycle(3), result, palette=range(5)).ok
+
+    def test_algorithm1_immune_to_same_schedule(self):
+        from repro.model.execution import run_execution
+
+        result = run_execution(
+            SixColoring(), Cycle(3), list(LIVELOCK_IDS), livelock_schedule(100),
+        )
+        assert result.all_terminated
+
+    def test_prefix_shape(self):
+        prefix = livelock_prefix()
+        assert prefix[0] == frozenset({0})
+        assert prefix[-1] == frozenset({1, 2})
+
+
+class TestSearchFromScratch:
+    def test_alg2_found_automatically(self):
+        outcome = find_livelock(FiveColoring(), n=3)
+        assert outcome.found
+
+    @pytest.mark.parametrize("ids", [(1, 2, 3), (2, 1, 3), (3, 1, 2)])
+    def test_found_for_multiple_id_orders(self, ids):
+        outcome = find_livelock(FiveColoring(), n=3, identifiers=ids)
+        assert outcome.found
+
+    def test_alg1_clean(self):
+        outcome = find_livelock(SixColoring(), n=3)
+        assert not outcome.found
+        assert outcome.exhausted
+
+
+class TestCrashTriggeredVariant:
+    def test_e13b_survivor_pair_starves(self):
+        """Default (Algorithm 3): survivors {1, 2} never return."""
+        result = demonstrate_crash_livelock(steps=1500)
+        survivors = set(range(CRASH_WITNESS_N)) - set(CRASH_WITNESS_CRASHED)
+        stuck = survivors - result.terminated
+        assert {1, 2} <= stuck
+        assert result.time_exhausted
+
+    def test_e13b_alg2_unaffected_on_this_witness(self):
+        """Algorithm 2's raw identifiers avoid the chase seed here; its
+        own starvation witness is the schedule-based E13."""
+        result = demonstrate_crash_livelock(FiveColoring(), steps=1500)
+        survivors = set(range(CRASH_WITNESS_N)) - set(CRASH_WITNESS_CRASHED)
+        assert survivors <= result.terminated
+
+    def test_e13b_safety_intact(self):
+        result = demonstrate_crash_livelock(steps=800)
+        assert verify_execution(
+            Cycle(CRASH_WITNESS_N), result, palette=range(5),
+        ).ok

@@ -1,0 +1,61 @@
+"""Integration: crash-pattern sweep (experiment E8's test-side twin).
+
+For the exhaustively-verified wait-free algorithms (Algorithm 1 and the
+FastSix repair), survivors must terminate and be properly colored for
+every crash pattern; for Algorithms 2–3 safety must hold even when the
+E13b livelock starves survivors.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.verify import verify_execution
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.model.execution import run_execution
+from repro.model.faults import CrashPlan
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+
+def crash_patterns(n, seed):
+    rng = random.Random(seed)
+    yield {p: 1 for p in rng.sample(range(n), n // 4)}            # never wake
+    yield {p: rng.randint(2, 12) for p in rng.sample(range(n), n // 3)}
+    yield {p: 2 for p in range(0, n, 2)}                           # half crash early
+    yield {p: 5 for p in range(n - 3, n)}                          # a crashed arc
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize(
+    "algorithm_factory,palette",
+    [(SixColoring, list(SIX_PALETTE)), (FastSixColoring, list(FAST_SIX_PALETTE))],
+)
+def test_waitfree_algorithms_survivors_always_finish(seed, algorithm_factory, palette):
+    n = 16
+    for crash_times in crash_patterns(n, seed):
+        for schedule in (SynchronousScheduler(), BernoulliScheduler(p=0.5, seed=seed)):
+            plan = CrashPlan(schedule, crash_times=crash_times)
+            result = run_execution(
+                algorithm_factory(), Cycle(n), list(range(n)), plan,
+                max_time=50_000,
+            )
+            verdict = verify_execution(Cycle(n), result, palette=palette)
+            assert verdict.ok
+            survivors = set(range(n)) - set(crash_times)
+            assert survivors <= result.terminated, (seed, crash_times)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fast_five_safety_under_crashes(seed):
+    """Algorithms 2-3: survivors may starve (E13b), never err."""
+    n = 16
+    for crash_times in crash_patterns(n, seed):
+        plan = CrashPlan(SynchronousScheduler(), crash_times=crash_times)
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), list(range(n)), plan, max_time=3_000,
+        )
+        verdict = verify_execution(Cycle(n), result, palette=range(5))
+        assert verdict.ok, (seed, crash_times, verdict)

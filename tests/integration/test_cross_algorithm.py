@@ -1,0 +1,59 @@
+"""Integration: every algorithm × scheduler × input family, verified.
+
+The cross-product safety net: any regression in the engine, a
+scheduler, an input generator, or an algorithm shows up here first.
+"""
+
+import pytest
+
+from repro.analysis.verify import verify_execution
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.core.general import GeneralGraphColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from tests.conftest import INPUT_FAMILIES, SCHEDULER_FACTORIES
+
+ALGORITHMS = {
+    "alg1": (SixColoring, list(SIX_PALETTE)),
+    "alg2": (FiveColoring, list(range(5))),
+    "fast5": (FastFiveColoring, list(range(5))),
+    "fast6": (FastSixColoring, list(FAST_SIX_PALETTE)),
+    "alg4-on-cycle": (GeneralGraphColoring, list(SIX_PALETTE)),
+}
+
+
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("inputs_name", sorted(INPUT_FAMILIES))
+@pytest.mark.parametrize("n", [3, 6, 11, 24])
+def test_cross_product(algorithm_name, inputs_name, n):
+    factory, palette = ALGORITHMS[algorithm_name]
+    inputs = INPUT_FAMILIES[inputs_name](n)
+    for sched_name, sched_factory in SCHEDULER_FACTORIES.items():
+        result = run_execution(
+            factory(), Cycle(n), inputs, sched_factory(), max_time=100_000,
+        )
+        assert result.all_terminated, (algorithm_name, inputs_name, sched_name, n)
+        verdict = verify_execution(Cycle(n), result, palette=palette)
+        assert verdict.ok, (algorithm_name, inputs_name, sched_name, n, verdict)
+
+
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+def test_determinism(algorithm_name):
+    """Same (algorithm, inputs, schedule) -> identical results."""
+    from repro.schedulers import BernoulliScheduler
+
+    factory, _ = ALGORITHMS[algorithm_name]
+    n = 10
+    inputs = INPUT_FAMILIES["random"](n)
+    first = run_execution(
+        factory(), Cycle(n), inputs, BernoulliScheduler(p=0.5, seed=9),
+    )
+    second = run_execution(
+        factory(), Cycle(n), inputs, BernoulliScheduler(p=0.5, seed=9),
+    )
+    assert first.outputs == second.outputs
+    assert first.activations == second.activations
+    assert first.return_times == second.return_times

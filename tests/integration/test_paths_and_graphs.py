@@ -1,0 +1,96 @@
+"""Generality: the algorithms beyond the cycle.
+
+The paper states the model "can directly be extended to any network";
+the pair-based algorithms (1 and 4) only use neighbor views, so they
+run unchanged on paths and arbitrary graphs.  These tests pin that
+generality (and that the cycle-specific ones degrade gracefully).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import coloring_violations, verify_execution
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.general import GeneralGraphColoring
+from repro.model.execution import run_execution
+from repro.model.topology import GeneralGraph, Path
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+
+class TestPaths:
+    """Paths: degree <= 2, endpoints have a single neighbor."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 12])
+    def test_algorithm1_on_paths(self, n):
+        inputs = [7 * i + 1 for i in range(n)]
+        for factory in (SynchronousScheduler, RoundRobinScheduler,
+                        lambda: BernoulliScheduler(p=0.5, seed=n)):
+            result = run_execution(
+                SixColoring(), Path(n), inputs, factory(), max_time=50_000,
+            )
+            assert result.all_terminated
+            assert verify_execution(Path(n), result, palette=SIX_PALETTE).ok
+
+    def test_endpoint_sees_single_view(self):
+        result = run_execution(
+            SixColoring(), Path(2), [5, 9], SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.outputs[0] != result.outputs[1]
+
+    def test_algorithm4_on_paths_matches_algorithm1(self):
+        n = 8
+        inputs = [3 * i for i in range(n)]
+        r1 = run_execution(SixColoring(), Path(n), inputs, SynchronousScheduler())
+        r4 = run_execution(
+            GeneralGraphColoring(), Path(n), inputs, SynchronousScheduler(),
+        )
+        assert r1.outputs == r4.outputs
+
+
+class TestRandomGraphsProperty:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_algorithm4_property(self, data):
+        """Random graphs, random distinct ids, random schedule prefix:
+        Algorithm 4 terminates within palette, properly."""
+        n = data.draw(st.integers(3, 10))
+        edge_pool = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        edges = data.draw(
+            st.lists(st.sampled_from(edge_pool), min_size=1, max_size=len(edge_pool),
+                     unique=True)
+        )
+        topo = GeneralGraph(n, edges)
+        ids = data.draw(
+            st.lists(st.integers(0, 500), min_size=n, max_size=n, unique=True)
+        )
+        seed = data.draw(st.integers(0, 1000))
+        result = run_execution(
+            GeneralGraphColoring(), topo, ids,
+            BernoulliScheduler(p=0.6, seed=seed), max_time=50_000,
+        )
+        assert result.all_terminated
+        palette = GeneralGraphColoring.palette(max(topo.max_degree(), 1))
+        assert verify_execution(topo, result, palette=palette).ok
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_isolated_vertices_terminate_alone(self, seed):
+        """A graph with isolated vertices: they color themselves (0,0)
+        immediately; the rest proceed normally."""
+        topo = GeneralGraph(5, [(0, 1), (1, 2)])  # 3, 4 isolated
+        result = run_execution(
+            GeneralGraphColoring(), topo, [9, 4, 11, 2, 7],
+            BernoulliScheduler(p=0.5, seed=seed), max_time=20_000,
+        )
+        assert result.all_terminated
+        assert result.outputs[3] == (0, 0)
+        assert result.outputs[4] == (0, 0)
+        assert not coloring_violations(topo, result.outputs)

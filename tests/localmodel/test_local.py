@@ -1,0 +1,157 @@
+"""Tests for the synchronous LOCAL substrate and its baselines."""
+
+import pytest
+
+from repro.analysis.inputs import random_distinct_ids
+from repro.analysis.verify import coloring_violations
+from repro.errors import ExecutionError
+from repro.localmodel import (
+    ColeVishkinRing,
+    IteratedColorReduction,
+    LocalAlgorithm,
+    LocalOutcome,
+    PriorityGreedyColoring,
+    cv_phase_a_rounds,
+    cv_reduce,
+    cv_width_schedule,
+    run_local,
+)
+from repro.model.topology import CompleteGraph, Cycle, Star, Torus
+
+
+class Counter(LocalAlgorithm):
+    """Trivial LOCAL algorithm: decide after k rounds."""
+
+    name = "counter"
+
+    def __init__(self, k):
+        self.k = k
+
+    def initial_state(self, x_input, degree):
+        return 0
+
+    def message(self, state):
+        return state
+
+    def update(self, state, messages):
+        state += 1
+        if state >= self.k:
+            return LocalOutcome.decide(state, state)
+        return LocalOutcome.cont(state)
+
+
+class TestEngine:
+    def test_round_counting(self):
+        result = run_local(Counter(3), Cycle(4), [0, 1, 2, 3])
+        assert result.rounds == 3
+        assert result.outputs == {p: 3 for p in range(4)}
+        assert result.decision_rounds == {p: 3 for p in range(4)}
+
+    def test_nondecision_raises(self):
+        with pytest.raises(ExecutionError):
+            run_local(Counter(10 ** 9), Cycle(3), [0, 1, 2], max_rounds=10)
+
+    def test_input_mismatch(self):
+        with pytest.raises(ExecutionError):
+            run_local(Counter(1), Cycle(3), [0, 1])
+
+
+class TestCvReduce:
+    def test_collision_freedom_on_chains(self):
+        """The classic CV property: adjacent reductions differ whenever
+        the shared middle value differs from both ends."""
+        for a in range(1, 64):
+            for b in range(1, 64):
+                if a == b:
+                    continue
+                for c in range(1, 64, 5):
+                    if b == c:
+                        continue
+                    assert cv_reduce(a, b, 6) != cv_reduce(b, c, 6)
+
+    def test_requires_distinct(self):
+        with pytest.raises(ExecutionError):
+            cv_reduce(5, 5, 4)
+
+    def test_requires_width(self):
+        with pytest.raises(ExecutionError):
+            cv_reduce(100, 2, 4)
+
+    def test_width_schedule_reaches_three(self):
+        sched = cv_width_schedule(64)
+        assert sched[0] == 64
+        assert sched[-1] == 3
+        assert all(a > b or a == b == 3 for a, b in zip(sched, sched[1:]))
+
+    def test_phase_a_log_star_growth(self):
+        assert cv_phase_a_rounds(8) <= cv_phase_a_rounds(64) <= cv_phase_a_rounds(2 ** 14)
+        assert cv_phase_a_rounds(2 ** 14) <= 8
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("n", [3, 4, 10, 101, 1000])
+    def test_three_coloring(self, n):
+        ids = random_distinct_ids(n, seed=n, id_space=max(n ** 2, 16))
+        result = run_local(ColeVishkinRing(id_bits=64), Cycle(n), ids)
+        assert len(result.outputs) == n
+        assert not coloring_violations(Cycle(n), result.outputs)
+        assert set(result.outputs.values()) <= {0, 1, 2}
+
+    def test_round_count_is_logstar_plus_constant(self):
+        ids = random_distinct_ids(500, seed=1)
+        result = run_local(ColeVishkinRing(id_bits=64), Cycle(500), ids)
+        assert result.rounds == cv_phase_a_rounds(64) + 3
+
+    def test_rejects_non_ring(self):
+        with pytest.raises(ExecutionError):
+            run_local(ColeVishkinRing(), Star(3), [1, 2, 3, 4])
+
+    def test_rejects_oversized_id(self):
+        with pytest.raises(ExecutionError):
+            run_local(ColeVishkinRing(id_bits=4), Cycle(3), [100, 1, 2])
+
+
+class TestPriorityGreedy:
+    @pytest.mark.parametrize(
+        "topo_factory", [lambda: Cycle(11), lambda: Torus(3, 4),
+                         lambda: Star(5), lambda: CompleteGraph(6)],
+    )
+    def test_delta_plus_one_coloring(self, topo_factory):
+        topo = topo_factory()
+        ids = random_distinct_ids(topo.n, seed=3)
+        result = run_local(PriorityGreedyColoring(), topo, ids)
+        assert not coloring_violations(topo, result.outputs)
+        assert max(result.outputs.values()) <= topo.max_degree()
+
+    def test_rounds_equal_longest_decreasing_path_on_monotone_ring(self):
+        n = 9
+        result = run_local(PriorityGreedyColoring(), Cycle(n), list(range(n)))
+        assert result.rounds == n  # ids strictly increasing: full cascade
+
+
+class TestIteratedColorReduction:
+    def test_reduces_to_delta_plus_one(self):
+        n = 12
+        inputs = [(0, 3, 6)[i % 3] for i in range(n)]
+        result = run_local(
+            IteratedColorReduction(m=7, max_degree=2), Cycle(n), inputs,
+        )
+        assert not coloring_violations(Cycle(n), result.outputs)
+        assert max(result.outputs.values()) <= 2
+        assert result.rounds == 7 - 2 - 1
+
+    def test_validates_inputs(self):
+        with pytest.raises(ExecutionError):
+            run_local(
+                IteratedColorReduction(m=4, max_degree=2), Cycle(3), [0, 5, 1],
+            )
+
+    def test_validates_degree(self):
+        with pytest.raises(ExecutionError):
+            run_local(
+                IteratedColorReduction(m=9, max_degree=1), Cycle(3), [0, 1, 2],
+            )
+
+    def test_m_must_exceed_palette(self):
+        with pytest.raises(ExecutionError):
+            IteratedColorReduction(m=3, max_degree=3)

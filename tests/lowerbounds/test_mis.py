@@ -1,0 +1,67 @@
+"""Tests for the MIS falsifier (Property 2.1 made operational)."""
+
+import pytest
+
+from repro.lowerbounds.mis import (
+    CautiousMIS,
+    EagerLocalMaxMIS,
+    FlagConfirmMIS,
+    candidate_mis_algorithms,
+    falsify_mis,
+    mis_violation_predicate,
+)
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.shm.tasks import MISSpec
+
+
+class TestCandidateZoo:
+    def test_three_candidates(self):
+        zoo = candidate_mis_algorithms()
+        assert len(zoo) == 3
+        assert "mis-eager-local-max" in zoo
+
+    @pytest.mark.parametrize("name", sorted(candidate_mis_algorithms()))
+    def test_every_candidate_defeated_on_c3(self, name):
+        algorithm = candidate_mis_algorithms()[name]
+        outcome = falsify_mis(algorithm, n=3, max_depth=12)
+        assert outcome.found, f"{name} survived the bounded search"
+
+    def test_eager_defeated_on_c4_too(self):
+        outcome = falsify_mis(EagerLocalMaxMIS(), n=4, max_depth=10)
+        assert outcome.found
+
+    def test_eager_violation_is_safety(self):
+        outcome = falsify_mis(EagerLocalMaxMIS(), n=3, max_depth=10)
+        assert "both output 1" in outcome.description or "no terminated" in outcome.description
+
+    def test_cautious_violation_replays(self):
+        """The witness schedule, replayed through the engine, produces
+        the doomed MIS position."""
+        outcome = falsify_mis(CautiousMIS(), n=3, max_depth=12)
+        assert outcome.found
+        if outcome.witness:  # safety witness (livelock witnesses loop)
+            result = run_execution(
+                CautiousMIS(), Cycle(3), [1, 2, 3], outcome.schedule(),
+            )
+            assert MISSpec(Cycle(3)).check(result.outputs)
+
+    def test_flag_confirm_defeated(self):
+        outcome = falsify_mis(FlagConfirmMIS(), n=3)
+        assert outcome.found
+
+
+class TestPredicate:
+    def test_no_outputs_no_violation(self):
+        predicate = mis_violation_predicate(Cycle(3))
+        explorer = BoundedExplorer(EagerLocalMaxMIS(), Cycle(3), [1, 2, 3])
+        assert predicate(explorer.initial_config()) is None
+
+    def test_detects_adjacent_ones(self):
+        predicate = mis_violation_predicate(Cycle(3))
+        explorer = BoundedExplorer(EagerLocalMaxMIS(), Cycle(3), [1, 2, 3])
+        config = explorer.apply(explorer.initial_config(), frozenset({0}))
+        config = explorer.apply(config, frozenset({1}))
+        # p0 solo-joined with 1; p1 (id 2 > 1) joins too: adjacent ones.
+        assert predicate(config) is not None

@@ -1,0 +1,115 @@
+"""Tests for the Linial neighborhood-graph apparatus (Property 2.2)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lowerbounds.neighborhood import (
+    ViewGraph,
+    clique_lower_bound,
+    exact_chromatic_number,
+    greedy_chromatic_upper_bound,
+    is_bipartite,
+    neighborhood_graph,
+)
+
+
+class TestViewGraph:
+    def test_basic_accounting(self):
+        g = ViewGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.n == 3 and g.m == 2
+        assert g.neighbors("b") == {"a", "c"}
+
+    def test_no_loops(self):
+        g = ViewGraph()
+        with pytest.raises(ReproError):
+            g.add_edge("a", "a")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m", [3, 5, 8])
+    def test_n0_is_complete(self, m):
+        g = neighborhood_graph(0, m)
+        assert g.n == m
+        assert g.m == m * (m - 1) // 2
+
+    def test_n1_vertex_count(self):
+        g = neighborhood_graph(1, 5)
+        assert g.n == 5 * 4 * 3
+
+    def test_n1_edge_rule(self):
+        g = neighborhood_graph(1, 5)
+        assert (1, 2, 3) in g.neighbors((0, 1, 2))  # d=3 fresh
+        assert (1, 2, 0) not in g.neighbors((0, 1, 2))  # d == a excluded
+
+    def test_small_space_rejected(self):
+        with pytest.raises(ReproError):
+            neighborhood_graph(0, 2)
+
+    def test_t_two_unsupported(self):
+        with pytest.raises(ReproError):
+            neighborhood_graph(2, 4)
+
+
+class TestChromaticMachinery:
+    def test_bipartite_detection(self):
+        even = ViewGraph()
+        for i in range(4):
+            even.add_edge(i, (i + 1) % 4)
+        odd = ViewGraph()
+        for i in range(5):
+            odd.add_edge(i, (i + 1) % 5)
+        assert is_bipartite(even)
+        assert not is_bipartite(odd)
+
+    def test_bounds_bracket_chi(self):
+        g = neighborhood_graph(1, 5)
+        lower = clique_lower_bound(g)
+        upper = greedy_chromatic_upper_bound(g)
+        chi, exact = exact_chromatic_number(g)
+        assert lower <= chi <= upper
+        assert exact
+
+    def test_exact_on_odd_cycle(self):
+        g = ViewGraph()
+        for i in range(7):
+            g.add_edge(i, (i + 1) % 7)
+        assert exact_chromatic_number(g) == (3, True)
+
+    def test_budget_exhaustion_reports_inexact(self):
+        g = neighborhood_graph(1, 6)
+        chi, exact = exact_chromatic_number(g, node_budget=5)
+        assert not exact
+        assert chi >= 3  # the greedy bound fallback
+
+
+class TestLinialStatements:
+    """The finite lower-bound facts of E17."""
+
+    @pytest.mark.parametrize("m", [3, 4, 5, 6])
+    def test_zero_rounds_need_whole_id_space(self, m):
+        chi, exact = exact_chromatic_number(neighborhood_graph(0, m))
+        assert exact and chi == m
+
+    def test_no_one_round_two_coloring_for_m_at_least_5(self):
+        """N_1(m) has odd cycles for m >= 5: 2-coloring needs > 1 round."""
+        for m in (5, 6):
+            assert not is_bipartite(neighborhood_graph(1, m))
+
+    def test_one_round_three_coloring_exists_for_small_spaces(self):
+        chi5, exact5 = exact_chromatic_number(neighborhood_graph(1, 5))
+        chi6, exact6 = exact_chromatic_number(neighborhood_graph(1, 6))
+        assert (chi5, exact5) == (3, True)
+        assert (chi6, exact6) == (3, True)
+
+    def test_chi_grows_with_id_space(self):
+        """χ(N_1(m)) is non-decreasing in m (subgraph monotonicity) —
+        the seed of the Ω(log* n) growth."""
+        values = []
+        for m in (4, 5, 6):
+            chi, exact = exact_chromatic_number(neighborhood_graph(1, m))
+            assert exact
+            values.append(chi)
+        assert values == sorted(values)
+        assert values[0] < values[-1]

@@ -1,0 +1,91 @@
+"""Tests for the progress-condition classifier (§1.3 taxonomy)."""
+
+import pytest
+
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.fast_six import FastSixColoring
+from repro.lowerbounds.mis import CautiousMIS, EagerLocalMaxMIS
+from repro.lowerbounds.progress import ProgressReport, classify_progress
+from repro.lowerbounds.small_palette import PureGreedyColoring
+from repro.model.topology import Cycle
+
+
+class TestClassification:
+    def test_algorithm1_fully_wait_free(self):
+        report = classify_progress(SixColoring(), Cycle(3), [1, 2, 3])
+        assert report.exhausted
+        assert report.wait_free is True
+        assert report.starvation_free is True
+        assert report.obstruction_free is True
+
+    def test_algorithm2_obstruction_free_only(self):
+        """The sharpened E13: the chase is a *fair* cycle, so Algorithm
+        2 is not even starvation-free — only obstruction-free, exactly
+        the guarantee §1.3 proves for its b-subcomponent."""
+        report = classify_progress(FiveColoring(), Cycle(3), [1, 2, 3])
+        assert report.exhausted
+        assert report.wait_free is False
+        assert report.starvation_free is False
+        assert report.obstruction_free is True
+
+    def test_algorithm3_inherits_profile(self):
+        report = classify_progress(FastFiveColoring(), Cycle(3), [1, 2, 3])
+        assert (report.wait_free, report.starvation_free,
+                report.obstruction_free) == (False, False, True)
+
+    def test_fast_six_fully_wait_free(self):
+        report = classify_progress(FastSixColoring(), Cycle(3), [1, 2, 3])
+        assert report.wait_free is True
+        assert report.starvation_free is True
+        assert report.obstruction_free is True
+
+    def test_cautious_mis_inverse_profile(self):
+        """Waiting for a sleeping neighbor: starvation-free (fair
+        schedules wake everyone) but not obstruction-free (solo runs
+        spin forever)."""
+        report = classify_progress(CautiousMIS(), Cycle(3), [1, 2, 3])
+        assert report.wait_free is False
+        assert report.starvation_free is True
+        assert report.obstruction_free is False
+
+    def test_eager_mis_wait_free_but_wrong(self):
+        """Progress and safety are orthogonal: the eager candidate is
+        fully wait-free — it is merely incorrect (E10)."""
+        report = classify_progress(EagerLocalMaxMIS(), Cycle(3), [1, 2, 3])
+        assert report.wait_free is True
+
+    def test_pure_greedy_obstruction_free_only(self):
+        report = classify_progress(PureGreedyColoring(), Cycle(3), [1, 2, 3])
+        assert (report.wait_free, report.starvation_free,
+                report.obstruction_free) == (False, False, True)
+
+    @pytest.mark.parametrize("ids", [(2, 1, 3), (3, 1, 2), (3, 2, 1)])
+    def test_algorithm2_profile_stable_across_id_orders(self, ids):
+        report = classify_progress(FiveColoring(), Cycle(3), list(ids))
+        assert report.wait_free is False
+        assert report.starvation_free is False
+
+    def test_algorithm1_on_c4(self):
+        report = classify_progress(SixColoring(), Cycle(4), [1, 2, 3, 4])
+        assert report.wait_free is True and report.exhausted
+
+
+class TestReport:
+    def test_summary_rendering(self):
+        report = ProgressReport(True, False, None, configs=10, exhausted=False)
+        text = report.summary()
+        assert "wait-free=yes" in text
+        assert "starvation-free=NO" in text
+        assert "obstruction-free=?" in text
+        assert "truncated" in text
+
+    def test_truncation_keeps_negatives(self):
+        """With a tiny budget, positive verdicts become None but found
+        negatives stay conclusive."""
+        report = classify_progress(
+            FiveColoring(), Cycle(3), [1, 2, 3], max_configs=60,
+        )
+        assert not report.exhausted
+        assert report.wait_free in (False, None)

@@ -1,0 +1,66 @@
+"""Tests for the 4-color falsifier (Property 2.3 made operational)."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.small_palette import (
+    CappedFiveColoring,
+    PureGreedyColoring,
+    RankGreedyColoring,
+    alg2_exact_worst_case,
+    candidate_small_palette_algorithms,
+    coloring_violation_predicate,
+    falsify_coloring,
+)
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.topology import Cycle
+
+
+class TestCandidates:
+    @pytest.mark.parametrize("name", sorted(candidate_small_palette_algorithms()))
+    def test_every_candidate_defeated_on_c3(self, name):
+        algorithm = candidate_small_palette_algorithms()[name]
+        outcome = falsify_coloring(algorithm, n=3, max_depth=14)
+        assert outcome.found, f"{name} survived the bounded search"
+
+    def test_pure_greedy_fails_by_livelock(self):
+        outcome = falsify_coloring(PureGreedyColoring(), n=3)
+        assert outcome.found
+        assert "repeats" in outcome.description
+
+    def test_capped_four_fails(self):
+        outcome = falsify_coloring(CappedFiveColoring(), n=3)
+        assert outcome.found
+
+    def test_rank_greedy_fails(self):
+        outcome = falsify_coloring(RankGreedyColoring(), n=3)
+        assert outcome.found
+
+
+class TestPositiveCounterpart:
+    def test_alg2_safety_exhaustive_with_five_colors(self):
+        """With its full 5-color palette Algorithm 2 never violates
+        safety — exhaustive over the whole reachable space of C_3."""
+        from repro.core.coloring5 import FiveColoring
+
+        explorer = BoundedExplorer(FiveColoring(), Cycle(3), [1, 2, 3])
+        outcome = explorer.find_violation(
+            coloring_violation_predicate(Cycle(3), 5), max_depth=80,
+        )
+        assert not outcome.found
+        assert outcome.exhausted
+
+    def test_alg2_exact_worst_case_reports_livelock(self):
+        """The exact worst case is unbounded — the E13 finding, visible
+        through the exhaustive-analysis API as well."""
+        worst = alg2_exact_worst_case(3)
+        assert any(v == math.inf for v in worst.values())
+
+
+class TestPredicate:
+    def test_out_of_palette_detected(self):
+        predicate = coloring_violation_predicate(Cycle(3), 4)
+        explorer = BoundedExplorer(CappedFiveColoring(), Cycle(3), [1, 2, 3])
+        config = explorer.initial_config()
+        assert predicate(config) is None

@@ -1,0 +1,107 @@
+"""Tests for the algorithm conformance harness."""
+
+from typing import NamedTuple
+
+import pytest
+
+from repro.core.algorithm import Algorithm, StepOutcome
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.core.general import GeneralGraphColoring
+from repro.extensions.adaptive_five import AdaptiveFiveColoring
+from repro.extensions.fast_six import FastSixColoring
+from repro.model.contract import check_algorithm
+from repro.model.topology import CompleteGraph
+from repro.shm.renaming import RankRenaming
+
+
+class TestShippedAlgorithmsConform:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            SixColoring(),
+            FiveColoring(),
+            FastFiveColoring(),
+            GeneralGraphColoring(),
+            FastSixColoring(),
+            AdaptiveFiveColoring(),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_cycle_algorithms(self, algorithm):
+        report = check_algorithm(algorithm)
+        assert report.ok, str(report)
+
+    def test_renaming_on_complete_graph(self):
+        report = check_algorithm(
+            RankRenaming(), topology=CompleteGraph(4), inputs=[9, 2, 7, 5],
+        )
+        assert report.ok, str(report)
+
+
+class _BadState:
+    """Unhashable, mutable state."""
+
+    def __init__(self, x):
+        self.x = x
+        self.count = 0
+
+    __hash__ = None
+
+    def __eq__(self, other):
+        return isinstance(other, _BadState) and (self.x, self.count) == (other.x, other.count)
+
+
+class MutatingAlgorithm(Algorithm):
+    """Deliberately violates immutability and hashability."""
+
+    name = "bad-mutating"
+
+    def initial_state(self, x_input):
+        return _BadState(x_input)
+
+    def register_value(self, state):
+        return (state.x, state.count)
+
+    def step(self, state, views):
+        state.count += 1  # mutation!
+        if state.count >= 3:
+            return StepOutcome.ret(state, state.x)
+        return StepOutcome.cont(state)
+
+
+class NondeterministicAlgorithm(Algorithm):
+    """Deliberately nondeterministic."""
+
+    name = "bad-nondeterministic"
+
+    _counter = 0
+
+    def initial_state(self, x_input):
+        NondeterministicAlgorithm._counter += 1
+        return (x_input, NondeterministicAlgorithm._counter)
+
+    def register_value(self, state):
+        return state
+
+    def step(self, state, views):
+        return StepOutcome.ret(state, state[1])
+
+
+class TestViolationsDetected:
+    def test_mutation_and_hashability_flagged(self):
+        report = check_algorithm(MutatingAlgorithm())
+        assert not report.ok
+        text = str(report)
+        assert "not hashable" in text
+        assert "mutated the state" in text
+
+    def test_nondeterminism_flagged(self):
+        report = check_algorithm(NondeterministicAlgorithm())
+        assert not report.ok
+        assert any("deterministic" in v for v in report.violations)
+
+    def test_report_str_ok(self):
+        report = check_algorithm(SixColoring())
+        assert "contract OK" in str(report)

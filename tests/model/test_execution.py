@@ -1,0 +1,182 @@
+"""Unit tests for the execution engine — the Equation (1) semantics."""
+
+from typing import NamedTuple, Tuple
+
+import pytest
+
+from repro.core.algorithm import Algorithm, StepOutcome
+from repro.errors import ExecutionError
+from repro.model.execution import Executor, run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle, Path
+from repro.schedulers import SynchronousScheduler
+from repro.types import BOTTOM
+
+
+class ProbeState(NamedTuple):
+    x: int
+    count: int          #: own activations so far
+    seen: Tuple         #: last views observed
+
+
+class ProbeRegister(NamedTuple):
+    x: int
+    count: int
+
+
+class Probe(Algorithm):
+    """Instrumented algorithm: publishes its activation count, records
+    its views, returns after ``stop_after`` activations."""
+
+    name = "probe"
+
+    def __init__(self, stop_after=10**9):
+        self.stop_after = stop_after
+
+    def initial_state(self, x_input):
+        return ProbeState(x=x_input, count=0, seen=())
+
+    def register_value(self, state):
+        return ProbeRegister(x=state.x, count=state.count)
+
+    def step(self, state, views):
+        new = ProbeState(x=state.x, count=state.count + 1, seen=views)
+        if new.count >= self.stop_after:
+            return StepOutcome.ret(new, state.x)
+        return StepOutcome.cont(new)
+
+
+class TestEquationOne:
+    def test_first_write_publishes_initial_state(self):
+        """A process's first write shows count=0 (pre-first-update)."""
+        result = run_execution(
+            Probe(), Path(2), [10, 20], FiniteSchedule([[0], [1]]),
+        )
+        # p1 was activated at t=2 and saw p0's register: count written at
+        # t=1 is p0's state *before* its first update, i.e. count=0.
+        assert result.final_states[1].seen == (ProbeRegister(x=10, count=0),)
+
+    def test_simultaneous_activation_sees_previous_state(self):
+        """Co-activated neighbors see each other's just-written value,
+        which is the state at the end of the *previous* activation."""
+        result = run_execution(
+            Probe(), Path(2), [10, 20],
+            FiniteSchedule([[0, 1], [0, 1]]),
+        )
+        # At t=2 both write count=1 (state after t=1) and read each other.
+        assert result.final_states[0].seen == (ProbeRegister(x=20, count=1),)
+        assert result.final_states[1].seen == (ProbeRegister(x=10, count=1),)
+
+    def test_sleeping_neighbor_reads_bottom(self):
+        result = run_execution(
+            Probe(), Path(2), [10, 20], FiniteSchedule([[0]]),
+        )
+        assert result.final_states[0].seen == (BOTTOM,)
+
+    def test_lagging_register_not_updated_while_inactive(self):
+        """A register holds its last write until the owner's next round."""
+        result = run_execution(
+            Probe(), Path(2), [10, 20],
+            FiniteSchedule([[0], [0], [0], [1]]),
+        )
+        # p0 took 3 steps (last write at t=3 shows count=2); p1 reads that.
+        assert result.final_states[1].seen == (ProbeRegister(x=10, count=2),)
+
+
+class TestTerminationBookkeeping:
+    def test_returned_process_never_reactivated(self):
+        result = run_execution(
+            Probe(stop_after=1), Path(2), [1, 2],
+            FiniteSchedule([[0], [0], [0], [1]]),
+        )
+        assert result.activations[0] == 1
+        assert result.outputs == {0: 1, 1: 2}
+        assert result.return_times == {0: 1, 1: 4}
+
+    def test_terminated_register_frozen(self):
+        """Neighbors still read the last value a returned process wrote."""
+        result = run_execution(
+            Probe(stop_after=1), Path(2), [1, 2],
+            FiniteSchedule([[0], [1]]),
+        )
+        # p0 returned at t=1 having written count=0; p1 sees that value.
+        assert result.final_states[1].seen == (ProbeRegister(x=1, count=0),)
+
+    def test_round_complexity_is_max_activations(self):
+        result = run_execution(
+            Probe(stop_after=3), Cycle(3), [1, 2, 3],
+            FiniteSchedule([[0, 1, 2], [0], [0], [1]]),
+        )
+        assert result.round_complexity == 3
+        assert result.activations == {0: 3, 1: 2, 2: 1}
+
+    def test_all_terminated_stops_early(self):
+        result = run_execution(
+            Probe(stop_after=1), Cycle(3), [1, 2, 3], SynchronousScheduler(),
+        )
+        assert result.all_terminated
+        assert result.final_time == 1
+
+    def test_pending_set(self):
+        result = run_execution(
+            Probe(stop_after=2), Cycle(3), [1, 2, 3], FiniteSchedule([[0], [0]]),
+        )
+        assert result.terminated == {0}
+        assert result.pending == {1, 2}
+
+
+class TestCutoffs:
+    def test_max_time_flag(self):
+        result = run_execution(
+            Probe(), Cycle(3), [1, 2, 3], SynchronousScheduler(), max_time=5,
+        )
+        assert result.time_exhausted
+        assert result.final_time == 5
+
+    def test_idle_limit_breaks_spin(self):
+        """A schedule that keeps activating finished processes ends."""
+        executor = Executor(Path(2), Probe(stop_after=1), [1, 2])
+        result = executor.run(
+            FiniteSchedule([[0]] * 500), max_time=10_000, idle_limit=10,
+        )
+        assert result.outputs == {0: 1}
+        assert result.final_time <= 12
+
+    def test_schedule_exhaustion(self):
+        result = run_execution(
+            Probe(), Cycle(3), [1, 2, 3], FiniteSchedule([[0, 1, 2]] * 4),
+        )
+        assert not result.time_exhausted
+        assert result.final_time == 4
+
+
+class TestTraceRecording:
+    def test_trace_events(self):
+        result = run_execution(
+            Probe(stop_after=2), Path(2), [1, 2],
+            FiniteSchedule([[0, 1], [0, 1]]), record_trace=True,
+        )
+        assert len(result.trace) == 2
+        assert result.trace.events[0].activated == frozenset({0, 1})
+        assert result.trace.events[1].returned == {0: 1, 1: 2}
+
+    def test_register_snapshots(self):
+        result = run_execution(
+            Probe(stop_after=1), Path(2), [1, 2],
+            FiniteSchedule([[0], [1]]), record_registers=True,
+        )
+        snaps = [e.registers for e in result.trace]
+        assert snaps[0] == (ProbeRegister(1, 0), BOTTOM)
+        assert snaps[1] == (ProbeRegister(1, 0), ProbeRegister(2, 0))
+
+    def test_no_trace_by_default(self):
+        result = run_execution(
+            Probe(stop_after=1), Path(2), [1, 2], SynchronousScheduler(),
+        )
+        assert result.trace is None
+
+
+class TestValidation:
+    def test_input_count_mismatch(self):
+        with pytest.raises(ExecutionError):
+            Executor(Cycle(3), Probe(), [1, 2])

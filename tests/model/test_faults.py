@@ -1,0 +1,100 @@
+"""Unit tests for crash injection (repro.model.faults)."""
+
+import pytest
+
+from repro.analysis.verify import verify_execution
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.errors import ScheduleError
+from repro.model.execution import run_execution
+from repro.model.faults import CrashPlan, crash_after_activations, crash_after_time
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+
+
+class TestCrashPlanMechanics:
+    def test_time_trigger_censors(self):
+        plan = crash_after_time(SynchronousScheduler(horizon=4), {1: 3})
+        steps = list(plan.steps(3))
+        assert steps[0] == frozenset({0, 1, 2})
+        assert steps[1] == frozenset({0, 1, 2})
+        assert steps[2] == frozenset({0, 2})
+        assert steps[3] == frozenset({0, 2})
+
+    def test_never_wakes_with_time_one(self):
+        plan = crash_after_time(SynchronousScheduler(horizon=3), {0: 1})
+        assert all(0 not in s for s in plan.steps(2))
+
+    def test_activation_trigger(self):
+        plan = crash_after_activations(SynchronousScheduler(horizon=5), {0: 2})
+        steps = list(plan.steps(2))
+        assert [0 in s for s in steps] == [True, True, False, False, False]
+
+    def test_zero_activations(self):
+        plan = crash_after_activations(SynchronousScheduler(horizon=2), {1: 0})
+        assert all(1 not in s for s in plan.steps(2))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ScheduleError):
+            CrashPlan(SynchronousScheduler(), crash_times={0: 0})
+        with pytest.raises(ScheduleError):
+            CrashPlan(SynchronousScheduler(), crash_after={0: -1})
+
+    def test_crashed_processes_property(self):
+        plan = CrashPlan(
+            SynchronousScheduler(), crash_times={0: 5}, crash_after={2: 1},
+        )
+        assert plan.crashed_processes == {0, 2}
+
+
+class TestCrashSemantics:
+    """Crashes = disappearing from the schedule (§2.2).
+
+    For the repaired algorithm (FastSixColoring) survivors always
+    terminate and properly color; for the paper's Algorithms 2-3 the
+    E13b crash-triggered livelock can starve a surviving pair — both
+    facts are pinned here.
+    """
+
+    @pytest.mark.parametrize("crash_time", [1, 2, 5])
+    def test_survivors_terminate_properly_fast_six(self, crash_time):
+        from repro.extensions import FAST_SIX_PALETTE, FastSixColoring
+
+        n = 20
+        crashed = set(range(0, n, 3))
+        plan = crash_after_time(
+            SynchronousScheduler(), {p: crash_time for p in crashed},
+        )
+        result = run_execution(
+            FastSixColoring(), Cycle(n), list(range(n)), plan, max_time=50_000,
+        )
+        verdict = verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE)
+        assert verdict.ok
+        survivors = set(range(n)) - crashed
+        assert survivors <= result.terminated
+
+    def test_crash_after_few_steps_fast_six(self):
+        from repro.extensions import FAST_SIX_PALETTE, FastSixColoring
+
+        n = 12
+        plan = crash_after_activations(
+            SynchronousScheduler(), {3: 1, 7: 2},
+        )
+        result = run_execution(
+            FastSixColoring(), Cycle(n), list(range(n)), plan, max_time=50_000,
+        )
+        verdict = verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE)
+        assert verdict.ok
+        assert (set(range(n)) - {3, 7}) <= result.terminated
+
+    def test_e13b_crash_livelock_starves_fast_five(self):
+        """Finding E13b: under synchronous + crashes, Algorithm 3 leaves
+        the surviving pair {1, 2} working forever (safety intact)."""
+        n = 20
+        crashed = set(range(0, n, 3))
+        plan = crash_after_time(SynchronousScheduler(), {p: 2 for p in crashed})
+        result = run_execution(
+            FastFiveColoring(), Cycle(n), list(range(n)), plan, max_time=2_000,
+        )
+        assert result.time_exhausted
+        assert {1, 2} <= result.pending
+        assert verify_execution(Cycle(n), result, palette=range(5)).ok

@@ -1,0 +1,67 @@
+"""Unit tests for repro.model.registers."""
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.model.registers import RegisterFile
+from repro.types import BOTTOM
+
+
+class TestInitialization:
+    def test_all_bottom(self):
+        rf = RegisterFile(4)
+        assert all(rf.read(i) is BOTTOM for i in range(4))
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(RegisterError):
+            RegisterFile(0)
+
+
+class TestWriteRead:
+    def test_roundtrip(self):
+        rf = RegisterFile(3)
+        rf.write(1, ("x", 42))
+        assert rf.read(1) == ("x", 42)
+        assert rf.read(0) is BOTTOM
+
+    def test_overwrite(self):
+        rf = RegisterFile(2)
+        rf.write(0, "a")
+        rf.write(0, "b")
+        assert rf.read(0) == "b"
+
+    def test_write_count(self):
+        rf = RegisterFile(2)
+        assert rf.write_count(0) == 0
+        rf.write(0, 1)
+        rf.write(0, 2)
+        assert rf.write_count(0) == 2
+        assert rf.write_count(1) == 0
+
+    def test_out_of_range(self):
+        rf = RegisterFile(2)
+        with pytest.raises(RegisterError):
+            rf.read(5)
+        with pytest.raises(RegisterError):
+            rf.write(-1, "x")
+
+
+class TestBatchSemantics:
+    def test_write_all_before_read(self):
+        """Equation (1): co-activated processes see each other's writes."""
+        rf = RegisterFile(3)
+        rf.write_all([(0, "v0"), (2, "v2")])
+        assert rf.read_many((0, 1, 2)) == ("v0", BOTTOM, "v2")
+
+    def test_snapshot_immutable(self):
+        rf = RegisterFile(2)
+        rf.write(0, "x")
+        snap = rf.snapshot()
+        rf.write(0, "y")
+        assert snap == ("x", BOTTOM)
+
+    def test_read_many_order(self):
+        rf = RegisterFile(3)
+        rf.write(0, "a")
+        rf.write(1, "b")
+        assert rf.read_many((1, 0)) == ("b", "a")

@@ -1,0 +1,78 @@
+"""Unit tests for repro.model.schedule."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.model.schedule import (
+    FiniteSchedule,
+    FunctionSchedule,
+    RecordedSchedule,
+    validate_step,
+)
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+
+
+class TestValidateStep:
+    def test_normalizes_to_frozenset(self):
+        s = validate_step([0, 1, 1], 3)
+        assert s == frozenset({0, 1})
+
+    def test_rejects_unknown_process(self):
+        with pytest.raises(ScheduleError):
+            validate_step([5], 3)
+
+    def test_empty_allowed(self):
+        assert validate_step([], 3) == frozenset()
+
+
+class TestFiniteSchedule:
+    def test_replays_steps(self):
+        sched = FiniteSchedule([[0], [1, 2], []])
+        assert list(sched.steps(3)) == [
+            frozenset({0}),
+            frozenset({1, 2}),
+            frozenset(),
+        ]
+
+    def test_reusable(self):
+        sched = FiniteSchedule([[0]])
+        assert list(sched.steps(1)) == list(sched.steps(1))
+
+    def test_len(self):
+        assert len(FiniteSchedule([[0], [0]])) == 2
+
+    def test_validates_lazily(self):
+        sched = FiniteSchedule([[9]])
+        with pytest.raises(ScheduleError):
+            list(sched.steps(2))
+
+
+class TestFunctionSchedule:
+    def test_computes_from_time(self):
+        sched = FunctionSchedule(lambda t, n: [(t - 1) % n], horizon=4)
+        assert list(sched.steps(2)) == [
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0}),
+            frozenset({1}),
+        ]
+
+
+class TestRecordedSchedule:
+    def test_records_consumed_steps(self):
+        rec = RecordedSchedule(SynchronousScheduler(horizon=3))
+        consumed = list(rec.steps(2))
+        assert rec.record == consumed
+        assert len(consumed) == 3
+
+    def test_replay_matches_random_run(self):
+        rec = RecordedSchedule(BernoulliScheduler(p=0.5, seed=7, horizon=10))
+        first = list(rec.steps(4))
+        replay = list(rec.replay().steps(4))
+        assert first == replay
+
+    def test_rerecording_resets(self):
+        rec = RecordedSchedule(SynchronousScheduler(horizon=2))
+        list(rec.steps(2))
+        list(rec.steps(2))
+        assert len(rec.record) == 2

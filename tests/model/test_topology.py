@@ -1,0 +1,165 @@
+"""Unit tests for repro.model.topology."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.model.topology import (
+    CompleteGraph,
+    Cycle,
+    GeneralGraph,
+    Path,
+    Star,
+    Topology,
+    Torus,
+)
+
+
+class TestCycle:
+    def test_structure(self):
+        c = Cycle(5)
+        assert c.n == 5
+        assert c.neighbors(0) == (4, 1)
+        assert c.neighbors(4) == (3, 0)
+        assert c.max_degree() == 2
+
+    def test_every_node_degree_two(self):
+        c = Cycle(9)
+        assert all(c.degree(p) == 2 for p in c.processes())
+
+    def test_edge_count(self):
+        assert len(list(Cycle(7).edges())) == 7
+
+    def test_edges_unique_and_ordered(self):
+        edges = list(Cycle(6).edges())
+        assert len(set(edges)) == len(edges)
+        assert all(p < q for p, q in edges)
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_too_small_rejected(self, n):
+        with pytest.raises(TopologyError):
+            Cycle(n)
+
+    def test_adjacency_symmetric(self):
+        c = Cycle(8)
+        for p, q in c.edges():
+            assert c.are_adjacent(p, q)
+            assert c.are_adjacent(q, p)
+
+    def test_c3_equals_k3(self):
+        c3, k3 = Cycle(3), CompleteGraph(3)
+        for p in range(3):
+            assert set(c3.neighbors(p)) == set(k3.neighbors(p))
+
+
+class TestPath:
+    def test_structure(self):
+        p = Path(4)
+        assert p.neighbors(0) == (1,)
+        assert p.neighbors(1) == (0, 2)
+        assert p.neighbors(3) == (2,)
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            Path(1)
+
+
+class TestCompleteGraph:
+    def test_degrees(self):
+        k = CompleteGraph(6)
+        assert all(k.degree(p) == 5 for p in k.processes())
+
+    def test_edge_count(self):
+        assert len(list(CompleteGraph(5).edges())) == 10
+
+
+class TestStar:
+    def test_structure(self):
+        s = Star(4)
+        assert s.n == 5
+        assert s.degree(0) == 4
+        assert all(s.degree(i) == 1 for i in range(1, 5))
+        assert s.max_degree() == 4
+
+
+class TestTorus:
+    def test_four_regular(self):
+        t = Torus(3, 4)
+        assert t.n == 12
+        assert all(t.degree(p) == 4 for p in t.processes())
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            Torus(2, 5)
+
+    def test_wraparound(self):
+        t = Torus(3, 3)
+        assert 6 in t.neighbors(0)  # vertical wrap
+        assert 2 in t.neighbors(0)  # horizontal wrap
+
+
+class TestGeneralGraph:
+    def test_from_edges(self):
+        g = GeneralGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.degree(1) == 2
+        assert g.are_adjacent(0, 1)
+        assert not g.are_adjacent(0, 3)
+
+    def test_duplicate_edges_collapsed(self):
+        g = GeneralGraph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.degree(0) == 1
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(TopologyError):
+            GeneralGraph(3, [(0, 7)])
+
+    def test_from_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = GeneralGraph.from_networkx(nx.petersen_graph(), name="petersen")
+        assert g.n == 10
+        assert g.max_degree() == 3
+        assert len(list(g.edges())) == 15
+
+
+class TestTopologyValidation:
+    def test_asymmetric_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (1,), 1: ()})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (0,)})
+
+    def test_bad_ids_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({1: (2,), 2: (1,)})
+
+    def test_duplicate_neighbor_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (1, 1), 1: (0,)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({})
+
+
+class TestTransformations:
+    def test_shuffled_neighbors_same_edges(self):
+        c = Cycle(7)
+        s = c.with_shuffled_neighbors(random.Random(3))
+        assert sorted(c.edges()) == sorted(s.edges())
+        for p in c.processes():
+            assert set(c.neighbors(p)) == set(s.neighbors(p))
+
+    def test_induced_subgraph(self):
+        c = Cycle(6)
+        sub = c.induced_subgraph({0, 1, 3})
+        assert sub[0] == (1,)
+        assert sub[1] == (0,)
+        assert sub[3] == ()
+
+    def test_equality_and_hash(self):
+        assert Cycle(5) == Cycle(5)
+        assert Cycle(5) != Cycle(6)
+        assert hash(Cycle(5)) == hash(Cycle(5))

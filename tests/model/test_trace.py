@@ -1,0 +1,50 @@
+"""Unit tests for repro.model.trace."""
+
+from repro.core.coloring6 import SixColoring
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+from repro.model.trace import StepEvent, Trace
+
+
+def _traced_run():
+    return run_execution(
+        SixColoring(), Cycle(3), [5, 1, 9],
+        FiniteSchedule([[0], [1, 2], [0, 1, 2], [0, 1, 2], [0, 1, 2]]),
+        record_registers=True,
+    )
+
+
+class TestTraceAccessors:
+    def test_activations_of(self):
+        result = _traced_run()
+        acts = result.trace.activations_of(0)
+        assert acts[0] == 1
+        assert all(t >= 1 for t in acts)
+
+    def test_return_time_matches_result(self):
+        result = _traced_run()
+        for p, t in result.return_times.items():
+            assert result.trace.return_time_of(p) == t
+
+    def test_return_time_none_for_pending(self):
+        trace = Trace()
+        trace.append(StepEvent(1, frozenset({0}), {0: "v"}, {}, None))
+        assert trace.return_time_of(0) is None
+
+    def test_register_history_is_per_write(self):
+        result = _traced_run()
+        history = result.trace.register_history(0)
+        assert history[0][0] == 1  # first write at t=1
+        times = [t for t, _ in history]
+        assert times == sorted(times)
+
+    def test_final_registers(self):
+        result = _traced_run()
+        final = result.trace.final_registers()
+        assert final is not None
+        assert len(final) == 3
+
+    def test_iteration_and_len(self):
+        result = _traced_run()
+        assert len(result.trace) == len(list(result.trace))

@@ -1,0 +1,84 @@
+"""Tests for witness serialization and replay."""
+
+import pytest
+
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.errors import ReproError
+from repro.lowerbounds.explorer import BoundedExplorer
+from repro.model.topology import CompleteGraph, Cycle, GeneralGraph
+from repro.model.witness import Witness, witness_from_outcome
+
+
+def _sample_witness():
+    return Witness(
+        topology=Cycle(3),
+        inputs=[1, 2, 3],
+        steps=[frozenset({0}), frozenset({1, 2}), frozenset({1, 2})],
+        description="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self):
+        witness = _sample_witness()
+        loaded = Witness.from_json(witness.to_json())
+        assert loaded.topology == witness.topology
+        assert loaded.inputs == witness.inputs
+        assert loaded.steps == witness.steps
+        assert loaded.description == "sample"
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "witness.json"
+        _sample_witness().save(path)
+        loaded = Witness.load(path)
+        assert loaded.steps == _sample_witness().steps
+
+    def test_complete_graph_topology(self):
+        witness = Witness(CompleteGraph(4), [1, 2, 3, 4], [frozenset({0})])
+        assert Witness.from_json(witness.to_json()).topology == CompleteGraph(4)
+
+    def test_general_graph_topology(self):
+        topo = GeneralGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        witness = Witness(topo, [5, 6, 7, 8], [frozenset({2})])
+        loaded = Witness.from_json(witness.to_json())
+        assert sorted(loaded.topology.edges()) == sorted(topo.edges())
+
+
+class TestValidation:
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            Witness.from_json("not json at all {")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ReproError):
+            Witness.from_json('{"format": "something-else"}')
+
+
+class TestReplay:
+    def test_replay_reproduces_execution(self):
+        witness = _sample_witness()
+        first = witness.replay(FiveColoring())
+        second = witness.replay(FiveColoring())
+        assert first.outputs == second.outputs
+        assert first.activations == second.activations
+
+    def test_e13_witness_packaged_and_replayed(self):
+        """End to end: explorer finds the livelock, the witness is
+        serialized, reloaded, and replaying it reproduces the repeat."""
+        explorer = BoundedExplorer(FiveColoring(), Cycle(3), [1, 2, 3])
+        outcome = explorer.find_livelock(max_depth=60)
+        assert outcome.found
+        witness = witness_from_outcome(
+            Cycle(3), [1, 2, 3], outcome, description="E13 livelock",
+        )
+        loaded = Witness.from_json(witness.to_json())
+        result = loaded.replay(FiveColoring())
+        assert not result.all_terminated  # the loop-entering prefix
+
+    def test_outcome_without_witness_rejected(self):
+        explorer = BoundedExplorer(SixColoring(), Cycle(3), [1, 2, 3])
+        outcome = explorer.find_livelock(max_depth=60)
+        assert not outcome.found
+        with pytest.raises(ReproError):
+            witness_from_outcome(Cycle(3), [1, 2, 3], outcome)

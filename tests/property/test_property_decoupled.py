@@ -1,0 +1,106 @@
+"""Adversarial property tests for the DECOUPLED announcement protocol.
+
+The announcement 3-coloring is this reproduction's own construction
+(the paper only cites [13]), so it gets the heaviest fuzzing: random
+graphs, random schedules, random crash patterns — survivors must always
+decide, within the Δ+1 palette, properly.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import coloring_violations
+from repro.decoupled import AnnouncementColoring, run_decoupled
+from repro.model.faults import CrashPlan
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle, GeneralGraph
+from repro.types import ProcessId
+
+common = settings(
+    max_examples=80, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def fair_tail_schedule(steps, n, tail=60):
+    return FiniteSchedule(
+        [frozenset(s) for s in steps] + [frozenset(range(n))] * tail
+    )
+
+
+@given(data=st.data())
+@common
+def test_rings_with_crashes(data):
+    n = data.draw(st.integers(3, 9))
+    ids = data.draw(
+        st.lists(st.integers(0, 300), min_size=n, max_size=n, unique=True)
+    )
+    crashed = data.draw(st.sets(st.integers(0, n - 1), max_size=n - 1))
+    crash_times = {
+        p: data.draw(st.integers(1, 15), label=f"t{p}") for p in crashed
+    }
+    steps = data.draw(
+        st.lists(
+            st.sets(st.integers(0, n - 1), min_size=1, max_size=n),
+            min_size=0, max_size=30,
+        )
+    )
+    schedule = CrashPlan(
+        fair_tail_schedule(steps, n, tail=6 * n + 30), crash_times=crash_times,
+    )
+    result = run_decoupled(AnnouncementColoring(), Cycle(n), ids, schedule)
+
+    survivors = set(range(n)) - crashed
+    assert survivors <= set(result.outputs), (crashed, result.pending)
+    assert not coloring_violations(Cycle(n), result.outputs)
+    assert set(result.outputs.values()) <= {0, 1, 2}
+
+
+@given(data=st.data())
+@common
+def test_random_graphs_with_crashes(data):
+    n = data.draw(st.integers(3, 8))
+    edge_pool = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = data.draw(
+        st.lists(st.sampled_from(edge_pool), min_size=1,
+                 max_size=len(edge_pool), unique=True)
+    )
+    topo = GeneralGraph(n, edges)
+    ids = data.draw(
+        st.lists(st.integers(0, 300), min_size=n, max_size=n, unique=True)
+    )
+    crashed = data.draw(st.sets(st.integers(0, n - 1), max_size=n - 1))
+    schedule = CrashPlan(
+        fair_tail_schedule([], n, tail=6 * n + 30),
+        crash_times={p: data.draw(st.integers(1, 10), label=f"t{p}") for p in crashed},
+    )
+    result = run_decoupled(AnnouncementColoring(), topo, ids, schedule)
+
+    survivors = set(range(n)) - crashed
+    assert survivors <= set(result.outputs)
+    assert not coloring_violations(topo, result.outputs)
+    assert all(c <= topo.max_degree() for c in result.outputs.values())
+
+
+def test_dense_seeded_fuzz():
+    """A deterministic heavy fuzz loop (non-hypothesis, more trials)."""
+    rng = random.Random(42)
+    for trial in range(300):
+        n = rng.randint(3, 7)
+        ids = rng.sample(range(400), n)
+        crashed = set(rng.sample(range(n), rng.randint(0, n - 1)))
+        steps = [
+            frozenset(rng.sample(range(n), rng.randint(1, n)))
+            for _ in range(rng.randint(0, 25))
+        ]
+        schedule = CrashPlan(
+            fair_tail_schedule(steps, n, tail=6 * n + 30),
+            crash_times={p: rng.randint(1, 12) for p in crashed},
+        )
+        result = run_decoupled(AnnouncementColoring(), Cycle(n), ids, schedule)
+        survivors = set(range(n)) - crashed
+        assert survivors <= set(result.outputs), (trial, crashed, result.pending)
+        assert not coloring_violations(Cycle(n), result.outputs), trial
+        assert set(result.outputs.values()) <= {0, 1, 2}, trial

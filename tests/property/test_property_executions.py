@@ -1,0 +1,170 @@
+"""Property-based tests: random schedules and inputs, paper invariants.
+
+Hypothesis drives (identifier assignment, schedule) pairs; the paper's
+safety guarantees must hold on every generated execution, and the
+exhaustively-verified wait-free algorithms must terminate.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import (
+    identifiers_always_proper,
+    inputs_properly_color,
+    verify_execution,
+)
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+
+# ---------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------
+
+
+@st.composite
+def cycle_instances(draw, min_n=3, max_n=9):
+    """(n, distinct identifiers) for a ring."""
+    n = draw(st.integers(min_n, max_n))
+    ids = draw(
+        st.lists(
+            st.integers(0, 10 ** 6), min_size=n, max_size=n, unique=True,
+        )
+    )
+    return n, ids
+
+
+@st.composite
+def schedules(draw, n, min_steps=30, max_steps=120):
+    """A finite schedule of random non-empty activation sets, ending
+    with enough synchronous steps to let wait-free algorithms finish."""
+    steps = draw(
+        st.lists(
+            st.sets(st.integers(0, n - 1), min_size=1, max_size=n),
+            min_size=min_steps,
+            max_size=max_steps,
+        )
+    )
+    # Synchronous tail guarantees everyone is eventually activated often.
+    tail = [set(range(n))] * (6 * n + 40)
+    return FiniteSchedule([frozenset(s) for s in steps] + tail)
+
+
+common = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------
+# Safety properties (all four algorithms)
+# ---------------------------------------------------------------------
+
+
+@given(data=st.data())
+@common
+def test_alg1_safety_and_termination(data):
+    n, ids = data.draw(cycle_instances())
+    schedule = data.draw(schedules(n))
+    result = run_execution(SixColoring(), Cycle(n), ids, schedule)
+    verdict = verify_execution(Cycle(n), result, palette=SIX_PALETTE)
+    assert verdict.ok
+    assert result.all_terminated  # exhaustively wait-free + fair tail
+
+
+@given(data=st.data())
+@common
+def test_alg2_safety(data):
+    n, ids = data.draw(cycle_instances())
+    schedule = data.draw(schedules(n))
+    result = run_execution(FiveColoring(), Cycle(n), ids, schedule)
+    assert verify_execution(Cycle(n), result, palette=range(5)).ok
+
+
+@given(data=st.data())
+@common
+def test_fast5_safety_and_id_invariant(data):
+    n, ids = data.draw(cycle_instances())
+    schedule = data.draw(schedules(n))
+    result = run_execution(
+        FastFiveColoring(), Cycle(n), ids, schedule, record_registers=True,
+    )
+    assert verify_execution(Cycle(n), result, palette=range(5)).ok
+    assert identifiers_always_proper(Cycle(n), result.trace)
+
+
+@given(data=st.data())
+@common
+def test_fast6_safety_and_termination(data):
+    n, ids = data.draw(cycle_instances())
+    schedule = data.draw(schedules(n))
+    result = run_execution(FastSixColoring(), Cycle(n), ids, schedule)
+    verdict = verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE)
+    assert verdict.ok
+    assert result.all_terminated
+
+
+# ---------------------------------------------------------------------
+# Precondition relaxation (Remark 3.10): proper-coloring-only inputs
+# ---------------------------------------------------------------------
+
+
+@st.composite
+def proper_nonunique_inputs(draw, min_n=3, max_n=9):
+    n = draw(st.integers(min_n, max_n))
+    ids = [0] * n
+    for i in range(1, n):
+        ids[i] = draw(
+            st.integers(0, 6).filter(lambda v, prev=ids[i - 1]: v != prev)
+        )
+    # close the ring: last must differ from first
+    if ids[-1] == ids[0]:
+        ids[-1] = draw(
+            st.integers(0, 8).filter(
+                lambda v: v != ids[0] and v != ids[-2]
+            )
+        )
+    return n, ids
+
+
+@given(data=st.data())
+@common
+def test_alg1_with_proper_coloring_inputs(data):
+    n, ids = data.draw(proper_nonunique_inputs())
+    assert inputs_properly_color(Cycle(n), ids)
+    schedule = data.draw(schedules(n))
+    result = run_execution(SixColoring(), Cycle(n), ids, schedule)
+    assert verify_execution(Cycle(n), result, palette=SIX_PALETTE).ok
+    assert result.all_terminated
+
+
+# ---------------------------------------------------------------------
+# Crash tolerance property
+# ---------------------------------------------------------------------
+
+
+@given(data=st.data())
+@common
+def test_fast6_survivors_terminate_under_random_crashes(data):
+    n, ids = data.draw(cycle_instances(min_n=4, max_n=9))
+    crashed = data.draw(
+        st.sets(st.integers(0, n - 1), min_size=0, max_size=n - 2)
+    )
+    crash_times = {
+        p: data.draw(st.integers(1, 20), label=f"crash-{p}") for p in crashed
+    }
+    from repro.model.faults import CrashPlan
+    from repro.schedulers import SynchronousScheduler
+
+    plan = CrashPlan(SynchronousScheduler(), crash_times=crash_times)
+    result = run_execution(
+        FastSixColoring(), Cycle(n), ids, plan, max_time=20_000,
+    )
+    assert verify_execution(Cycle(n), result, palette=FAST_SIX_PALETTE).ok
+    assert (set(range(n)) - crashed) <= result.terminated

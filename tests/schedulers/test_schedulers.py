@@ -1,0 +1,199 @@
+"""Unit tests for the scheduler zoo."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    BlockRoundRobinScheduler,
+    BurstScheduler,
+    ConcatScheduler,
+    GeometricRateScheduler,
+    InterleaveScheduler,
+    LateWakeupScheduler,
+    RoundRobinScheduler,
+    SlowChainScheduler,
+    SoloScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+
+def take(schedule, n, k):
+    return list(itertools.islice(schedule.steps(n), k))
+
+
+class TestSynchronous:
+    def test_everyone_every_step(self):
+        steps = take(SynchronousScheduler(), 4, 5)
+        assert all(s == frozenset(range(4)) for s in steps)
+
+    def test_horizon(self):
+        assert len(list(SynchronousScheduler(horizon=7).steps(2))) == 7
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        steps = take(RoundRobinScheduler(), 3, 6)
+        assert steps == [frozenset({i % 3}) for i in range(6)]
+
+    def test_offset(self):
+        steps = take(RoundRobinScheduler(offset=2), 3, 2)
+        assert steps == [frozenset({2}), frozenset({0})]
+
+
+class TestBlockRoundRobin:
+    def test_blocks(self):
+        steps = take(BlockRoundRobinScheduler(2), 4, 2)
+        assert steps == [frozenset({0, 1}), frozenset({2, 3})]
+
+    def test_wraps(self):
+        steps = take(BlockRoundRobinScheduler(3), 4, 2)
+        assert steps[1] == frozenset({3, 0, 1})
+
+    def test_block_larger_than_n(self):
+        steps = take(BlockRoundRobinScheduler(10), 3, 1)
+        assert steps[0] == frozenset({0, 1, 2})
+
+    def test_invalid(self):
+        with pytest.raises(ScheduleError):
+            BlockRoundRobinScheduler(0)
+
+
+class TestBernoulli:
+    def test_deterministic_given_seed(self):
+        a = take(BernoulliScheduler(p=0.5, seed=3), 6, 20)
+        b = take(BernoulliScheduler(p=0.5, seed=3), 6, 20)
+        assert a == b
+
+    def test_never_empty(self):
+        steps = take(BernoulliScheduler(p=0.05, seed=1), 4, 50)
+        assert all(s for s in steps)
+
+    def test_p_one_is_synchronous(self):
+        steps = take(BernoulliScheduler(p=1.0, seed=0), 3, 4)
+        assert all(s == frozenset({0, 1, 2}) for s in steps)
+
+    def test_invalid_p(self):
+        with pytest.raises(ScheduleError):
+            BernoulliScheduler(p=0)
+        with pytest.raises(ScheduleError):
+            BernoulliScheduler(p=1.5)
+
+
+class TestUniformSubset:
+    def test_nonempty_and_valid(self):
+        for s in take(UniformSubsetScheduler(seed=4), 5, 50):
+            assert s and s <= frozenset(range(5))
+
+    def test_covers_sizes(self):
+        sizes = {len(s) for s in take(UniformSubsetScheduler(seed=0), 5, 200)}
+        assert sizes == {1, 2, 3, 4, 5}
+
+
+class TestGeometricRate:
+    def test_explicit_rates_validated(self):
+        with pytest.raises(ScheduleError):
+            GeometricRateScheduler(rates=[0.5, 1.5])
+
+    def test_rate_count_checked_lazily(self):
+        sched = GeometricRateScheduler(rates=[0.5])
+        with pytest.raises(ScheduleError):
+            take(sched, 3, 1)
+
+    def test_slow_processes_rarely_activated(self):
+        sched = GeometricRateScheduler(
+            rates=[0.01, 0.99], seed=5,
+        )
+        steps = take(sched, 2, 300)
+        slow = sum(1 for s in steps if 0 in s)
+        fast = sum(1 for s in steps if 1 in s)
+        assert slow < fast / 5
+
+
+class TestSolo:
+    def test_solo_prefix(self):
+        steps = take(SoloScheduler(1, solo_steps=3), 3, 5)
+        assert steps[:3] == [frozenset({1})] * 3
+        assert steps[3] == frozenset({0, 1, 2})
+
+    def test_pid_validated(self):
+        with pytest.raises(ScheduleError):
+            take(SoloScheduler(9, solo_steps=1), 3, 1)
+
+
+class TestLateWakeup:
+    def test_sleepers_absent_before_wake(self):
+        sched = LateWakeupScheduler(sleepers=[0, 2], wake_time=4)
+        steps = take(sched, 4, 6)
+        assert steps[0] == frozenset({1, 3})
+        assert steps[2] == frozenset({1, 3})
+        assert steps[3] == frozenset({0, 1, 2, 3})
+
+
+class TestSlowChain:
+    def test_slow_only_on_multiples(self):
+        sched = SlowChainScheduler(slow=[0], slowdown=3)
+        steps = take(sched, 2, 6)
+        assert [0 in s for s in steps] == [False, False, True, False, False, True]
+
+
+class TestStaggered:
+    def test_wakeup_times(self):
+        steps = take(StaggeredScheduler(stagger=2), 3, 5)
+        assert steps[0] == frozenset({0})
+        assert steps[2] == frozenset({0, 1})
+        assert steps[4] == frozenset({0, 1, 2})
+
+
+class TestAlternating:
+    def test_bipartition(self):
+        steps = take(AlternatingScheduler(), 4, 4)
+        assert steps[0] == frozenset({0, 2})
+        assert steps[1] == frozenset({1, 3})
+        assert steps[2] == frozenset({0, 2})
+
+
+class TestComposite:
+    def test_concat_phases(self):
+        sched = ConcatScheduler([
+            (RoundRobinScheduler(), 2),
+            (SynchronousScheduler(), 2),
+        ])
+        steps = list(sched.steps(3))
+        assert steps == [
+            frozenset({0}), frozenset({1}),
+            frozenset({0, 1, 2}), frozenset({0, 1, 2}),
+        ]
+
+    def test_concat_rejects_unbounded_middle(self):
+        with pytest.raises(ScheduleError):
+            ConcatScheduler([
+                (SynchronousScheduler(), None),
+                (RoundRobinScheduler(), 2),
+            ])
+
+    def test_burst(self):
+        steps = take(BurstScheduler(burst=2), 2, 6)
+        assert steps == [
+            frozenset({0}), frozenset({0}),
+            frozenset({1}), frozenset({1}),
+            frozenset({0}), frozenset({0}),
+        ]
+
+    def test_burst_horizon(self):
+        assert len(list(BurstScheduler(burst=3, horizon=7).steps(5))) == 7
+
+    def test_interleave(self):
+        sched = InterleaveScheduler(
+            RoundRobinScheduler(horizon=2), SynchronousScheduler(horizon=2),
+        )
+        steps = list(sched.steps(2))
+        assert steps == [
+            frozenset({0}), frozenset({0, 1}),
+            frozenset({1}), frozenset({0, 1}),
+        ]

@@ -1,0 +1,124 @@
+"""Tests for the self-stabilization substrate (§1.4 baseline)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.inputs import random_distinct_ids
+from repro.errors import ExecutionError
+from repro.model.topology import Cycle, Star, Torus
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+from repro.selfstab import ColoringRule, NodeState, corrupt_states, run_selfstab
+
+
+class TestEngine:
+    def test_already_legitimate_zero_moves(self):
+        rule = ColoringRule(max_degree=2)
+        states = [NodeState(x=i, color=i % 2) for i in range(4)]
+        result = run_selfstab(rule, Cycle(4), states, RoundRobinScheduler())
+        assert result.stabilized
+        assert result.moves == 0
+
+    def test_move_counting(self):
+        rule = ColoringRule(max_degree=2)
+        # all same color: conflicts everywhere
+        states = [NodeState(x=i, color=0) for i in range(5)]
+        result = run_selfstab(rule, Cycle(5), states, RoundRobinScheduler())
+        assert result.stabilized
+        assert result.moves == sum(result.moves_per_node.values()) > 0
+
+    def test_state_count_validated(self):
+        with pytest.raises(ExecutionError):
+            run_selfstab(
+                ColoringRule(2), Cycle(3),
+                [NodeState(0, 0)], RoundRobinScheduler(),
+            )
+
+    def test_max_steps_cutoff_reports_unstabilized(self):
+        class NeverDone(ColoringRule):
+            def enabled(self, state, neighbor_states):
+                return True
+
+            def move(self, state, neighbor_states):
+                return NodeState(state.x, state.color + 1)
+
+        result = run_selfstab(
+            NeverDone(2), Cycle(3),
+            [NodeState(i, 0) for i in range(3)],
+            SynchronousScheduler(), max_steps=20,
+        )
+        assert not result.stabilized
+        assert result.steps == 20
+
+
+class TestColoringRule:
+    @pytest.mark.parametrize("n", [4, 9, 25])
+    @pytest.mark.parametrize("daemon_seed", range(3))
+    def test_stabilizes_from_corruption_on_rings(self, n, daemon_seed):
+        ids = random_distinct_ids(n, seed=n)
+        rule = ColoringRule(max_degree=2)
+        rng = random.Random(daemon_seed)
+        init = corrupt_states(ids, rng)
+        for schedule in (
+            RoundRobinScheduler(),                    # central daemon
+            SynchronousScheduler(),                   # all-enabled daemon
+            UniformSubsetScheduler(seed=daemon_seed), # distributed daemon
+        ):
+            result = run_selfstab(rule, Cycle(n), init, schedule, max_steps=10_000)
+            assert result.stabilized
+            assert rule.legitimate(result.states, Cycle(n))
+            assert all(s.color <= 2 for s in result.states)
+
+    def test_stabilizes_on_general_graphs(self):
+        for topo in (Torus(3, 4), Star(7)):
+            rule = ColoringRule(max_degree=topo.max_degree())
+            init = corrupt_states(
+                [11 * i for i in range(topo.n)], random.Random(1),
+            )
+            result = run_selfstab(
+                rule, topo, init, BernoulliScheduler(p=0.5, seed=2),
+                max_steps=20_000,
+            )
+            assert result.stabilized
+            assert rule.legitimate(result.states, topo)
+
+    def test_out_of_palette_color_is_enabled(self):
+        rule = ColoringRule(max_degree=2)
+        assert rule.enabled(NodeState(5, color=40), (NodeState(9, 0), NodeState(2, 1)))
+
+    def test_only_lower_endpoint_enabled_on_conflict(self):
+        rule = ColoringRule(max_degree=2)
+        low = NodeState(x=1, color=0)
+        high = NodeState(x=9, color=0)
+        other = NodeState(x=5, color=1)
+        assert rule.enabled(low, (high, other))
+        assert not rule.enabled(high, (low, other))
+
+    def test_move_is_first_fit(self):
+        rule = ColoringRule(max_degree=2)
+        moved = rule.move(NodeState(3, 0), (NodeState(9, 0), NodeState(1, 1)))
+        assert moved.color == 2
+        assert moved.x == 3
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_always_stabilizes(self, seed):
+        n = 8
+        rng = random.Random(seed)
+        ids = random_distinct_ids(n, seed=seed)
+        init = corrupt_states(ids, rng, color_space=100)
+        rule = ColoringRule(max_degree=2)
+        result = run_selfstab(
+            rule, Cycle(n), init, UniformSubsetScheduler(seed=seed),
+            max_steps=10_000,
+        )
+        assert result.stabilized
+        assert rule.legitimate(result.states, Cycle(n))

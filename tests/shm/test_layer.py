@@ -1,0 +1,46 @@
+"""Unit tests for the shared-memory layer (repro.shm.layer)."""
+
+from repro.core.algorithm import Algorithm, StepOutcome, active_views
+from repro.model.topology import CompleteGraph
+from repro.schedulers import RoundRobinScheduler, SynchronousScheduler
+from repro.shm.layer import run_shared_memory, shared_memory_system
+
+
+class SnapshotProbe(Algorithm):
+    """Returns the multiset of values visible in its first snapshot."""
+
+    name = "snapshot-probe"
+
+    def initial_state(self, x_input):
+        return x_input
+
+    def register_value(self, state):
+        return state
+
+    def step(self, state, views):
+        return StepOutcome.ret(state, tuple(sorted(active_views(views))))
+
+
+class TestSharedMemorySystem:
+    def test_topology_is_complete(self):
+        topo = shared_memory_system(5)
+        assert topo == CompleteGraph(5)
+
+    def test_full_snapshot_visibility(self):
+        """Under simultaneous activation every process sees all other
+        registers — the immediate-snapshot property."""
+        result = run_shared_memory(
+            SnapshotProbe(), [10, 20, 30], SynchronousScheduler(),
+        )
+        assert result.outputs[0] == (20, 30)
+        assert result.outputs[1] == (10, 30)
+        assert result.outputs[2] == (10, 20)
+
+    def test_sequential_visibility(self):
+        """Round-robin: later processes see earlier writes."""
+        result = run_shared_memory(
+            SnapshotProbe(), [10, 20, 30], RoundRobinScheduler(),
+        )
+        assert result.outputs[0] == ()        # first, alone
+        assert result.outputs[1] == (10,)
+        assert result.outputs[2] == (10, 20)

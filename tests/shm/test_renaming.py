@@ -1,0 +1,106 @@
+"""Tests for wait-free (2n−1)-renaming in shared memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.schedule import FiniteSchedule, RecordedSchedule
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+from repro.shm import (
+    RankRenaming,
+    RenamingSpec,
+    renaming_namespace,
+    run_shared_memory,
+)
+
+
+class TestNamespace:
+    def test_namespace_is_2n_minus_1(self):
+        assert list(renaming_namespace(3)) == [0, 1, 2, 3, 4]
+        assert len(renaming_namespace(8)) == 15
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13])
+    def test_across_schedulers(self, n):
+        ids = [17 * i + 3 for i in range(n)]
+        for factory in (
+            SynchronousScheduler,
+            RoundRobinScheduler,
+            lambda: BernoulliScheduler(p=0.5, seed=n),
+            lambda: UniformSubsetScheduler(seed=n),
+        ):
+            result = run_shared_memory(RankRenaming(), ids, factory())
+            assert result.all_terminated
+            assert not RenamingSpec(n, 2 * n - 1).check(result.outputs)
+
+    def test_solo_takes_name_zero(self):
+        result = run_shared_memory(
+            RankRenaming(), [5, 9, 2], SoloScheduler(1, solo_steps=5),
+            max_time=50,
+        )
+        assert result.outputs[1] == 0
+        assert result.activations[1] == 1
+
+    def test_contention_on_c3_uses_at_most_five_names(self):
+        """n=3: names fit in {0..4} — the Property 2.3 connection."""
+        for seed in range(20):
+            result = run_shared_memory(
+                RankRenaming(), [3, 1, 2], BernoulliScheduler(p=0.8, seed=seed),
+            )
+            assert set(result.outputs.values()) <= set(range(5))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_unique_names_random_schedules(self, seed):
+        n = 5
+        ids = [29 * i + 11 for i in range(n)]
+        recorder = RecordedSchedule(UniformSubsetScheduler(seed=seed))
+        result = run_shared_memory(RankRenaming(), ids, recorder)
+        assert result.all_terminated
+        violations = RenamingSpec(n, 2 * n - 1).check(result.outputs)
+        assert not violations, (violations, recorder.record[:30])
+
+    def test_deterministic_replay(self):
+        recorder = RecordedSchedule(UniformSubsetScheduler(seed=77))
+        ids = [4, 8, 15, 16, 23]
+        first = run_shared_memory(RankRenaming(), ids, recorder)
+        replay = run_shared_memory(RankRenaming(), ids, recorder.replay())
+        assert first.outputs == replay.outputs
+
+    def test_crash_leaves_survivors_unique(self):
+        from repro.model.faults import crash_after_activations
+
+        ids = [10, 20, 30, 40]
+        plan = crash_after_activations(SynchronousScheduler(), {0: 1, 2: 2})
+        result = run_shared_memory(RankRenaming(), ids, plan)
+        outputs = result.outputs
+        assert not RenamingSpec(4, 7).check(outputs)
+        assert {1, 3} <= set(outputs)
+
+
+class TestWaitFreedomExhaustive:
+    def test_no_livelock_n3(self):
+        """Exhaustive: the renaming configuration graph is acyclic."""
+        from repro.lowerbounds import BoundedExplorer
+        from repro.model.topology import CompleteGraph
+
+        explorer = BoundedExplorer(RankRenaming(), CompleteGraph(3), [3, 1, 2])
+        outcome = explorer.find_livelock(max_depth=60, max_configs=300_000)
+        assert not outcome.found
+        assert outcome.exhausted
+
+    def test_exact_worst_case_small(self):
+        from repro.lowerbounds import BoundedExplorer
+        from repro.model.topology import CompleteGraph
+
+        explorer = BoundedExplorer(RankRenaming(), CompleteGraph(3), [3, 1, 2])
+        worst = {p: explorer.max_activations(p) for p in range(3)}
+        assert all(v != float("inf") for v in worst.values())
+        assert max(worst.values()) <= 10

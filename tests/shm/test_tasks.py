@@ -1,0 +1,73 @@
+"""Unit tests for task specifications (renaming, SSB, MIS)."""
+
+from repro.model.topology import Cycle
+from repro.shm.tasks import MISSpec, RenamingSpec, SSBSpec
+
+
+class TestRenamingSpec:
+    def test_valid(self):
+        assert not RenamingSpec(3, 5).check({0: 0, 1: 3, 2: 4})
+
+    def test_duplicate_name(self):
+        violations = RenamingSpec(3, 5).check({0: 2, 1: 2})
+        assert any("both took name" in v for v in violations)
+
+    def test_out_of_namespace(self):
+        assert RenamingSpec(3, 5).check({0: 5})
+        assert RenamingSpec(3, 5).check({0: -1})
+        assert RenamingSpec(3, 5).check({0: "x"})
+
+    def test_partial_termination_ok(self):
+        assert not RenamingSpec(4, 7).check({2: 6})
+
+
+class TestSSBSpec:
+    def test_valid_full(self):
+        assert not SSBSpec(3).check({0: 0, 1: 1, 2: 0})
+
+    def test_all_same_bit_violates(self):
+        assert SSBSpec(3).check({0: 1, 1: 1, 2: 1})
+        assert SSBSpec(3).check({0: 0, 1: 0, 2: 0})
+
+    def test_partial_without_one_violates(self):
+        violations = SSBSpec(3).check({0: 0})
+        assert any("none output 1" in v for v in violations)
+
+    def test_partial_with_one_ok(self):
+        assert not SSBSpec(3).check({0: 1})
+
+    def test_non_bit_output(self):
+        assert SSBSpec(2).check({0: 7, 1: 1})
+
+    def test_empty_outputs_ok(self):
+        assert not SSBSpec(3).check({})
+
+
+class TestMISSpec:
+    def setup_method(self):
+        self.spec = MISSpec(Cycle(5))
+
+    def test_valid_mis(self):
+        assert not self.spec.check({0: 1, 1: 0, 2: 1, 3: 0, 4: 0})
+
+    def test_adjacent_ones(self):
+        violations = self.spec.check({0: 1, 1: 1})
+        assert any("both output 1" in v for v in violations)
+
+    def test_wraparound_adjacency(self):
+        violations = self.spec.check({0: 1, 4: 1})
+        assert any("both output 1" in v for v in violations)
+
+    def test_zero_without_one_neighbor(self):
+        violations = self.spec.check({2: 0})
+        assert any("no terminated 1-neighbor" in v for v in violations)
+
+    def test_zero_with_one_neighbor_ok(self):
+        assert not self.spec.check({2: 0, 3: 1})
+
+    def test_non_bit(self):
+        assert self.spec.check({0: 2})
+
+    def test_doomed_equals_check_midway(self):
+        outputs = {1: 0}
+        assert self.spec.doomed(outputs) == self.spec.check(outputs)

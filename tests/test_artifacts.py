@@ -1,0 +1,52 @@
+"""The checked-in witness artifacts stay valid.
+
+`artifacts/` holds serialized witnesses for the reproduction findings;
+these tests reload and replay them so the artifacts can never drift
+from the code.
+"""
+
+import pathlib
+
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.model.schedule import FiniteSchedule
+from repro.model.witness import Witness
+
+ARTIFACTS = pathlib.Path(__file__).resolve().parent.parent / "artifacts"
+
+
+class TestE13WitnessArtifact:
+    def _load(self) -> Witness:
+        return Witness.load(ARTIFACTS / "e13_livelock_witness.json")
+
+    def test_loads(self):
+        witness = self._load()
+        assert witness.topology.n == 3
+        assert witness.inputs == [1, 2, 3]
+        assert "E13" in witness.description
+
+    def test_replays_to_nontermination(self):
+        witness = self._load()
+        # Extend the recurrent tail: activations grow without returns.
+        extended = FiniteSchedule(
+            list(witness.steps) + [witness.steps[-1]] * 300,
+        )
+        from repro.model.execution import run_execution
+
+        result = run_execution(
+            FiveColoring(), witness.topology, witness.inputs, extended,
+        )
+        assert result.outputs.keys() == {0}
+        assert result.activations[1] >= 300
+
+    def test_algorithm1_unaffected_by_same_artifact(self):
+        witness = self._load()
+        extended = FiniteSchedule(
+            list(witness.steps) + [witness.steps[-1]] * 100,
+        )
+        from repro.model.execution import run_execution
+
+        result = run_execution(
+            SixColoring(), witness.topology, witness.inputs, extended,
+        )
+        assert result.all_terminated

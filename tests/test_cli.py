@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "fast5"
+        assert args.n == 20
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_ok(self, capsys):
+        status = main(["run", "--algorithm", "fast5", "--n", "8",
+                       "--inputs", "random", "--schedule", "sync"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "terminated: 8/8" in out
+        assert "proper    : True" in out
+
+    def test_run_every_algorithm(self, capsys):
+        for algorithm in ("alg1", "alg2", "fast5", "fast6"):
+            assert main(["run", "--algorithm", algorithm, "--n", "6"]) == 0
+
+    def test_run_with_timeline(self, capsys):
+        assert main(["run", "--n", "5", "--timeline"]) == 0
+        assert "p0" in capsys.readouterr().out
+
+    def test_livelock_command(self, capsys):
+        assert main(["livelock", "--loops", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "finding E13" in out
+
+    def test_falsify_mis(self, capsys):
+        assert main(["falsify", "--target", "mis"]) == 0
+        out = capsys.readouterr().out
+        assert "DEFEATED" in out
+
+    def test_falsify_coloring(self, capsys):
+        assert main(["falsify", "--target", "coloring"]) == 0
+        assert "DEFEATED" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--algorithm", "fast5", "--max-n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "log*n" in out
+        assert "fit rounds" in out
+
+    def test_ensemble(self, capsys):
+        assert main(["ensemble", "--algorithm", "fast5", "--n", "8",
+                     "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified ensemble" in out
+        assert "max activations" in out
+
+    def test_models(self, capsys):
+        assert main(["models", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "DECOUPLED" in out
+        assert "self-stabilizing" in out
+
+    def test_progress(self, capsys):
+        assert main(["progress", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wait_free" in out
+        assert "alg2" in out

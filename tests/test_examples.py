@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example runs green end-to-end.
+
+Examples are self-verifying (each asserts its own claims and prints a
+final OK), so executing them is a real integration test of the public
+API surface they exercise.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_green(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\n{completed.stdout[-2000:]}\n{completed.stderr[-2000:]}"
+    )
+    assert "OK" in completed.stdout

@@ -1,0 +1,65 @@
+"""Tests for ASCII rendering helpers."""
+
+from repro.core.coloring5 import FiveColoring
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+from repro.render import color_glyph, render_cycle, render_outputs, render_timeline
+
+
+class TestColorGlyph:
+    def test_scalar(self):
+        assert color_glyph(0) == "0"
+        assert color_glyph(4) == "4"
+
+    def test_pair(self):
+        assert color_glyph((1, 0)) == "(1,0)"
+
+    def test_unknown(self):
+        assert color_glyph(-3) == "?"
+
+
+class TestRenderCycle:
+    def test_rows_present(self):
+        text = render_cycle([10, 20, 30], {0: 1, 2: 0})
+        assert "pos" in text and "id" in text and "col" in text
+        assert "·" in text  # pending process marker
+
+    def test_wraps_long_cycles(self):
+        text = render_cycle(list(range(100)))
+        assert text.count("pos") > 1
+
+    def test_no_color_row_without_outputs(self):
+        assert "col" not in render_cycle([1, 2, 3])
+
+
+class TestRenderOutputs:
+    def test_mentions_every_process(self):
+        result = run_execution(
+            FiveColoring(), Cycle(4), [5, 2, 8, 1],
+            FiniteSchedule([[0, 1, 2, 3]] * 30),
+        )
+        text = render_outputs(result)
+        for p in range(4):
+            assert f"p{p}:" in text
+
+
+class TestRenderTimeline:
+    def test_markers(self):
+        result = run_execution(
+            FiveColoring(), Cycle(4), [5, 2, 8, 1],
+            FiniteSchedule([[0], [1, 2], [0, 1, 2, 3]] * 20),
+            record_trace=True,
+        )
+        text = render_timeline(result.trace, 4)
+        assert "█" in text
+        assert "R" in text
+
+    def test_truncation_note(self):
+        result = run_execution(
+            FiveColoring(), Cycle(6), [9, 2, 11, 4, 13, 6],
+            FiniteSchedule([[0]] * 80 + [[0, 1, 2, 3, 4, 5]] * 40),
+            record_trace=True,
+        )
+        text = render_timeline(result.trace, 6, max_steps=10)
+        assert "more)" in text

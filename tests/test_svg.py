@@ -1,0 +1,65 @@
+"""Tests for SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SixColoring
+from repro.model.execution import run_execution
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle
+from repro.schedulers import SynchronousScheduler
+from repro.svg import save_execution_svgs, svg_ring, svg_timeline
+
+
+def _traced():
+    return run_execution(
+        FiveColoring(), Cycle(5), [9, 2, 14, 6, 11],
+        FiniteSchedule([[0, 2], [1, 3, 4], [0, 1, 2, 3, 4]] * 20),
+        record_trace=True,
+    )
+
+
+class TestSvgWellFormed:
+    def test_timeline_parses_as_xml(self):
+        result = _traced()
+        document = svg_timeline(result.trace, 5)
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_ring_parses_as_xml(self):
+        result = _traced()
+        document = svg_ring([9, 2, 14, 6, 11], result.outputs)
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_pending_nodes_drawn_hollow(self):
+        document = svg_ring([1, 2, 3], {0: 1})  # 1, 2 pending
+        assert document.count("stroke-dasharray") == 2
+
+    def test_timeline_truncates(self):
+        result = _traced()
+        short = svg_timeline(result.trace, 5, max_steps=2)
+        long = svg_timeline(result.trace, 5, max_steps=100)
+        assert len(short) < len(long)
+
+
+class TestSaveHelper:
+    def test_writes_both_files(self, tmp_path):
+        result = _traced()
+        written = save_execution_svgs(
+            result, [9, 2, 14, 6, 11], str(tmp_path / "run"),
+        )
+        assert len(written) == 2
+        for path in written:
+            content = open(path).read()
+            ET.fromstring(content)
+
+    def test_ring_only_without_trace(self, tmp_path):
+        result = run_execution(
+            SixColoring(), Cycle(4), [4, 1, 7, 2], SynchronousScheduler(),
+        )
+        written = save_execution_svgs(
+            result, [4, 1, 7, 2], str(tmp_path / "run"),
+        )
+        assert len(written) == 1
+        assert written[0].endswith("_ring.svg")

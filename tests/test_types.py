@@ -1,0 +1,47 @@
+"""Tests for shared types and the exception hierarchy."""
+
+import pickle
+
+from repro import errors
+from repro.types import BOTTOM, Bottom
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert Bottom() is Bottom()
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_hashable(self):
+        assert len({BOTTOM, Bottom()}) == 1
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_distinct_from_payloads(self):
+        assert BOTTOM != 0
+        assert BOTTOM != ()
+        assert BOTTOM is not None
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_spec_violations_grouped(self):
+        assert issubclass(errors.ColoringViolation, errors.SpecViolation)
+        assert issubclass(errors.PaletteViolation, errors.SpecViolation)
+        assert issubclass(errors.WaitFreedomViolation, errors.SpecViolation)
+
+    def test_catchable_as_base(self):
+        try:
+            raise errors.ScheduleError("boom")
+        except errors.ReproError as exc:
+            assert "boom" in str(exc)
