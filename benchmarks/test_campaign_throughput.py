@@ -1,0 +1,119 @@
+"""Campaign backend throughput: pool vs sequential on a fixed grid.
+
+Not a paper experiment — the performance anchor for the
+``repro.campaign`` subsystem, tracked from the PR that introduced it.
+Runs the same fixed (algorithm × n × schedule × seed) grid through the
+sequential in-process backend and the supervised multiprocessing pool,
+and emits ``BENCH_campaign.json`` at the repo root with both
+throughputs (runs/sec) and the speedup, so the perf trajectory of the
+campaign layer is visible across PRs.
+
+The ≥ 2× pool-over-sequential expectation only applies to multi-core
+machines (the pool cannot beat physics on one core); the assertion
+scales with the visible CPU count.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.campaign import (
+    CampaignSpec,
+    PoolBackend,
+    SequentialBackend,
+    run_campaign,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_campaign.json"
+
+#: Fixed grid: 24 tasks of ~40 ms each (Algorithm 3, C_2048, random
+#: activation) — big enough that pool parallelism dominates spawn cost.
+GRID = dict(
+    algorithms=["fast5"],
+    ns=[2048],
+    input_families=["random"],
+    schedules=["bernoulli"],
+    seeds=range(24),
+)
+
+
+def fixed_grid() -> CampaignSpec:
+    return CampaignSpec.build(**GRID)
+
+
+@pytest.mark.slow
+def test_campaign_backend_throughput():
+    spec = fixed_grid()
+    cpus = os.cpu_count() or 1
+
+    seq = run_campaign(spec, backend=SequentialBackend())
+    assert seq.all_ok and seq.report.runs == spec.size
+
+    pool = run_campaign(
+        spec, backend=PoolBackend(workers=cpus), task_timeout=120.0
+    )
+    assert pool.all_ok and pool.report.runs == spec.size
+
+    # Identical grids must aggregate identically, whatever the backend.
+    assert pool.report == seq.report
+
+    speedup = pool.summary.runs_per_sec / seq.summary.runs_per_sec
+    payload = {
+        "grid": spec.to_dict(),
+        "spec_hash": spec.spec_hash,
+        "tasks": spec.size,
+        "cpus": cpus,
+        "sequential": {
+            "runs_per_sec": seq.summary.runs_per_sec,
+            "wall_time": seq.summary.wall_time,
+        },
+        "pool": {
+            "workers": pool.summary.workers,
+            "runs_per_sec": pool.summary.runs_per_sec,
+            "wall_time": pool.summary.wall_time,
+        },
+        "speedup": speedup,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        "campaign backend throughput (BENCH_campaign.json)",
+        [
+            {"backend": "sequential", "workers": 1,
+             "runs/sec": round(seq.summary.runs_per_sec, 1),
+             "wall [s]": round(seq.summary.wall_time, 2)},
+            {"backend": "pool", "workers": pool.summary.workers,
+             "runs/sec": round(pool.summary.runs_per_sec, 1),
+             "wall [s]": round(pool.summary.wall_time, 2)},
+        ],
+    )
+
+    # Acceptance: ≥ 2× on a multi-core machine.  Below 4 visible CPUs
+    # the ideal speedup itself approaches the supervisor's overhead, so
+    # the bar scales down; on one core we only require "not pathological".
+    if cpus >= 4:
+        assert speedup >= 2.0, f"pool speedup {speedup:.2f}x < 2x on {cpus} CPUs"
+    elif cpus >= 2:
+        assert speedup >= 1.2, f"pool speedup {speedup:.2f}x < 1.2x on {cpus} CPUs"
+    else:
+        assert speedup >= 0.5, f"pool pathologically slow: {speedup:.2f}x"
+
+
+def test_campaign_sequential_overhead(benchmark):
+    """Runner overhead per task on a fast grid (spec→expand→run→fold)."""
+    spec = CampaignSpec.build(
+        algorithms=["fast5"], ns=[64], input_families=["random"],
+        schedules=["bernoulli"], seeds=range(10),
+    )
+
+    def workload():
+        outcome = run_campaign(spec, backend=SequentialBackend())
+        assert outcome.all_ok
+        return outcome.summary.runs_per_sec
+
+    runs_per_sec = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert runs_per_sec > 50

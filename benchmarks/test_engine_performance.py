@@ -4,16 +4,22 @@ Not a paper experiment — the absolute-performance anchor for the
 simulator itself, so regressions in the hot loop (register batching,
 view construction, step dispatch) are visible.  Reported as
 process-activations per second.
+
+The scattered-access workload (random-subset activation over many
+seeds) is expressed as a ``repro.campaign`` grid — the campaign runner
+is now the standard way to sweep (input × schedule × seed) loads, and
+benchmarking through it keeps its per-task overhead on the hook too.
 """
 
 import pytest
 
-from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.analysis.inputs import monotone_ids
+from repro.campaign import CampaignSpec, SequentialBackend, run_campaign
 from repro.core.coloring5 import FiveColoring
 from repro.core.fast_coloring5 import FastFiveColoring
 from repro.model.execution import run_execution
 from repro.model.topology import Cycle
-from repro.schedulers import BernoulliScheduler, SynchronousScheduler
+from repro.schedulers import SynchronousScheduler
 
 
 @pytest.mark.parametrize("n", [100, 1000, 10000])
@@ -51,16 +57,26 @@ def test_engine_throughput_linear_workload(benchmark):
 
 
 def test_engine_throughput_random_schedule(benchmark):
-    """Random-subset activation: the scattered-access pattern."""
-    n = 2000
-    ids = random_distinct_ids(n, seed=0)
+    """Random-subset activation: the scattered-access pattern.
+
+    Migrated onto the campaign subsystem: a 5-seed
+    (random inputs × Bernoulli schedule) grid on C_2000, executed by
+    the sequential backend so the measurement stays single-process and
+    comparable with the pre-campaign numbers.
+    """
+    spec = CampaignSpec.build(
+        algorithms=["fast5"],
+        ns=[2000],
+        input_families=["random"],
+        schedules=[("bernoulli", {"p": 0.5})],
+        seeds=range(5),
+        max_time=100_000,
+    )
 
     def workload():
-        result = run_execution(
-            FastFiveColoring(), Cycle(n), ids,
-            BernoulliScheduler(p=0.5, seed=1), max_time=100_000,
-        )
-        assert result.all_terminated
-        return result.final_time
+        outcome = run_campaign(spec, backend=SequentialBackend())
+        assert outcome.all_ok
+        assert outcome.report.runs == 5
+        return outcome.summary.runs_per_sec
 
     benchmark.pedantic(workload, rounds=3, iterations=1)

@@ -10,9 +10,10 @@ Histograms are plain dicts so reports stay dependency-free.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.verify import verify_execution
 from repro.model.execution import run_execution
@@ -89,23 +90,45 @@ class EnsembleReport:
             f"proper={self.proper_runs} palette_ok={self.palette_ok_runs}\n"
             f"max activations : {self.max_activations}\n"
             f"mean activations: {self.mean_activations}\n"
-            f"colors used     : {sorted(self.colors_used)}"
+            f"colors used     : {sorted(self.colors_used, key=repr)}"
         )
+
+
+def _fresh_schedule(entry: Union[Schedule, Callable[[], Schedule]]) -> Schedule:
+    """A schedule instance private to one run.
+
+    ``Schedule.steps`` is *supposed* to restart per call, but nothing
+    enforces it: a stateful schedule (consuming an iterator, popping
+    from a shared list, advancing an RNG stored on ``self``) would
+    silently leak state across the grid and corrupt every run after
+    the first.  So each run gets its own instance — zero-argument
+    factories are called, plain schedules are deep-copied.
+    """
+    if isinstance(entry, Schedule):
+        return copy.deepcopy(entry)
+    if callable(entry):
+        return entry()
+    raise TypeError(
+        f"expected a Schedule or a zero-argument schedule factory, got {entry!r}"
+    )
 
 
 def run_ensemble(
     algorithm_factory: Callable[[], Any],
     topology: Topology,
     inputs_list: Iterable[Sequence[int]],
-    schedules: Iterable[Tuple[str, Schedule]],
+    schedules: Iterable[Tuple[str, Union[Schedule, Callable[[], Schedule]]]],
     *,
     palette: Optional[Iterable[Any]] = None,
     max_time: int = 200_000,
 ) -> EnsembleReport:
     """Run the (inputs × schedule) grid, verify everything, aggregate.
 
-    ``schedules`` yields ``(label, schedule)`` pairs; each schedule is
-    re-used across input vectors (schedules restart per run).
+    ``schedules`` yields ``(label, schedule_or_factory)`` pairs.  Every
+    run of the grid executes against a *fresh* schedule instance (a
+    deep copy, or a new factory call) so that stateful schedules cannot
+    leak consumed steps or RNG state across runs — see
+    :func:`_fresh_schedule`.
     """
     maxima: List[float] = []
     means: List[float] = []
@@ -116,9 +139,10 @@ def run_ensemble(
 
     schedule_pairs = list(schedules)
     for inputs in inputs_list:
-        for _label, schedule in schedule_pairs:
+        for _label, schedule_entry in schedule_pairs:
             result = run_execution(
-                algorithm_factory(), topology, inputs, schedule,
+                algorithm_factory(), topology, inputs,
+                _fresh_schedule(schedule_entry),
                 max_time=max_time,
             )
             verdict = verify_execution(topology, result, palette=palette_list)

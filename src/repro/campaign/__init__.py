@@ -1,0 +1,67 @@
+"""``repro.campaign`` — sharded, resumable experiment-campaign runner.
+
+The paper's guarantees are suprema over schedules, so empirical claims
+rest on sweeping large (algorithm × n × input × schedule × seed)
+grids.  This subsystem turns such a grid into a fault-tolerant
+*campaign*:
+
+* :mod:`repro.campaign.spec` — declarative :class:`CampaignSpec`
+  expanded into deterministic, content-hashed :class:`TaskSpec`\\ s;
+* :mod:`repro.campaign.registry` — name → factory tables so tasks are
+  plain serializable descriptions, rebuilt identically in any process;
+* :mod:`repro.campaign.backends` — a sequential in-process backend and
+  a supervised ``multiprocessing`` pool with per-task timeouts,
+  bounded retries, and worker-crash recovery;
+* :mod:`repro.campaign.journal` — durable JSONL journal enabling
+  exact resume of killed campaigns (skip by task hash);
+* :mod:`repro.campaign.runner` — orchestration plus aggregation into
+  the standard :class:`~repro.analysis.ensembles.EnsembleReport` and a
+  campaign-level :class:`CampaignSummary` JSON artifact.
+
+CLI: ``repro-color campaign …`` (see ``docs/CAMPAIGN.md``).
+"""
+
+from repro.campaign.backends import (
+    CampaignBackend,
+    PoolBackend,
+    SequentialBackend,
+    make_backend,
+)
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.registry import (
+    ALGORITHMS,
+    INPUT_FAMILIES,
+    PALETTES,
+    SCHEDULERS,
+    TOPOLOGIES,
+)
+from repro.campaign.runner import (
+    CampaignOutcome,
+    CampaignSummary,
+    aggregate_records,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, ScheduleSpec, TaskSpec
+from repro.campaign.worker import TaskResult, execute_task
+
+__all__ = [
+    "ALGORITHMS",
+    "INPUT_FAMILIES",
+    "PALETTES",
+    "SCHEDULERS",
+    "TOPOLOGIES",
+    "CampaignBackend",
+    "CampaignJournal",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "CampaignSummary",
+    "PoolBackend",
+    "ScheduleSpec",
+    "SequentialBackend",
+    "TaskResult",
+    "TaskSpec",
+    "aggregate_records",
+    "execute_task",
+    "make_backend",
+    "run_campaign",
+]

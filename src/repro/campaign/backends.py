@@ -1,0 +1,399 @@
+"""Campaign execution backends: sequential reference and process pool.
+
+Both backends implement one contract — :meth:`CampaignBackend.execute`
+takes a list of :class:`~repro.campaign.spec.TaskSpec` and invokes
+``on_record`` exactly once per task with a *terminal* record
+(``status`` ``"ok"`` or ``"failed"``), in completion order.  The
+runner journals and aggregates those records without knowing which
+backend produced them.
+
+:class:`SequentialBackend` runs tasks in-process, in grid order.  It
+retries raising tasks but cannot enforce wall-clock timeouts or
+survive a task that kills the interpreter — it exists for tests,
+small grids, and as the semantics reference.
+
+:class:`PoolBackend` is the production path: a supervisor owning N
+worker processes.  Each worker has a private task queue; the
+supervisor assigns one task at a time to an idle worker, so it always
+knows exactly which task every worker holds.  That makes the three
+failure modes recoverable without losing or duplicating tasks:
+
+* a task **raises** — the worker reports the error and lives on; the
+  supervisor requeues the task (bounded by ``max_retries``);
+* a task **hangs** — the supervisor's deadline fires, the worker is
+  killed and replaced, the task requeued (counted as a timeout);
+* a worker **dies** (segfault, ``os._exit``, OOM-kill) — liveness
+  monitoring spots the corpse, respawns a worker, requeues the task
+  (counted as a crash).
+
+A task that exhausts ``max_retries`` is recorded as ``"failed"`` with
+its last error; the campaign always completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.spec import TaskSpec
+from repro.campaign.worker import execute_task
+from repro.errors import CampaignError
+
+__all__ = ["CampaignBackend", "SequentialBackend", "PoolBackend", "make_backend"]
+
+#: ``on_record`` callback signature: one terminal record per task.
+RecordSink = Callable[[Dict[str, Any]], None]
+
+
+def _record(
+    task: TaskSpec,
+    status: str,
+    *,
+    result: Optional[Dict[str, Any]],
+    error: Optional[str],
+    attempts: int,
+    elapsed: float,
+    worker: Optional[int],
+    timeouts: int = 0,
+    crashes: int = 0,
+) -> Dict[str, Any]:
+    return {
+        "hash": task.task_hash,
+        "task": task.to_dict(),
+        "status": status,
+        "result": result,
+        "error": error,
+        "attempts": attempts,
+        "elapsed": elapsed,
+        "worker": worker,
+        "timeouts": timeouts,
+        "crashes": crashes,
+    }
+
+
+class CampaignBackend:
+    """Interface: execute tasks, emitting one terminal record each."""
+
+    name = "abstract"
+    workers = 1
+
+    def execute(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        task_timeout: float = 60.0,
+        max_retries: int = 2,
+        on_record: RecordSink,
+    ) -> None:
+        raise NotImplementedError
+
+
+class SequentialBackend(CampaignBackend):
+    """In-process, in-order execution (tests / small grids).
+
+    Honors ``max_retries`` for raising tasks; ``task_timeout`` is not
+    enforceable in-process and is ignored (documented limitation).
+    """
+
+    name = "sequential"
+    workers = 1
+
+    def execute(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        task_timeout: float = 60.0,
+        max_retries: int = 2,
+        on_record: RecordSink,
+    ) -> None:
+        for task in tasks:
+            attempts = 0
+            started = time.perf_counter()
+            while True:
+                attempts += 1
+                try:
+                    result = execute_task(task.to_dict())
+                except Exception as exc:
+                    if attempts > max_retries:
+                        on_record(
+                            _record(
+                                task,
+                                "failed",
+                                result=None,
+                                error=f"{type(exc).__name__}: {exc}",
+                                attempts=attempts,
+                                elapsed=time.perf_counter() - started,
+                                worker=None,
+                            )
+                        )
+                        break
+                    continue
+                on_record(
+                    _record(
+                        task,
+                        "ok",
+                        result=result.to_dict(),
+                        error=None,
+                        attempts=attempts,
+                        elapsed=result.elapsed,
+                        worker=None,
+                    )
+                )
+                break
+
+
+def _pool_worker(wid: int, task_q, result_q) -> None:
+    """Worker loop: pull a task description, run it, report back.
+
+    Runs in a child process.  Only plain dicts/strings cross the
+    queues; all live objects are rebuilt inside :func:`execute_task`
+    from the registries.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task_hash = item.get("__hash__")
+        task = {k: v for k, v in item.items() if k != "__hash__"}
+        try:
+            result = execute_task(task)
+        except Exception as exc:
+            result_q.put(
+                ("error", wid, task_hash, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_q.put(("ok", wid, task_hash, result.to_dict()))
+
+
+@dataclass
+class _TaskState:
+    task: TaskSpec
+    attempts: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    status: Optional[str] = None
+    last_error: Optional[str] = None
+    assigned_at: float = 0.0
+
+
+@dataclass
+class _Worker:
+    process: Any
+    task_q: Any
+    current: Optional[str] = None  # task hash in flight
+    deadline: float = field(default=0.0)
+
+
+class PoolBackend(CampaignBackend):
+    """Supervised ``multiprocessing`` pool with crash/hang recovery."""
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        mp_context: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ):
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(mp_context)
+        self._poll = poll_interval
+
+    def execute(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        task_timeout: float = 60.0,
+        max_retries: int = 2,
+        on_record: RecordSink,
+    ) -> None:
+        if not tasks:
+            return
+        if task_timeout <= 0:
+            raise CampaignError(f"task_timeout must be > 0, got {task_timeout}")
+
+        result_q = self._ctx.Queue()
+        state: Dict[str, _TaskState] = {}
+        ready: deque = deque()
+        for task in tasks:
+            if task.task_hash in state:
+                raise CampaignError(
+                    f"duplicate task hash {task.task_hash} in campaign grid"
+                )
+            state[task.task_hash] = _TaskState(task=task)
+            ready.append(task)
+
+        workers: Dict[int, _Worker] = {}
+        next_wid = 0
+        done = 0
+        total = len(tasks)
+
+        def spawn() -> None:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            task_q = self._ctx.SimpleQueue()
+            process = self._ctx.Process(
+                target=_pool_worker, args=(wid, task_q, result_q), daemon=True
+            )
+            process.start()
+            workers[wid] = _Worker(process=process, task_q=task_q)
+
+        def finish(st: _TaskState, status: str, **kw) -> None:
+            nonlocal done
+            st.status = status
+            done += 1
+            on_record(
+                _record(
+                    st.task,
+                    status,
+                    attempts=st.attempts,
+                    timeouts=st.timeouts,
+                    crashes=st.crashes,
+                    **kw,
+                )
+            )
+
+        def retry_or_fail(st: _TaskState, error: str, worker: Optional[int]) -> None:
+            """After a failed attempt: requeue, or record terminal failure."""
+            st.last_error = error
+            if st.attempts > max_retries:
+                finish(
+                    st,
+                    "failed",
+                    result=None,
+                    error=error,
+                    elapsed=time.monotonic() - st.assigned_at,
+                    worker=worker,
+                )
+            else:
+                ready.append(st.task)
+
+        for _ in range(min(self.workers, total)):
+            spawn()
+
+        try:
+            while done < total:
+                # 1. hand tasks to idle workers (one in flight each, so
+                #    the supervisor always knows what a dead worker held)
+                if ready:
+                    for wid, w in workers.items():
+                        if not ready:
+                            break
+                        if w.current is None and w.process.is_alive():
+                            task = ready.popleft()
+                            st = state[task.task_hash]
+                            st.assigned_at = time.monotonic()
+                            payload = task.to_dict()
+                            payload["__hash__"] = task.task_hash
+                            w.task_q.put(payload)
+                            w.current = task.task_hash
+                            w.deadline = st.assigned_at + task_timeout
+
+                # 2. drain one result
+                try:
+                    kind, wid, task_hash, payload = result_q.get(
+                        timeout=self._poll
+                    )
+                except queue_mod.Empty:
+                    kind = None
+                if kind is not None:
+                    w = workers.get(wid)
+                    if w is not None and w.current == task_hash:
+                        w.current = None
+                    st = state.get(task_hash)
+                    # Ignore stragglers for tasks already terminal (a
+                    # worker can report just as its deadline fires).
+                    if st is not None and st.status is None:
+                        st.attempts += 1
+                        if kind == "ok":
+                            finish(
+                                st,
+                                "ok",
+                                result=payload,
+                                error=None,
+                                elapsed=payload.get(
+                                    "elapsed",
+                                    time.monotonic() - st.assigned_at,
+                                ),
+                                worker=wid,
+                            )
+                        else:
+                            retry_or_fail(st, payload, wid)
+
+                now = time.monotonic()
+
+                # 3. deadline enforcement: kill and replace hung workers
+                for wid, w in list(workers.items()):
+                    if w.current is not None and now > w.deadline:
+                        task_hash = w.current
+                        w.process.terminate()
+                        w.process.join(timeout=5)
+                        del workers[wid]
+                        st = state[task_hash]
+                        if st.status is None:
+                            st.attempts += 1
+                            st.timeouts += 1
+                            retry_or_fail(
+                                st, f"timeout after {task_timeout:g}s", wid
+                            )
+                        if done < total:
+                            spawn()
+
+                # 4. liveness: a worker died on its own — recover its task
+                for wid, w in list(workers.items()):
+                    if not w.process.is_alive():
+                        task_hash = w.current
+                        w.process.join(timeout=5)
+                        exitcode = w.process.exitcode
+                        del workers[wid]
+                        if task_hash is not None:
+                            st = state[task_hash]
+                            if st.status is None:
+                                st.attempts += 1
+                                st.crashes += 1
+                                retry_or_fail(
+                                    st,
+                                    f"worker crashed (exit {exitcode})",
+                                    wid,
+                                )
+                        if done < total:
+                            spawn()
+        finally:
+            for w in workers.values():
+                try:
+                    w.task_q.put(None)
+                except Exception:
+                    pass
+            deadline = time.monotonic() + 2.0
+            for w in workers.values():
+                w.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if w.process.is_alive():
+                    w.process.terminate()
+                    w.process.join(timeout=1)
+            result_q.close()
+            result_q.join_thread()
+
+
+def make_backend(
+    name: str,
+    *,
+    workers: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> CampaignBackend:
+    """Backend factory used by the CLI (``--backend``)."""
+    if name == "sequential":
+        return SequentialBackend()
+    if name == "pool":
+        return PoolBackend(workers=workers, mp_context=mp_context)
+    raise CampaignError(f"unknown backend {name!r} (known: sequential, pool)")

@@ -1,0 +1,142 @@
+"""Append-only JSONL journal: the campaign's crash-recovery log.
+
+Line 1 is a header identifying the campaign spec (by content hash);
+every subsequent line is one terminal task record::
+
+    {"hash": ..., "status": "ok"|"failed", "task": {...},
+     "result": {...}|null, "error": null|str, "attempts": n,
+     "elapsed": secs, "worker": id|null, "timeouts": n, "crashes": n}
+
+Records are flushed and fsync'd per append, so a campaign killed at
+any point (including SIGKILL) loses at most the line being written;
+a truncated trailing line is tolerated and ignored on load.  Resume
+(:meth:`completed_hashes`) replays the journal and skips every task
+whose hash already has a terminal record — re-running a finished
+campaign is a no-op, and re-running a half-finished one executes
+exactly the missing half.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Union
+
+from repro.errors import CampaignError
+
+__all__ = ["TaskRecord", "CampaignJournal"]
+
+#: Statuses that mark a task as done (never re-executed on resume).
+TERMINAL_STATUSES = ("ok", "failed")
+
+TaskRecord = Dict[str, Any]
+
+
+class CampaignJournal:
+    """One campaign's JSONL journal on disk."""
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    # -- writing -------------------------------------------------------
+    def start(self, spec_dict: Dict[str, Any], spec_hash: str) -> None:
+        """Create/truncate the journal and write the campaign header."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write_line(
+            {
+                "journal_version": self.VERSION,
+                "spec_hash": spec_hash,
+                "campaign": spec_dict,
+            }
+        )
+
+    def resume(self, spec_hash: str) -> Set[str]:
+        """Open for append, verify compatibility, return finished hashes.
+
+        A missing or empty journal behaves like :meth:`start` would —
+        the set is empty and a fresh header is written — so ``--resume``
+        is always safe to pass.
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            self.start({}, spec_hash)
+            return set()
+        header, records = self._load()
+        if header.get("spec_hash") != spec_hash:
+            raise CampaignError(
+                f"journal {self.path} belongs to campaign "
+                f"{header.get('spec_hash')!r}, not {spec_hash!r} — "
+                "refusing to mix campaigns (use a fresh --journal path)"
+            )
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return {
+            r["hash"] for r in records if r.get("status") in TERMINAL_STATUSES
+        }
+
+    def append(self, record: TaskRecord) -> None:
+        """Durably append one terminal task record."""
+        if self._fh is None:
+            raise CampaignError("journal not started (call start() or resume())")
+        self._write_line(record)
+
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def _iter_lines(self) -> Iterator[Dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-append leaves at most one truncated
+                    # trailing line; treat it as never written.
+                    continue
+
+    def _load(self):
+        header: Dict[str, Any] = {}
+        records: List[TaskRecord] = []
+        for i, payload in enumerate(self._iter_lines()):
+            if i == 0 and "journal_version" in payload:
+                header = payload
+            else:
+                records.append(payload)
+        return header, records
+
+    def header(self) -> Dict[str, Any]:
+        """The campaign header line (empty dict if none)."""
+        header, _ = self._load()
+        return header
+
+    def records(self) -> List[TaskRecord]:
+        """All readable task records, in journal (completion) order."""
+        _, records = self._load()
+        return records
+
+    def completed_hashes(self) -> Set[str]:
+        """Hashes of tasks with a terminal record."""
+        return {
+            r["hash"]
+            for r in self.records()
+            if r.get("status") in TERMINAL_STATUSES
+        }

@@ -1,0 +1,157 @@
+"""Name → factory registries shared by the CLI and the campaign runner.
+
+Campaign tasks must be *descriptions* — plain, hashable, serializable
+dicts — so that they can be journaled, hashed for resume, and shipped
+to worker processes without pickling live objects.  Workers rebuild the
+actual algorithm / topology / inputs / schedule objects from these
+registries, which therefore have to resolve identically in every
+process.
+
+Two resolution forms are supported everywhere a name is accepted:
+
+* a **registry name** — one of the short names registered below
+  (``"fast5"``, ``"bernoulli"``, ``"cycle"``, ``"random"``, …);
+* a **dotted path** — ``"package.module:attribute"``, imported on
+  demand.  This keeps the subsystem open: an experiment can sweep an
+  algorithm that was never registered, as long as workers can import
+  it.  (The fault-tolerance test-suite uses this to inject crashing
+  and hanging workloads.)
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.coloring5 import FiveColoring
+from repro.core.coloring6 import SIX_PALETTE, SixColoring
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.errors import CampaignError
+from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.analysis.inputs import (
+    huge_ids,
+    monotone_ids,
+    random_distinct_ids,
+    zigzag_ids,
+)
+from repro.model.topology import CompleteGraph, Cycle, Path, Topology
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    BlockRoundRobinScheduler,
+    RoundRobinScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "PALETTES",
+    "INPUT_FAMILIES",
+    "SCHEDULERS",
+    "TOPOLOGIES",
+    "resolve_algorithm",
+    "resolve_palette",
+    "resolve_inputs",
+    "resolve_schedule",
+    "resolve_topology",
+]
+
+#: Algorithm name → zero-argument factory.
+ALGORITHMS: Dict[str, Callable[[], Any]] = {
+    "alg1": SixColoring,
+    "alg2": FiveColoring,
+    "fast5": FastFiveColoring,
+    "fast6": FastSixColoring,
+}
+
+#: Algorithm name → allowed output palette (``None`` = unchecked).
+PALETTES: Dict[str, List[Any]] = {
+    "alg1": list(SIX_PALETTE),
+    "alg2": list(range(5)),
+    "fast5": list(range(5)),
+    "fast6": list(FAST_SIX_PALETTE),
+}
+
+#: Input family name → ``fn(n, seed) -> List[int]``.
+INPUT_FAMILIES: Dict[str, Callable[[int, int], List[int]]] = {
+    "random": lambda n, seed: random_distinct_ids(n, seed=seed),
+    "monotone": lambda n, seed: monotone_ids(n),
+    "zigzag": lambda n, seed: zigzag_ids(n),
+    "huge": lambda n, seed: huge_ids(n, bits=256, seed=seed),
+}
+
+#: Scheduler name → keyword factory.  Every factory tolerates a
+#: ``seed`` keyword (stateless schedules simply ignore it) so campaign
+#: expansion can inject the run seed uniformly.
+SCHEDULERS: Dict[str, Callable[..., Any]] = {
+    "sync": lambda seed=0, **kw: SynchronousScheduler(),
+    "round-robin": lambda seed=0, offset=0, **kw: RoundRobinScheduler(offset=offset),
+    "block-round-robin": lambda seed=0, k=2, **kw: BlockRoundRobinScheduler(k=k),
+    "bernoulli": lambda seed=0, p=0.4, **kw: BernoulliScheduler(p=p, seed=seed),
+    "subset": lambda seed=0, **kw: UniformSubsetScheduler(seed=seed),
+    "staggered": lambda seed=0, stagger=2, **kw: StaggeredScheduler(stagger=stagger),
+    "alternating": lambda seed=0, **kw: AlternatingScheduler(),
+}
+
+#: Topology name → ``fn(n) -> Topology``.
+TOPOLOGIES: Dict[str, Callable[[int], Topology]] = {
+    "cycle": Cycle,
+    "path": Path,
+    "complete": CompleteGraph,
+}
+
+
+def _import_dotted(path: str) -> Any:
+    """Import ``package.module:attribute``."""
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise CampaignError(
+            f"dotted path must look like 'pkg.module:attr', got {path!r}"
+        )
+    try:
+        module = import_module(module_name)
+    except ImportError as exc:
+        raise CampaignError(f"cannot import {module_name!r}: {exc}") from exc
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise CampaignError(f"{module_name!r} has no attribute {attr!r}") from exc
+
+
+def _resolve(kind: str, registry: Dict[str, Any], name: str) -> Any:
+    if ":" in name:
+        return _import_dotted(name)
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise CampaignError(
+            f"unknown {kind} {name!r} (known: {known}; or use 'pkg.module:attr')"
+        ) from None
+
+
+def resolve_algorithm(name: str) -> Callable[[], Any]:
+    """Algorithm factory for ``name`` (registry name or dotted path)."""
+    return _resolve("algorithm", ALGORITHMS, name)
+
+
+def resolve_palette(name: str) -> Optional[List[Any]]:
+    """Palette for algorithm ``name``, or ``None`` when unregistered."""
+    return PALETTES.get(name)
+
+
+def resolve_inputs(name: str, n: int, seed: int) -> List[int]:
+    """Generate the input vector of family ``name`` for ``(n, seed)``."""
+    return _resolve("input family", INPUT_FAMILIES, name)(n, seed)
+
+
+def resolve_schedule(name: str, seed: int = 0, **params: Any) -> Any:
+    """Build a fresh schedule ``name`` with ``seed`` and extra params."""
+    return _resolve("scheduler", SCHEDULERS, name)(seed=seed, **params)
+
+
+def resolve_topology(name: str, n: int) -> Topology:
+    """Build topology ``name`` on ``n`` processes."""
+    return _resolve("topology", TOPOLOGIES, name)(n)

@@ -1,0 +1,279 @@
+"""Campaign orchestration: expand → (resume-filter) → execute → aggregate.
+
+:func:`run_campaign` is the one entry point: it expands a
+:class:`~repro.campaign.spec.CampaignSpec` into tasks, drops every
+task the journal already records (``resume=True``), streams the rest
+through a backend, journals each terminal record durably, and folds
+all ``ok`` records — old and new — into the repo's standard
+:class:`~repro.analysis.ensembles.EnsembleReport` plus a
+:class:`CampaignSummary` (throughput, retry/timeout/crash counts,
+per-shard latency distributions).
+
+Aggregation is order-insensitive and runs over the *journal*, not the
+in-memory stream, so a campaign killed halfway and resumed produces a
+final report identical to an uninterrupted run — the property the
+fault-tolerance test-suite locks in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.ensembles import Distribution, EnsembleReport
+from repro.campaign.backends import CampaignBackend, SequentialBackend
+from repro.campaign.journal import CampaignJournal, TaskRecord
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import TaskResult
+from repro.errors import CampaignError
+
+__all__ = [
+    "CampaignSummary",
+    "CampaignOutcome",
+    "aggregate_records",
+    "run_campaign",
+]
+
+
+@dataclass
+class CampaignSummary:
+    """Campaign-level operational metrics (the JSON artifact)."""
+
+    backend: str
+    workers: int
+    total_tasks: int
+    skipped: int  # journaled before this invocation (resume)
+    executed: int  # ran in this invocation
+    ok: int  # terminal ok across the whole campaign
+    failed: int  # terminal failed across the whole campaign
+    retries: int  # extra attempts beyond the first, all tasks
+    timeouts: int
+    crashes: int
+    wall_time: float
+    runs_per_sec: float
+    per_shard_latency: Dict[int, Distribution] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "total_tasks": self.total_tasks,
+            "skipped": self.skipped,
+            "executed": self.executed,
+            "ok": self.ok,
+            "failed": self.failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "wall_time": self.wall_time,
+            "runs_per_sec": self.runs_per_sec,
+            "per_shard_latency": {
+                str(shard): {
+                    "count": d.count,
+                    "min": d.minimum,
+                    "mean": d.mean,
+                    "p50": d.p50,
+                    "p95": d.p95,
+                    "max": d.maximum,
+                }
+                for shard, d in sorted(self.per_shard_latency.items())
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the summary artifact as JSON and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    def __str__(self) -> str:
+        return (
+            f"backend={self.backend} workers={self.workers} "
+            f"tasks={self.total_tasks} (skipped={self.skipped} "
+            f"executed={self.executed}) ok={self.ok} failed={self.failed}\n"
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"crashes={self.crashes}\n"
+            f"wall={self.wall_time:.2f}s throughput={self.runs_per_sec:.1f} runs/s"
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything :func:`run_campaign` produces."""
+
+    report: Optional[EnsembleReport]
+    summary: CampaignSummary
+    records: List[TaskRecord]
+
+    @property
+    def all_ok(self) -> bool:
+        """No failed tasks and every run verified clean."""
+        return (
+            self.summary.failed == 0
+            and self.report is not None
+            and self.report.all_ok
+        )
+
+
+def aggregate_records(records: Sequence[TaskRecord]) -> Optional[EnsembleReport]:
+    """Fold ``ok`` task records into the standard :class:`EnsembleReport`.
+
+    Order-insensitive: distributions sort their samples and counters
+    commute, so journal (completion) order never shows through — the
+    keystone of resume-equivalence.  Returns ``None`` when no run
+    succeeded (there is nothing to summarize).
+    """
+    maxima: List[float] = []
+    means: List[float] = []
+    colors: Dict[Any, int] = {}
+    histogram: Dict[int, int] = {}
+    runs = terminated = proper = palette_ok = 0
+
+    for record in records:
+        if record.get("status") != "ok" or not record.get("result"):
+            continue
+        result = TaskResult.from_dict(record["result"])
+        runs += 1
+        terminated += result.terminated
+        proper += result.proper
+        palette_ok += result.palette_ok
+        maxima.append(result.max_activation)
+        means.append(result.mean_activation)
+        for color, count in result.colors:
+            colors[color] = colors.get(color, 0) + count
+        for activations, count in result.activation_histogram:
+            histogram[activations] = histogram.get(activations, 0) + count
+
+    if runs == 0:
+        return None
+    return EnsembleReport(
+        runs=runs,
+        terminated_runs=terminated,
+        proper_runs=proper,
+        palette_ok_runs=palette_ok,
+        max_activations=Distribution.of(maxima),
+        mean_activations=Distribution.of(means),
+        colors_used={c: colors[c] for c in sorted(colors, key=repr)},
+        activation_histogram=dict(sorted(histogram.items())),
+    )
+
+
+def _shard_latencies(records: Sequence[TaskRecord]) -> Dict[int, Distribution]:
+    by_shard: Dict[int, List[float]] = {}
+    for record in records:
+        task = record.get("task") or {}
+        by_shard.setdefault(int(task.get("shard", 0)), []).append(
+            float(record.get("elapsed", 0.0))
+        )
+    return {s: Distribution.of(v) for s, v in sorted(by_shard.items())}
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    backend: Optional[CampaignBackend] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    task_timeout: float = 60.0,
+    max_retries: int = 2,
+    stop_after: Optional[int] = None,
+    on_record: Optional[Callable[[TaskRecord], None]] = None,
+) -> CampaignOutcome:
+    """Execute (the unfinished part of) a campaign and aggregate it.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to run.
+    backend:
+        Execution backend; defaults to :class:`SequentialBackend`.
+    journal_path:
+        JSONL journal location.  Without a journal the campaign still
+        runs (records kept in memory) but cannot be resumed.
+    resume:
+        Skip tasks the journal already records as terminal.  Requires
+        ``journal_path``; safe when the journal does not exist yet.
+    task_timeout / max_retries:
+        Fault-tolerance envelope, enforced by the backend.
+    stop_after:
+        Execute at most this many tasks in this invocation, then stop
+        (checkpointing support; the journal keeps the campaign
+        resumable).  ``None`` runs everything.
+    on_record:
+        Optional streaming hook invoked after each terminal record is
+        journaled (progress bars, live dashboards, test hooks).
+    """
+    if resume and journal_path is None:
+        raise CampaignError("resume=True requires a journal_path")
+
+    tasks = spec.expand()
+    spec_hash = spec.spec_hash
+
+    journal: Optional[CampaignJournal] = None
+    prior_records: List[TaskRecord] = []
+    done_hashes = set()
+    if journal_path is not None:
+        journal = CampaignJournal(journal_path)
+        if resume:
+            done_hashes = journal.resume(spec_hash)
+            prior_records = [
+                r for r in journal.records() if r["hash"] in done_hashes
+            ]
+        else:
+            journal.start(spec.to_dict(), spec_hash)
+
+    todo = [t for t in tasks if t.task_hash not in done_hashes]
+    if stop_after is not None:
+        todo = todo[: max(0, stop_after)]
+
+    new_records: List[TaskRecord] = []
+
+    def sink(record: TaskRecord) -> None:
+        if journal is not None:
+            journal.append(record)
+        new_records.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    backend = backend or SequentialBackend()
+    started = time.perf_counter()
+    try:
+        backend.execute(
+            todo,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            on_record=sink,
+        )
+    finally:
+        wall = time.perf_counter() - started
+        if journal is not None:
+            journal.close()
+
+    all_records = prior_records + new_records
+    report = aggregate_records(all_records)
+
+    ok = sum(1 for r in all_records if r.get("status") == "ok")
+    failed = sum(1 for r in all_records if r.get("status") == "failed")
+    retries = sum(
+        max(0, int(r.get("attempts", 1)) - 1) for r in all_records
+    )
+    summary = CampaignSummary(
+        backend=backend.name,
+        workers=backend.workers,
+        total_tasks=len(tasks),
+        skipped=len(done_hashes),
+        executed=len(new_records),
+        ok=ok,
+        failed=failed,
+        retries=retries,
+        timeouts=sum(int(r.get("timeouts", 0)) for r in all_records),
+        crashes=sum(int(r.get("crashes", 0)) for r in all_records),
+        wall_time=wall,
+        runs_per_sec=(len(new_records) / wall) if wall > 0 else 0.0,
+        per_shard_latency=_shard_latencies(all_records),
+    )
+    return CampaignOutcome(report=report, summary=summary, records=all_records)

@@ -1,0 +1,298 @@
+"""Declarative campaign specifications and their task expansion.
+
+A :class:`CampaignSpec` names a full experiment grid —
+(algorithm × topology size × input family × schedule × seed) — using
+only registry names and plain values, so the whole spec is JSON-round-
+trippable.  :meth:`CampaignSpec.expand` turns it into a deterministic
+list of :class:`TaskSpec` descriptions; each task carries a stable
+content hash used by the journal to recognize already-completed work
+across process restarts (``--resume``).
+
+Determinism contract: expanding the same spec always yields the same
+tasks in the same order with the same hashes, on any machine and any
+Python ≥ 3.7 (dict ordering is insertion ordering; hashing is SHA-256
+over a canonical JSON encoding, never :func:`hash`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import CampaignError
+from repro.campaign.registry import (
+    ALGORITHMS,
+    INPUT_FAMILIES,
+    SCHEDULERS,
+    TOPOLOGIES,
+)
+
+__all__ = ["ScheduleSpec", "TaskSpec", "CampaignSpec", "canonical_hash"]
+
+
+def canonical_hash(payload: Mapping[str, Any], *, digest_chars: int = 16) -> str:
+    """Stable hex digest of a JSON-serializable mapping.
+
+    Keys are sorted and encoding is canonical, so the digest identifies
+    the *content*, independent of dict construction order or process.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:digest_chars]
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One scheduler of the grid: registry name plus fixed parameters.
+
+    The per-run seed is *not* part of the spec — expansion injects it —
+    so one ``ScheduleSpec("bernoulli", {"p": 0.4})`` crossed with
+    ``seeds=range(10)`` yields ten distinct schedules.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, params: Mapping[str, Any] = None) -> "ScheduleSpec":
+        items = tuple(sorted((params or {}).items()))
+        return cls(name=name, params=items)
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One fully-determined run of the campaign grid.
+
+    ``index`` and ``shard`` locate the task inside its grid (stable
+    enumeration position and latency-accounting bucket); they are
+    *excluded* from the content hash, which identifies only the run
+    configuration itself.
+    """
+
+    algorithm: str
+    topology: str
+    n: int
+    inputs: str
+    schedule: str
+    schedule_params: Tuple[Tuple[str, Any], ...]
+    seed: int
+    max_time: int
+    index: int = 0
+    shard: int = 0
+
+    def config(self) -> Dict[str, Any]:
+        """The hash-relevant run configuration as a plain dict."""
+        return {
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "n": self.n,
+            "inputs": self.inputs,
+            "schedule": self.schedule,
+            "schedule_params": [list(kv) for kv in self.schedule_params],
+            "seed": self.seed,
+            "max_time": self.max_time,
+        }
+
+    @property
+    def task_hash(self) -> str:
+        return canonical_hash(self.config())
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = self.config()
+        d["index"] = self.index
+        d["shard"] = self.shard
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TaskSpec":
+        return cls(
+            algorithm=d["algorithm"],
+            topology=d["topology"],
+            n=int(d["n"]),
+            inputs=d["inputs"],
+            schedule=d["schedule"],
+            schedule_params=tuple(
+                (k, v) for k, v in (d.get("schedule_params") or [])
+            ),
+            seed=int(d["seed"]),
+            max_time=int(d["max_time"]),
+            index=int(d.get("index", 0)),
+            shard=int(d.get("shard", 0)),
+        )
+
+    def label(self) -> str:
+        return (
+            f"{self.algorithm}/{self.topology}{self.n}/{self.inputs}"
+            f"/{self.schedule}/s{self.seed}"
+        )
+
+
+def _known(name: str, registry, kind: str) -> None:
+    if ":" not in name and name not in registry:
+        known = ", ".join(sorted(registry))
+        raise CampaignError(f"unknown {kind} {name!r} (known: {known})")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment grid.
+
+    The grid is the cartesian product
+    ``algorithms × ns × input_families × schedules × seeds`` on one
+    topology kind.  ``num_shards`` only buckets tasks for per-shard
+    latency accounting; it does not constrain execution order.
+    """
+
+    algorithms: Tuple[str, ...]
+    ns: Tuple[int, ...]
+    input_families: Tuple[str, ...]
+    schedules: Tuple[ScheduleSpec, ...]
+    seeds: Tuple[int, ...]
+    topology: str = "cycle"
+    max_time: int = 200_000
+    num_shards: int = 8
+
+    @classmethod
+    def build(
+        cls,
+        algorithms: Sequence[str],
+        ns: Sequence[int],
+        input_families: Sequence[str],
+        schedules: Sequence[Any],
+        seeds: Sequence[int],
+        *,
+        topology: str = "cycle",
+        max_time: int = 200_000,
+        num_shards: int = 8,
+    ) -> "CampaignSpec":
+        """Normalizing constructor: accepts lists, schedule names or
+        ``(name, params)`` pairs, and validates against the registries."""
+        sched_specs = []
+        for s in schedules:
+            if isinstance(s, ScheduleSpec):
+                sched_specs.append(s)
+            elif isinstance(s, str):
+                sched_specs.append(ScheduleSpec.of(s))
+            else:
+                name, params = s
+                sched_specs.append(ScheduleSpec.of(name, params))
+        spec = cls(
+            algorithms=tuple(algorithms),
+            ns=tuple(int(n) for n in ns),
+            input_families=tuple(input_families),
+            schedules=tuple(sched_specs),
+            seeds=tuple(int(s) for s in seeds),
+            topology=topology,
+            max_time=int(max_time),
+            num_shards=max(1, int(num_shards)),
+        )
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Fail fast on empty axes or unknown registry names."""
+        for axis, value in (
+            ("algorithms", self.algorithms),
+            ("ns", self.ns),
+            ("input_families", self.input_families),
+            ("schedules", self.schedules),
+            ("seeds", self.seeds),
+        ):
+            if not value:
+                raise CampaignError(f"campaign axis {axis!r} is empty")
+        for a in self.algorithms:
+            _known(a, ALGORITHMS, "algorithm")
+        for f in self.input_families:
+            _known(f, INPUT_FAMILIES, "input family")
+        for s in self.schedules:
+            _known(s.name, SCHEDULERS, "scheduler")
+        _known(self.topology, TOPOLOGIES, "topology")
+        if self.max_time < 1:
+            raise CampaignError(f"max_time must be >= 1, got {self.max_time}")
+
+    @property
+    def size(self) -> int:
+        """Number of tasks the grid expands to."""
+        return (
+            len(self.algorithms)
+            * len(self.ns)
+            * len(self.input_families)
+            * len(self.schedules)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> List[TaskSpec]:
+        """The deterministic task list of the grid (see module docs)."""
+        self.validate()
+        tasks: List[TaskSpec] = []
+        index = 0
+        for algorithm in self.algorithms:
+            for n in self.ns:
+                for family in self.input_families:
+                    for sched in self.schedules:
+                        for seed in self.seeds:
+                            tasks.append(
+                                TaskSpec(
+                                    algorithm=algorithm,
+                                    topology=self.topology,
+                                    n=n,
+                                    inputs=family,
+                                    schedule=sched.name,
+                                    schedule_params=sched.params,
+                                    seed=seed,
+                                    max_time=self.max_time,
+                                    index=index,
+                                    shard=index % self.num_shards,
+                                )
+                            )
+                            index += 1
+        return tasks
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithms": list(self.algorithms),
+            "ns": list(self.ns),
+            "input_families": list(self.input_families),
+            "schedules": [
+                {"name": s.name, "params": [list(kv) for kv in s.params]}
+                for s in self.schedules
+            ],
+            "seeds": list(self.seeds),
+            "topology": self.topology,
+            "max_time": self.max_time,
+            "num_shards": self.num_shards,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            algorithms=tuple(d["algorithms"]),
+            ns=tuple(int(n) for n in d["ns"]),
+            input_families=tuple(d["input_families"]),
+            schedules=tuple(
+                ScheduleSpec(
+                    name=s["name"],
+                    params=tuple((k, v) for k, v in (s.get("params") or [])),
+                )
+                for s in d["schedules"]
+            ),
+            seeds=tuple(int(s) for s in d["seeds"]),
+            topology=d.get("topology", "cycle"),
+            max_time=int(d.get("max_time", 200_000)),
+            num_shards=int(d.get("num_shards", 8)),
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the whole grid (journal compatibility check)."""
+        return canonical_hash(self.to_dict())

@@ -1,0 +1,146 @@
+"""Task execution: the pure function a campaign worker runs per task.
+
+:func:`execute_task` maps a task *description* (a plain dict, see
+:class:`repro.campaign.spec.TaskSpec`) to a :class:`TaskResult` — the
+per-run measurements the aggregator needs, in a JSON-serializable
+shape so results survive the journal round-trip byte-identically.
+
+This module is imported inside worker *processes*; it must stay
+importable without side effects and must not capture any parent-
+process state beyond the registries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.analysis.verify import verify_execution
+from repro.campaign.registry import (
+    resolve_algorithm,
+    resolve_inputs,
+    resolve_palette,
+    resolve_schedule,
+    resolve_topology,
+)
+from repro.campaign.spec import TaskSpec
+from repro.model.execution import run_execution
+
+__all__ = ["TaskResult", "execute_task"]
+
+
+def _freeze_color(color: Any) -> Any:
+    """Make a journal-round-tripped color hashable again.
+
+    JSON turns tuple colors (e.g. Algorithm 1's triangular palette)
+    into lists; aggregation needs them as dict keys.
+    """
+    if isinstance(color, list):
+        return tuple(_freeze_color(c) for c in color)
+    return color
+
+
+@dataclass
+class TaskResult:
+    """Everything the campaign aggregator needs from one finished run."""
+
+    task_hash: str
+    terminated: bool
+    terminated_count: int
+    proper: bool
+    palette_ok: bool
+    max_activation: float
+    mean_activation: float
+    round_complexity: int
+    final_time: int
+    colors: List[Tuple[Any, int]]
+    activation_histogram: List[Tuple[int, int]]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run satisfied all three verified guarantees."""
+        return self.terminated and self.proper and self.palette_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_hash": self.task_hash,
+            "terminated": self.terminated,
+            "terminated_count": self.terminated_count,
+            "proper": self.proper,
+            "palette_ok": self.palette_ok,
+            "max_activation": self.max_activation,
+            "mean_activation": self.mean_activation,
+            "round_complexity": self.round_complexity,
+            "final_time": self.final_time,
+            "colors": [[c, k] for c, k in self.colors],
+            "activation_histogram": [[a, k] for a, k in self.activation_histogram],
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TaskResult":
+        return cls(
+            task_hash=d["task_hash"],
+            terminated=bool(d["terminated"]),
+            terminated_count=int(d["terminated_count"]),
+            proper=bool(d["proper"]),
+            palette_ok=bool(d["palette_ok"]),
+            max_activation=float(d["max_activation"]),
+            mean_activation=float(d["mean_activation"]),
+            round_complexity=int(d["round_complexity"]),
+            final_time=int(d["final_time"]),
+            colors=[(_freeze_color(c), int(k)) for c, k in d["colors"]],
+            activation_histogram=[
+                (int(a), int(k)) for a, k in d["activation_histogram"]
+            ],
+            elapsed=float(d["elapsed"]),
+        )
+
+
+def execute_task(task: Mapping[str, Any]) -> TaskResult:
+    """Run one task description end to end and measure it.
+
+    Deterministic up to ``elapsed``: the same description always
+    produces the same execution and verification outcome, which is
+    what makes journal-based resume sound.
+    """
+    spec = TaskSpec.from_dict(task)
+    started = time.perf_counter()
+
+    algorithm = resolve_algorithm(spec.algorithm)()
+    topology = resolve_topology(spec.topology, spec.n)
+    inputs = resolve_inputs(spec.inputs, spec.n, spec.seed)
+    schedule = resolve_schedule(
+        spec.schedule, seed=spec.seed, **dict(spec.schedule_params)
+    )
+    palette = resolve_palette(spec.algorithm)
+
+    result = run_execution(
+        algorithm, topology, inputs, schedule, max_time=spec.max_time
+    )
+    verdict = verify_execution(topology, result, palette=palette)
+
+    counts = list(result.activations.values())
+    colors: Dict[Any, int] = {}
+    for color in result.outputs.values():
+        colors[color] = colors.get(color, 0) + 1
+    histogram: Dict[int, int] = {}
+    for count in counts:
+        histogram[count] = histogram.get(count, 0) + 1
+
+    return TaskResult(
+        task_hash=spec.task_hash,
+        terminated=result.all_terminated,
+        terminated_count=len(result.outputs),
+        proper=verdict.proper,
+        palette_ok=verdict.palette_ok,
+        max_activation=float(max(counts)) if counts else 0.0,
+        mean_activation=(sum(counts) / len(counts)) if counts else 0.0,
+        round_complexity=result.round_complexity,
+        final_time=result.final_time,
+        colors=sorted(colors.items(), key=lambda kv: repr(kv[0])),
+        activation_histogram=sorted(histogram.items()),
+        elapsed=time.perf_counter() - started,
+    )

@@ -6,9 +6,12 @@ Installed as ``repro-color`` (see pyproject) and runnable as
     repro-color run --algorithm fast5 --n 50 --inputs random --schedule sync
     repro-color run --algorithm alg2 --n 16 --inputs monotone \\
         --schedule bernoulli --seed 3 --timeline
+    repro-color run --algorithm fast6 --n 32 --json
     repro-color livelock --loops 50
     repro-color falsify --target mis
     repro-color sweep --algorithm fast5 --max-n 4096
+    repro-color campaign --algorithms fast5,fast6 --ns 16,32 --seeds 10 \\
+        --backend pool --journal artifacts/campaign.jsonl --resume
 
 Exit status is non-zero when a verification fails, so the CLI can be
 used in scripts as a smoke check.
@@ -17,23 +20,24 @@ used in scripts as a smoke check.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.complexity import fit_linear, fit_logstar, summarize_activations
 from repro.analysis.experiments import format_table
-from repro.analysis.inputs import (
-    huge_ids,
-    monotone_ids,
-    random_distinct_ids,
-    zigzag_ids,
-)
+from repro.analysis.inputs import monotone_ids, random_distinct_ids, zigzag_ids
 from repro.analysis.verify import verify_execution
+from repro.campaign.registry import (
+    ALGORITHMS as _ALGORITHMS,
+    INPUT_FAMILIES as _INPUTS,
+    PALETTES as _PALETTES,
+    resolve_schedule,
+)
 from repro.core.coloring5 import FiveColoring
-from repro.core.coloring6 import SIX_PALETTE, SixColoring
 from repro.core.fast_coloring5 import FastFiveColoring
 from repro.core.coin_tossing import log_star
-from repro.extensions.fast_six import FAST_SIX_PALETTE, FastSixColoring
+from repro.errors import ReproError
 from repro.extensions.livelock import demonstrate_livelock
 from repro.model.execution import run_execution
 from repro.model.topology import Cycle
@@ -44,43 +48,17 @@ from repro.schedulers import (
     RoundRobinScheduler,
     StaggeredScheduler,
     SynchronousScheduler,
-    UniformSubsetScheduler,
 )
 
 __all__ = ["main", "build_parser"]
 
-_ALGORITHMS: Dict[str, Callable[[], object]] = {
-    "alg1": SixColoring,
-    "alg2": FiveColoring,
-    "fast5": FastFiveColoring,
-    "fast6": FastSixColoring,
-}
-
-_PALETTES = {
-    "alg1": list(SIX_PALETTE),
-    "alg2": list(range(5)),
-    "fast5": list(range(5)),
-    "fast6": list(FAST_SIX_PALETTE),
-}
-
-_INPUTS: Dict[str, Callable[[int, int], List[int]]] = {
-    "random": lambda n, seed: random_distinct_ids(n, seed=seed),
-    "monotone": lambda n, seed: monotone_ids(n),
-    "zigzag": lambda n, seed: zigzag_ids(n),
-    "huge": lambda n, seed: huge_ids(n, bits=256, seed=seed),
-}
+_SCHEDULE_CHOICES = [
+    "sync", "round-robin", "bernoulli", "subset", "staggered", "alternating",
+]
 
 
 def _make_schedule(name: str, seed: int):
-    schedules = {
-        "sync": lambda: SynchronousScheduler(),
-        "round-robin": lambda: RoundRobinScheduler(),
-        "bernoulli": lambda: BernoulliScheduler(p=0.4, seed=seed),
-        "subset": lambda: UniformSubsetScheduler(seed=seed),
-        "staggered": lambda: StaggeredScheduler(stagger=2),
-        "alternating": lambda: AlternatingScheduler(),
-    }
-    return schedules[name]()
+    return resolve_schedule(name, seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,16 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="fast5")
     run.add_argument("--n", type=int, default=20)
     run.add_argument("--inputs", choices=sorted(_INPUTS), default="random")
-    run.add_argument(
-        "--schedule",
-        choices=["sync", "round-robin", "bernoulli", "subset", "staggered", "alternating"],
-        default="sync",
-    )
+    run.add_argument("--schedule", choices=_SCHEDULE_CHOICES, default="sync")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--timeline", action="store_true", help="print an activation timeline")
     run.add_argument("--svg", metavar="BASENAME",
                      help="write BASENAME_ring.svg (+ _timeline.svg with --timeline)")
     run.add_argument("--max-time", type=int, default=1_000_000)
+    run.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: JSON verdict + activation stats",
+    )
 
     livelock = sub.add_parser(
         "livelock", help="replay the Algorithm 2 livelock witness (finding E13)"
@@ -143,6 +121,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact wait-/starvation-/obstruction-freedom classification (E18)",
     )
     progress.add_argument("--n", type=int, default=3)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, resumable experiment campaign (see docs/CAMPAIGN.md)",
+    )
+    campaign.add_argument(
+        "--algorithms", default="fast5",
+        help="comma-separated algorithm names (default: fast5)",
+    )
+    campaign.add_argument(
+        "--ns", default="24",
+        help="comma-separated cycle sizes (default: 24)",
+    )
+    campaign.add_argument(
+        "--inputs", default="random,monotone,zigzag",
+        help="comma-separated input families",
+    )
+    campaign.add_argument(
+        "--schedules", default="sync,round-robin,bernoulli",
+        help="comma-separated scheduler names",
+    )
+    campaign.add_argument("--seeds", type=int, default=5,
+                          help="seeds 0..K-1 per grid point")
+    campaign.add_argument("--topology", default="cycle")
+    campaign.add_argument("--max-time", type=int, default=200_000)
+    campaign.add_argument("--backend", choices=["sequential", "pool"],
+                          default="pool")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="pool size (default: cpu count)")
+    campaign.add_argument("--timeout", type=float, default=60.0,
+                          help="per-task timeout in seconds (pool backend)")
+    campaign.add_argument("--retries", type=int, default=2,
+                          help="max retries per task")
+    campaign.add_argument("--journal", metavar="PATH",
+                          help="JSONL journal path (enables --resume)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip tasks already journaled as finished")
+    campaign.add_argument("--summary", metavar="PATH",
+                          help="write the campaign summary JSON artifact here")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the summary as JSON instead of text")
     return parser
 
 
@@ -155,6 +174,35 @@ def _cmd_run(args) -> int:
         max_time=args.max_time, record_trace=args.timeline,
     )
     verdict = verify_execution(Cycle(args.n), result, palette=_PALETTES[args.algorithm])
+    ok = verdict.ok and result.all_terminated
+    if args.json:
+        counts = list(result.activations.values())
+        payload = {
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "inputs": args.inputs,
+            "schedule": args.schedule,
+            "seed": args.seed,
+            "verdict": {
+                "ok": ok,
+                "all_terminated": result.all_terminated,
+                "terminated": len(result.outputs),
+                "proper": verdict.proper,
+                "palette_ok": verdict.palette_ok,
+            },
+            "activations": {
+                "round_complexity": result.round_complexity,
+                "total": sum(counts),
+                "max": max(counts) if counts else 0,
+                "mean": (sum(counts) / len(counts)) if counts else 0.0,
+                "final_time": result.final_time,
+            },
+            "colors_used": sorted(
+                {str(c) for c in result.outputs.values()}
+            ),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
     print(f"algorithm : {algorithm.name}")
     print(f"schedule  : {schedule!r}")
     print(f"terminated: {len(result.outputs)}/{args.n}")
@@ -172,7 +220,7 @@ def _cmd_run(args) -> int:
 
         for path in save_execution_svgs(result, inputs, args.svg):
             print(f"wrote {path}")
-    return 0 if (verdict.ok and result.all_terminated) else 1
+    return 0 if ok else 1
 
 
 def _cmd_livelock(args) -> int:
@@ -346,6 +394,58 @@ def _cmd_progress(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import CampaignSpec, make_backend, run_campaign
+
+    def split(csv: str) -> List[str]:
+        return [item.strip() for item in csv.split(",") if item.strip()]
+
+    spec = CampaignSpec.build(
+        algorithms=split(args.algorithms),
+        ns=[int(n) for n in split(args.ns)],
+        input_families=split(args.inputs),
+        schedules=split(args.schedules),
+        seeds=range(args.seeds),
+        topology=args.topology,
+        max_time=args.max_time,
+    )
+    backend = make_backend(args.backend, workers=args.workers)
+    outcome = run_campaign(
+        spec,
+        backend=backend,
+        journal_path=args.journal,
+        resume=args.resume,
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    if args.summary:
+        outcome.summary.write(args.summary)
+    if args.json:
+        payload = {
+            "summary": outcome.summary.to_dict(),
+            "all_ok": outcome.all_ok,
+            "report": None,
+        }
+        if outcome.report is not None:
+            r = outcome.report
+            payload["report"] = {
+                "runs": r.runs,
+                "terminated_runs": r.terminated_runs,
+                "proper_runs": r.proper_runs,
+                "palette_ok_runs": r.palette_ok_runs,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"campaign of {spec.size} tasks ({spec.spec_hash}):")
+        print(outcome.summary)
+        if outcome.report is not None:
+            print()
+            print(outcome.report)
+        if args.summary:
+            print(f"\nwrote {args.summary}")
+    return 0 if outcome.all_ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -357,8 +457,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ensemble": _cmd_ensemble,
         "models": _cmd_models,
         "progress": _cmd_progress,
+        "campaign": _cmd_campaign,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"repro-color: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

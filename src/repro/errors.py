@@ -19,6 +19,7 @@ __all__ = [
     "PaletteViolation",
     "WaitFreedomViolation",
     "TaskSpecError",
+    "CampaignError",
 ]
 
 
@@ -60,3 +61,7 @@ class WaitFreedomViolation(SpecViolation):
 
 class TaskSpecError(ReproError):
     """Raised when a task specification itself is queried inconsistently."""
+
+
+class CampaignError(ReproError):
+    """Raised for malformed campaign specs, journals or backend misuse."""

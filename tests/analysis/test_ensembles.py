@@ -74,3 +74,70 @@ class TestRunEnsemble:
 
     def test_str_summary(self):
         assert "runs=9" in str(self._report())
+
+
+class OneShotSchedule(SynchronousScheduler):
+    """A deliberately *stateful* schedule: only its first ``steps()``
+    call yields anything.
+
+    Violates the ``Schedule`` contract on purpose — any run after the
+    first sees an empty schedule and starves every process.  Used to
+    pin down that ``run_ensemble`` gives every run a fresh instance.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.used = False
+
+    def steps(self, n: int):
+        if self.used:
+            return
+        self.used = True
+        yield from super().steps(n)
+
+
+class TestScheduleReuse:
+    """Regression: (label, schedule) pairs are replayed across every
+    input vector; a stateful schedule must not leak state between runs."""
+
+    N = 8
+    INPUTS = [monotone_ids(8), zigzag_ids(8), random_distinct_ids(8, seed=1)]
+
+    def test_stateful_schedule_reset_per_run(self):
+        report = run_ensemble(
+            FastFiveColoring,
+            Cycle(self.N),
+            self.INPUTS,
+            [("one-shot", OneShotSchedule())],
+            palette=range(5),
+        )
+        # Without per-run re-instantiation only the first run would see
+        # any activations at all — runs 2 and 3 would starve.
+        assert report.runs == 3
+        assert report.terminated_runs == 3
+        assert report.all_ok
+
+    def test_schedule_factories_accepted(self):
+        report = run_ensemble(
+            FastFiveColoring,
+            Cycle(self.N),
+            self.INPUTS,
+            [("fresh", OneShotSchedule)],
+            palette=range(5),
+        )
+        assert report.terminated_runs == 3
+
+    def test_original_schedule_object_untouched(self):
+        schedule = OneShotSchedule()
+        run_ensemble(
+            FastFiveColoring, Cycle(self.N), self.INPUTS,
+            [("one-shot", schedule)], palette=range(5),
+        )
+        assert schedule.used is False
+
+    def test_bad_schedule_entry_rejected(self):
+        with pytest.raises(TypeError, match="Schedule"):
+            run_ensemble(
+                FastFiveColoring, Cycle(self.N), self.INPUTS,
+                [("bogus", object())], palette=range(5),
+            )

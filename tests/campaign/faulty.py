@@ -1,0 +1,66 @@
+"""Deliberately faulty campaign workloads (fault-tolerance tests).
+
+These factories are referenced by dotted path
+(``"tests.campaign.faulty:crash_once"``) in task descriptions, so
+worker processes resolve them through the campaign registry exactly
+like real algorithms.  One-shot faults coordinate across processes via
+marker files under ``$REPRO_CAMPAIGN_FAULT_DIR`` (set by the tests):
+the first resolution trips the fault, every later one runs the real
+:class:`FastFiveColoring` — which is what lets a retried task succeed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.fast_coloring5 import FastFiveColoring
+
+
+def _trip_once(marker_name: str) -> bool:
+    """True exactly once per fault dir (atomic via O_EXCL create)."""
+    fault_dir = os.environ["REPRO_CAMPAIGN_FAULT_DIR"]
+    marker = os.path.join(fault_dir, marker_name)
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def raise_always():
+    """Every attempt raises: the task must end up ``failed``."""
+    raise ValueError("injected failure (raise_always)")
+
+
+def raise_once():
+    """First attempt raises, retries succeed."""
+    if _trip_once("raised"):
+        raise ValueError("injected failure (raise_once)")
+    return FastFiveColoring()
+
+
+def crash_once():
+    """First attempt kills the worker process outright (no exception)."""
+    if _trip_once("crashed"):
+        os._exit(42)
+    return FastFiveColoring()
+
+
+def hang_once():
+    """First attempt hangs far beyond any sane task timeout."""
+    if _trip_once("hung"):
+        time.sleep(600)
+    return FastFiveColoring()
+
+
+def slow_coloring():
+    """A correct algorithm with ~20 ms of startup cost per task.
+
+    Used by the kill-and-resume integration test to make mid-campaign
+    SIGKILL timing reliable, and by the throughput benchmark to model
+    a compute-heavy task.
+    """
+    time.sleep(0.02)
+    return FastFiveColoring()

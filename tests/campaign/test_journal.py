@@ -1,0 +1,81 @@
+"""Tests for the JSONL campaign journal (durability + resume filter)."""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import CampaignJournal
+from repro.errors import CampaignError
+
+
+def rec(h, status="ok"):
+    return {"hash": h, "status": status, "task": {}, "result": None,
+            "error": None, "attempts": 1, "elapsed": 0.0, "worker": None,
+            "timeouts": 0, "crashes": 0}
+
+
+class TestJournalBasics:
+    def test_start_append_read(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start({"axis": [1]}, "abc123")
+        journal.append(rec("h1"))
+        journal.append(rec("h2", "failed"))
+        journal.close()
+
+        assert journal.header()["spec_hash"] == "abc123"
+        assert [r["hash"] for r in journal.records()] == ["h1", "h2"]
+        assert journal.completed_hashes() == {"h1", "h2"}
+
+    def test_append_before_start_rejected(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        with pytest.raises(CampaignError, match="not started"):
+            journal.append(rec("h1"))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "deep" / "nested" / "j.jsonl")
+        journal.start({}, "x")
+        journal.close()
+        assert journal.path.exists()
+
+
+class TestResume:
+    def test_resume_missing_file_is_fresh_start(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        assert journal.resume("abc") == set()
+        journal.append(rec("h1"))
+        journal.close()
+        assert journal.completed_hashes() == {"h1"}
+
+    def test_resume_returns_terminal_hashes_and_appends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.start({}, "abc")
+        journal.append(rec("h1"))
+        journal.close()
+
+        journal2 = CampaignJournal(path)
+        assert journal2.resume("abc") == {"h1"}
+        journal2.append(rec("h2"))
+        journal2.close()
+        assert journal2.completed_hashes() == {"h1", "h2"}
+
+    def test_resume_wrong_campaign_rejected(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start({}, "abc")
+        journal.close()
+        with pytest.raises(CampaignError, match="refusing to mix"):
+            CampaignJournal(journal.path).resume("def")
+
+    def test_truncated_trailing_line_ignored(self, tmp_path):
+        """A SIGKILL mid-append must not poison the journal."""
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        journal.start({}, "abc")
+        journal.append(rec("h1"))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec("h2"))[: 20])  # torn write
+
+        journal2 = CampaignJournal(path)
+        assert journal2.resume("abc") == {"h1"}
+        journal2.close()

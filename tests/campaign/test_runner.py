@@ -1,0 +1,127 @@
+"""Tests for campaign orchestration, journaling and resume equivalence."""
+
+import pytest
+
+from repro.campaign.backends import SequentialBackend
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.runner import aggregate_records, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.errors import CampaignError
+
+
+def spec_200() -> CampaignSpec:
+    """A 1×1×2×4×25 = 200-run grid (the acceptance-criterion scale)."""
+    return CampaignSpec.build(
+        algorithms=["fast5"],
+        ns=[8],
+        input_families=["random", "zigzag"],
+        schedules=["sync", "round-robin", "bernoulli", "staggered"],
+        seeds=range(25),
+    )
+
+
+def small_spec() -> CampaignSpec:
+    return CampaignSpec.build(
+        algorithms=["fast5"], ns=[10], input_families=["random"],
+        schedules=["sync", "bernoulli"], seeds=range(3),
+    )
+
+
+class TestRunCampaign:
+    def test_full_run_aggregates_everything(self):
+        spec = small_spec()
+        outcome = run_campaign(spec, backend=SequentialBackend())
+        assert outcome.report.runs == spec.size == 6
+        assert outcome.report.all_ok
+        assert outcome.summary.executed == 6
+        assert outcome.summary.skipped == 0
+        assert outcome.summary.runs_per_sec > 0
+        assert outcome.all_ok
+
+    def test_without_journal_records_kept_in_memory(self):
+        outcome = run_campaign(small_spec())
+        assert len(outcome.records) == 6
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(CampaignError, match="journal_path"):
+            run_campaign(small_spec(), resume=True)
+
+    def test_journal_written(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        run_campaign(small_spec(), journal_path=path)
+        journal = CampaignJournal(path)
+        assert journal.header()["spec_hash"] == small_spec().spec_hash
+        assert len(journal.completed_hashes()) == 6
+
+    def test_shard_latencies_cover_all_shards(self):
+        outcome = run_campaign(spec_200(), backend=SequentialBackend())
+        latencies = outcome.summary.per_shard_latency
+        assert set(latencies) == set(range(spec_200().num_shards))
+        assert sum(d.count for d in latencies.values()) == 200
+
+
+class TestResumeEquivalence:
+    """The acceptance criterion: kill at ~50%, resume, identical report."""
+
+    def test_interrupted_plus_resume_equals_uninterrupted(self, tmp_path):
+        spec = spec_200()
+        baseline = run_campaign(spec, backend=SequentialBackend())
+        assert baseline.report.runs == 200
+
+        # First invocation stops (is "killed") after ~50% of the tasks.
+        path = tmp_path / "campaign.jsonl"
+        half = run_campaign(
+            spec, backend=SequentialBackend(),
+            journal_path=path, stop_after=100,
+        )
+        assert half.summary.executed == 100
+        assert half.report.runs == 100
+
+        # Resume executes exactly the unfinished half...
+        resumed = run_campaign(
+            spec, backend=SequentialBackend(),
+            journal_path=path, resume=True,
+        )
+        assert resumed.summary.skipped == 100
+        assert resumed.summary.executed == 100
+
+        # ...and the final report is identical to the uninterrupted run.
+        assert resumed.report == baseline.report
+        assert resumed.summary.ok == 200
+
+    def test_resume_of_finished_campaign_is_noop(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "j.jsonl"
+        run_campaign(spec, journal_path=path)
+        again = run_campaign(spec, journal_path=path, resume=True)
+        assert again.summary.executed == 0
+        assert again.summary.skipped == 6
+        assert again.report.runs == 6
+
+    def test_checkpointed_loop_completes(self, tmp_path):
+        """stop_after in a loop == cooperative checkpointing."""
+        spec = small_spec()
+        path = tmp_path / "j.jsonl"
+        run_campaign(spec, journal_path=path, stop_after=2)
+        while True:
+            outcome = run_campaign(
+                spec, journal_path=path, resume=True, stop_after=2
+            )
+            if outcome.summary.executed == 0:
+                break
+        assert outcome.report.runs == 6
+        assert outcome.summary.ok == 6
+
+
+class TestAggregateRecords:
+    def test_empty_records_give_no_report(self):
+        assert aggregate_records([]) is None
+        assert aggregate_records(
+            [{"status": "failed", "result": None}]
+        ) is None
+
+    def test_order_insensitive(self):
+        outcome = run_campaign(small_spec())
+        forward = aggregate_records(outcome.records)
+        backward = aggregate_records(list(reversed(outcome.records)))
+        assert forward == backward

@@ -1,0 +1,92 @@
+"""Tests for campaign specs, expansion determinism and task hashing."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, ScheduleSpec, TaskSpec
+from repro.errors import CampaignError
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        algorithms=["fast5", "fast6"],
+        ns=[8, 12],
+        input_families=["random", "zigzag"],
+        schedules=["sync", ("bernoulli", {"p": 0.5})],
+        seeds=range(3),
+    )
+    defaults.update(overrides)
+    return CampaignSpec.build(**defaults)
+
+
+class TestScheduleSpec:
+    def test_params_are_sorted_and_frozen(self):
+        a = ScheduleSpec.of("bernoulli", {"p": 0.4, "seed_bias": 1})
+        b = ScheduleSpec.of("bernoulli", {"seed_bias": 1, "p": 0.4})
+        assert a == b
+        assert a.params_dict() == {"p": 0.4, "seed_bias": 1}
+
+    def test_label(self):
+        assert ScheduleSpec.of("sync").label() == "sync"
+        assert "p=0.5" in ScheduleSpec.of("bernoulli", {"p": 0.5}).label()
+
+
+class TestExpansion:
+    def test_grid_size(self):
+        spec = small_spec()
+        tasks = spec.expand()
+        assert len(tasks) == spec.size == 2 * 2 * 2 * 2 * 3
+
+    def test_deterministic(self):
+        assert small_spec().expand() == small_spec().expand()
+
+    def test_indices_and_shards(self):
+        spec = small_spec(num_shards=4)
+        tasks = spec.expand()
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        assert {t.shard for t in tasks} == {0, 1, 2, 3}
+
+    def test_hashes_unique(self):
+        tasks = small_spec().expand()
+        assert len({t.task_hash for t in tasks}) == len(tasks)
+
+    def test_hash_excludes_grid_position(self):
+        """The same run config hashes identically at any grid position."""
+        task = small_spec().expand()[0]
+        moved = TaskSpec.from_dict({**task.to_dict(), "index": 99, "shard": 3})
+        assert moved.task_hash == task.task_hash
+        assert moved.index == 99 and moved.shard == 3
+
+    def test_task_roundtrip(self):
+        for task in small_spec().expand()[:5]:
+            clone = TaskSpec.from_dict(task.to_dict())
+            assert clone == task
+            assert clone.task_hash == task.task_hash
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignError, match="empty"):
+            small_spec(seeds=[])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(CampaignError, match="unknown algorithm"):
+            small_spec(algorithms=["quantum9"])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(CampaignError, match="unknown scheduler"):
+            small_spec(schedules=["chaotic"])
+
+    def test_dotted_path_accepted_unchecked(self):
+        spec = small_spec(algorithms=["tests.campaign.faulty:slow_coloring"])
+        assert spec.size > 0
+
+
+class TestSpecRoundtrip:
+    def test_dict_roundtrip(self):
+        spec = small_spec()
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash == spec.spec_hash
+
+    def test_spec_hash_differs(self):
+        assert small_spec().spec_hash != small_spec(seeds=range(4)).spec_hash

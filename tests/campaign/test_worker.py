@@ -1,0 +1,67 @@
+"""Tests for task execution and result serialization."""
+
+from repro.campaign.registry import resolve_algorithm, resolve_schedule
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import TaskResult, execute_task
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.errors import CampaignError
+
+import pytest
+
+
+def one_task(algorithm="fast5", schedule="bernoulli"):
+    spec = CampaignSpec.build(
+        algorithms=[algorithm], ns=[10], input_families=["random"],
+        schedules=[schedule], seeds=[3],
+    )
+    return spec.expand()[0]
+
+
+class TestExecuteTask:
+    def test_runs_and_verifies(self):
+        result = execute_task(one_task().to_dict())
+        assert result.ok
+        assert result.terminated_count == 10
+        assert result.max_activation >= 1
+        assert sum(k for _, k in result.colors) == 10
+
+    def test_deterministic_up_to_elapsed(self):
+        a = execute_task(one_task().to_dict()).to_dict()
+        b = execute_task(one_task().to_dict()).to_dict()
+        a.pop("elapsed"), b.pop("elapsed")
+        assert a == b
+
+    def test_tuple_colors_survive_json_roundtrip(self):
+        """Algorithm 1's palette is tuples; journaling must not lose that."""
+        import json
+
+        result = execute_task(one_task(algorithm="alg1", schedule="sync").to_dict())
+        assert result.palette_ok
+        rehydrated = TaskResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rehydrated.colors == result.colors
+        assert all(isinstance(c, tuple) for c, _ in rehydrated.colors)
+
+
+class TestRegistryResolution:
+    def test_dotted_path_algorithm(self):
+        factory = resolve_algorithm("tests.campaign.faulty:slow_coloring")
+        assert isinstance(factory(), FastFiveColoring)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(CampaignError, match="known:"):
+            resolve_algorithm("nope")
+
+    def test_bad_dotted_path(self):
+        with pytest.raises(CampaignError, match="cannot import"):
+            resolve_algorithm("no.such.module:thing")
+        with pytest.raises(CampaignError, match="no attribute"):
+            resolve_algorithm("tests.campaign.faulty:missing")
+
+    def test_seed_injection_uniform(self):
+        """Every registered scheduler factory tolerates a seed."""
+        from repro.campaign.registry import SCHEDULERS
+
+        for name in SCHEDULERS:
+            assert resolve_schedule(name, seed=7) is not None

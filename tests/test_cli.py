@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -71,3 +73,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "wait_free" in out
         assert "alg2" in out
+
+
+class TestRunJson:
+    def test_json_verdict_and_stats(self, capsys):
+        assert main(["run", "--n", "8", "--schedule", "bernoulli",
+                     "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"]["ok"] is True
+        assert payload["verdict"]["terminated"] == 8
+        assert payload["activations"]["round_complexity"] >= 1
+        assert payload["activations"]["total"] >= 8
+        assert payload["n"] == 8 and payload["schedule"] == "bernoulli"
+
+    def test_json_suppresses_rendering(self, capsys):
+        assert main(["run", "--n", "6", "--json"]) == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # the whole stdout is one JSON document
+        assert "algorithm :" not in out
+
+
+class TestCampaignCommand:
+    ARGS = ["campaign", "--algorithms", "fast5", "--ns", "10",
+            "--inputs", "random,zigzag", "--schedules", "sync,bernoulli",
+            "--seeds", "2", "--backend", "sequential"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.backend == "pool"
+        assert args.retries == 2
+        assert not args.resume
+
+    def test_sequential_campaign(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "backend=sequential" in out
+        assert "runs=8" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_ok"] is True
+        assert payload["report"]["runs"] == 8
+        assert payload["summary"]["executed"] == 8
+
+    def test_journal_resume_and_summary_artifact(self, tmp_path, capsys):
+        journal = tmp_path / "c.jsonl"
+        summary = tmp_path / "summary.json"
+        assert main(self.ARGS + ["--journal", str(journal)]) == 0
+        capsys.readouterr()  # drain the first invocation's text output
+        assert main(self.ARGS + ["--journal", str(journal), "--resume",
+                                 "--summary", str(summary), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["skipped"] == 8
+        artifact = json.loads(summary.read_text())
+        assert artifact["skipped"] == 8
+        assert artifact["executed"] == 0
