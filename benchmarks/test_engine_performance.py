@@ -11,8 +11,13 @@ is now the standard way to sweep (input × schedule × seed) loads, and
 benchmarking through it keeps its per-task overhead on the hook too.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
+from benchmarks.conftest import emit
 from repro.analysis.inputs import monotone_ids
 from repro.campaign import CampaignSpec, SequentialBackend, run_campaign
 from repro.core.coloring5 import FiveColoring
@@ -20,6 +25,9 @@ from repro.core.fast_coloring5 import FastFiveColoring
 from repro.model.execution import run_execution
 from repro.model.topology import Cycle
 from repro.schedulers import SynchronousScheduler
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ENGINE_ARTIFACT = REPO_ROOT / "BENCH_engine.json"
 
 
 @pytest.mark.parametrize("n", [100, 1000, 10000])
@@ -37,6 +45,69 @@ def test_engine_throughput_synchronous(benchmark, n):
 
     activations = benchmark(workload)
     assert activations >= n
+
+
+def test_engine_fast_vs_reference_speedup():
+    """Fast engine vs reference oracle on the n=10000 synchronous load.
+
+    The Issue-2 acceptance bar: the compiled fast path must deliver at
+    least 3× the reference engine's activations/sec on the same
+    workload as ``test_engine_throughput_synchronous[10000]``, while
+    producing an *equal* ``ExecutionResult``.  Both throughputs and the
+    speedup land in ``BENCH_engine.json`` at the repo root so the
+    engine's perf trajectory is visible across PRs.
+    """
+    n = 10_000
+    ids = monotone_ids(n)
+
+    def measure(engine):
+        best = float("inf")
+        result = None
+        for _ in range(3):
+            started = time.perf_counter()
+            result = run_execution(
+                FastFiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+                max_time=100_000, engine=engine,
+            )
+            best = min(best, time.perf_counter() - started)
+        assert result.all_terminated
+        return result, sum(result.activations.values()) / best, best
+
+    ref_result, ref_rate, ref_time = measure("reference")
+    fast_result, fast_rate, fast_time = measure("fast")
+    assert fast_result == ref_result  # observably identical, on the record
+
+    speedup = fast_rate / ref_rate
+    payload = {
+        "workload": {
+            "algorithm": "fast5", "topology": f"cycle({n})",
+            "inputs": "monotone", "schedule": "sync",
+            "activations": sum(ref_result.activations.values()),
+        },
+        "reference": {
+            "activations_per_sec": ref_rate, "wall_time": ref_time,
+        },
+        "fast": {
+            "activations_per_sec": fast_rate, "wall_time": fast_time,
+        },
+        "speedup": speedup,
+    }
+    ENGINE_ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        "execution engine throughput (BENCH_engine.json)",
+        [
+            {"engine": "reference",
+             "activations/sec": round(ref_rate),
+             "wall [s]": round(ref_time, 3)},
+            {"engine": "fast",
+             "activations/sec": round(fast_rate),
+             "wall [s]": round(fast_time, 3)},
+        ],
+    )
+    assert speedup >= 3.0, (
+        f"fast engine speedup {speedup:.2f}x < 3x over the reference engine"
+    )
 
 
 def test_engine_throughput_linear_workload(benchmark):

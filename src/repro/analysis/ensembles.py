@@ -121,6 +121,7 @@ def run_ensemble(
     *,
     palette: Optional[Iterable[Any]] = None,
     max_time: int = 200_000,
+    engine: str = "fast",
 ) -> EnsembleReport:
     """Run the (inputs × schedule) grid, verify everything, aggregate.
 
@@ -128,7 +129,9 @@ def run_ensemble(
     run of the grid executes against a *fresh* schedule instance (a
     deep copy, or a new factory call) so that stateful schedules cannot
     leak consumed steps or RNG state across runs — see
-    :func:`_fresh_schedule`.
+    :func:`_fresh_schedule`.  ``engine`` selects the execution engine
+    for every run of the grid (see
+    :data:`repro.model.execution.ENGINES`).
     """
     maxima: List[float] = []
     means: List[float] = []
@@ -144,6 +147,7 @@ def run_ensemble(
                 algorithm_factory(), topology, inputs,
                 _fresh_schedule(schedule_entry),
                 max_time=max_time,
+                engine=engine,
             )
             verdict = verify_execution(topology, result, palette=palette_list)
             runs += 1

@@ -87,11 +87,18 @@ class TaskSpec:
     schedule_params: Tuple[Tuple[str, Any], ...]
     seed: int
     max_time: int
+    engine: str = "fast"
     index: int = 0
     shard: int = 0
 
     def config(self) -> Dict[str, Any]:
-        """The hash-relevant run configuration as a plain dict."""
+        """The hash-relevant run configuration as a plain dict.
+
+        The execution engine is part of the configuration (and hence of
+        :attr:`task_hash`): although the engines are observably
+        identical, a result row should record exactly how it was
+        produced, and a resumed journal must not silently mix engines.
+        """
         return {
             "algorithm": self.algorithm,
             "topology": self.topology,
@@ -101,6 +108,7 @@ class TaskSpec:
             "schedule_params": [list(kv) for kv in self.schedule_params],
             "seed": self.seed,
             "max_time": self.max_time,
+            "engine": self.engine,
         }
 
     @property
@@ -126,6 +134,7 @@ class TaskSpec:
             ),
             seed=int(d["seed"]),
             max_time=int(d["max_time"]),
+            engine=d.get("engine", "fast"),
             index=int(d.get("index", 0)),
             shard=int(d.get("shard", 0)),
         )
@@ -161,6 +170,7 @@ class CampaignSpec:
     topology: str = "cycle"
     max_time: int = 200_000
     num_shards: int = 8
+    engine: str = "fast"
 
     @classmethod
     def build(
@@ -174,6 +184,7 @@ class CampaignSpec:
         topology: str = "cycle",
         max_time: int = 200_000,
         num_shards: int = 8,
+        engine: str = "fast",
     ) -> "CampaignSpec":
         """Normalizing constructor: accepts lists, schedule names or
         ``(name, params)`` pairs, and validates against the registries."""
@@ -195,6 +206,7 @@ class CampaignSpec:
             topology=topology,
             max_time=int(max_time),
             num_shards=max(1, int(num_shards)),
+            engine=engine,
         )
         spec.validate()
         return spec
@@ -219,6 +231,12 @@ class CampaignSpec:
         _known(self.topology, TOPOLOGIES, "topology")
         if self.max_time < 1:
             raise CampaignError(f"max_time must be >= 1, got {self.max_time}")
+        from repro.model.execution import ENGINES
+
+        if self.engine not in ENGINES:
+            raise CampaignError(
+                f"unknown engine {self.engine!r} (known: {', '.join(ENGINES)})"
+            )
 
     @property
     def size(self) -> int:
@@ -251,6 +269,7 @@ class CampaignSpec:
                                     schedule_params=sched.params,
                                     seed=seed,
                                     max_time=self.max_time,
+                                    engine=self.engine,
                                     index=index,
                                     shard=index % self.num_shards,
                                 )
@@ -271,6 +290,7 @@ class CampaignSpec:
             "topology": self.topology,
             "max_time": self.max_time,
             "num_shards": self.num_shards,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -290,6 +310,7 @@ class CampaignSpec:
             topology=d.get("topology", "cycle"),
             max_time=int(d.get("max_time", 200_000)),
             num_shards=int(d.get("num_shards", 8)),
+            engine=d.get("engine", "fast"),
         )
 
     @property

@@ -118,7 +118,8 @@ def execute_task(task: Mapping[str, Any]) -> TaskResult:
     palette = resolve_palette(spec.algorithm)
 
     result = run_execution(
-        algorithm, topology, inputs, schedule, max_time=spec.max_time
+        algorithm, topology, inputs, schedule,
+        max_time=spec.max_time, engine=spec.engine,
     )
     verdict = verify_execution(topology, result, palette=palette)
 

@@ -39,7 +39,7 @@ from repro.core.fast_coloring5 import FastFiveColoring
 from repro.core.coin_tossing import log_star
 from repro.errors import ReproError
 from repro.extensions.livelock import demonstrate_livelock
-from repro.model.execution import run_execution
+from repro.model.execution import ENGINES, run_execution
 from repro.model.topology import Cycle
 from repro.render import render_cycle, render_outputs, render_timeline
 from repro.schedulers import (
@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--svg", metavar="BASENAME",
                      help="write BASENAME_ring.svg (+ _timeline.svg with --timeline)")
     run.add_argument("--max-time", type=int, default=1_000_000)
+    run.add_argument(
+        "--engine", choices=list(ENGINES), default="fast",
+        help="execution engine: compiled fast path or the "
+             "straight-from-the-paper reference loop (see docs/ENGINE.md)",
+    )
     run.add_argument(
         "--json", action="store_true",
         help="machine-readable output: JSON verdict + activation stats",
@@ -146,6 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seeds 0..K-1 per grid point")
     campaign.add_argument("--topology", default="cycle")
     campaign.add_argument("--max-time", type=int, default=200_000)
+    campaign.add_argument("--engine", choices=list(ENGINES), default="fast",
+                          help="execution engine for every task of the grid")
     campaign.add_argument("--backend", choices=["sequential", "pool"],
                           default="pool")
     campaign.add_argument("--workers", type=int, default=None,
@@ -172,6 +179,7 @@ def _cmd_run(args) -> int:
     result = run_execution(
         algorithm, Cycle(args.n), inputs, schedule,
         max_time=args.max_time, record_trace=args.timeline,
+        engine=args.engine,
     )
     verdict = verify_execution(Cycle(args.n), result, palette=_PALETTES[args.algorithm])
     ok = verdict.ok and result.all_terminated
@@ -183,6 +191,7 @@ def _cmd_run(args) -> int:
             "inputs": args.inputs,
             "schedule": args.schedule,
             "seed": args.seed,
+            "engine": args.engine,
             "verdict": {
                 "ok": ok,
                 "all_terminated": result.all_terminated,
@@ -408,6 +417,7 @@ def _cmd_campaign(args) -> int:
         seeds=range(args.seeds),
         topology=args.topology,
         max_time=args.max_time,
+        engine=args.engine,
     )
     backend = make_backend(args.backend, workers=args.workers)
     outcome = run_campaign(

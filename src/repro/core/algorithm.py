@@ -62,6 +62,17 @@ class Algorithm(ABC):
     #: Human-readable algorithm name for reports and CLI.
     name: str = "algorithm"
 
+    #: Whether :meth:`step` is a pure function of ``(state, views)`` and
+    #: :meth:`register_value` a pure function of ``state`` — the written
+    #: contract of this class (see :mod:`repro.model.contract`), so the
+    #: default is True.  The fast execution engine uses this declaration
+    #: to skip re-stepping a quiescent process whose state and
+    #: neighborhood registers are unchanged (the outcome is provably the
+    #: same).  A subclass that breaks purity (randomization, hidden
+    #: per-process state) must set this to False or the fast engine may
+    #: diverge from the reference engine.
+    view_deterministic: bool = True
+
     @abstractmethod
     def initial_state(self, x_input: Any) -> Any:
         """State of a process whose input (identifier) is ``x_input``."""

@@ -5,13 +5,16 @@ Subpackage layout:
 * :mod:`repro.model.topology` — graphs mediating register visibility;
 * :mod:`repro.model.registers` — single-writer/multi-reader registers;
 * :mod:`repro.model.schedule` — schedules ``σ`` and adapters;
-* :mod:`repro.model.execution` — the round engine (Equation (1));
+* :mod:`repro.model.execution` — the reference round engine (Equation (1));
+* :mod:`repro.model.fastpath` / :mod:`repro.model.kernels` — the
+  observably-identical compiled fast engine (see docs/ENGINE.md);
 * :mod:`repro.model.trace` — per-step execution traces;
 * :mod:`repro.model.faults` — fail-stop crash injection.
 """
 
 from repro.model.contract import ContractReport, check_algorithm
-from repro.model.execution import ExecutionResult, Executor, run_execution
+from repro.model.execution import ENGINES, ExecutionResult, Executor, run_execution
+from repro.model.fastpath import FastExecutor
 from repro.model.witness import Witness, witness_from_outcome
 from repro.model.faults import CrashPlan, crash_after_activations, crash_after_time
 from repro.model.registers import RegisterFile
@@ -37,8 +40,10 @@ __all__ = [
     "ContractReport",
     "CrashPlan",
     "Cycle",
+    "ENGINES",
     "ExecutionResult",
     "Executor",
+    "FastExecutor",
     "FiniteSchedule",
     "FunctionSchedule",
     "GeneralGraph",

@@ -101,13 +101,19 @@ def check_algorithm(
     _check_hashable(reg_a, "register_value(...)", report)
 
     # --- replay determinism + per-step checks -----------------------
+    # Pinned to the reference engine: the candidate may violate the
+    # very contracts (purity, view-determinism) the fast engine's
+    # optimizations assume, so the oracle must run the candidate's
+    # ``step`` literally every time.
     for seed in seeds:
         recorder = RecordedSchedule(UniformSubsetScheduler(seed=seed))
         first = run_execution(
             algorithm, topology, inputs, recorder, max_time=max_time,
+            engine="reference",
         )
         replay = run_execution(
             algorithm, topology, inputs, recorder.replay(), max_time=max_time,
+            engine="reference",
         )
         report.executions += 2
         if first.outputs != replay.outputs:

@@ -35,7 +35,7 @@ from repro.model.topology import Topology
 from repro.model.trace import StepEvent, Trace
 from repro.types import ProcessId
 
-__all__ = ["Executor", "ExecutionResult", "run_execution"]
+__all__ = ["Executor", "ExecutionResult", "ENGINES", "run_execution"]
 
 #: Default safety cap on simulated time, so a buggy non-terminating
 #: algorithm under an infinite schedule fails fast instead of hanging.
@@ -252,6 +252,13 @@ class Executor:
         )
 
 
+#: Engine registry for :func:`run_execution`.  ``"fast"`` is the
+#: compiled fast path of :mod:`repro.model.fastpath`, observably
+#: identical to ``"reference"`` (this module's :class:`Executor`), which
+#: is retained everywhere as the semantics oracle.
+ENGINES = ("fast", "reference")
+
+
 def run_execution(
     algorithm,
     topology: Topology,
@@ -261,8 +268,16 @@ def run_execution(
     max_time: int = DEFAULT_MAX_TIME,
     record_trace: bool = False,
     record_registers: bool = False,
+    engine: str = "fast",
 ) -> ExecutionResult:
-    """One-shot convenience wrapper around :class:`Executor`.
+    """One-shot convenience wrapper around an execution engine.
+
+    ``engine="fast"`` (the default) runs the compiled fast path of
+    :mod:`repro.model.fastpath`; ``engine="reference"`` runs this
+    module's :class:`Executor`.  The two are *observably identical* —
+    the differential equivalence harness asserts bit-identical
+    :class:`ExecutionResult`\\ s — so the choice is purely about speed
+    vs. having the straight-from-the-paper loop in the stack trace.
 
     Example
     -------
@@ -275,7 +290,15 @@ def run_execution(
     >>> result.all_terminated
     True
     """
-    executor = Executor(
+    if engine == "fast":
+        from repro.model.fastpath import FastExecutor as executor_cls
+    elif engine == "reference":
+        executor_cls = Executor
+    else:
+        raise ExecutionError(
+            f"unknown engine {engine!r} (known: {', '.join(ENGINES)})"
+        )
+    executor = executor_cls(
         topology,
         algorithm,
         inputs,

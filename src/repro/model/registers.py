@@ -78,6 +78,33 @@ class RegisterFile:
         """Read several registers in one local immediate snapshot."""
         return tuple(self.read(r) for r in registers)
 
+    def validate_indices(self, registers: Iterable[ProcessId]) -> Tuple[ProcessId, ...]:
+        """Bounds-check a register index tuple once, for later unchecked reads.
+
+        The checked :meth:`read`/:meth:`read_many` path re-validates every
+        index on every call — fine for one-off reads, wasteful for an
+        execution engine that reads the same (fixed) neighborhood millions
+        of times.  Validate the index tuple once with this method, then
+        read through :meth:`read_many_unchecked`.
+        """
+        indices = tuple(registers)
+        for r in indices:
+            self._check(r)
+        return indices
+
+    def read_many_unchecked(self, registers: Iterable[ProcessId]) -> Tuple[Any, ...]:
+        """Batch read *pre-validated* indices, skipping per-element checks.
+
+        Only for index tuples previously blessed by
+        :meth:`validate_indices` (the fast execution engine's batch-read
+        path).  An unvalidated index is *not* diagnosed: too-large
+        indices raise a bare ``IndexError`` and negative ones silently
+        wrap around — callers wanting :class:`~repro.errors.RegisterError`
+        diagnostics must stay on the checked :meth:`read_many` default.
+        """
+        values = self._values
+        return tuple(values[r] for r in registers)
+
     def write_count(self, register: ProcessId) -> int:
         """How many times ``R_register`` has been written (diagnostics)."""
         self._check(register)

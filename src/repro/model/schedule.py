@@ -19,13 +19,14 @@ schedule does not mean an infinite execution for a wait-free algorithm.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, Iterator, List, Sequence
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Sequence, Union
 
 from repro.errors import ScheduleError
 from repro.types import ProcessId
 
 __all__ = [
     "ActivationSet",
+    "FastStep",
     "Schedule",
     "FiniteSchedule",
     "FunctionSchedule",
@@ -34,6 +35,13 @@ __all__ = [
 ]
 
 ActivationSet = FrozenSet[ProcessId]
+
+#: What :meth:`Schedule.steps_fast` yields: any reusable, duplicate-free
+#: iterable of process ids (tuple, list, range, or the frozensets of the
+#: default adapter).  The fast engine only iterates it, so schedulers
+#: may yield the *same* object every step instead of building a fresh
+#: ``frozenset`` per step.
+FastStep = Union[Sequence[ProcessId], FrozenSet[ProcessId], range]
 
 
 def validate_step(step: Iterable[ProcessId], n: int) -> ActivationSet:
@@ -61,6 +69,24 @@ class Schedule:
         """Yield ``σ(1), σ(2), …`` for a system of ``n`` processes."""
         raise NotImplementedError
 
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        """Yield the same steps as :meth:`steps`, allocation-lean.
+
+        The fast execution engine iterates activation steps without ever
+        needing set semantics, so this method may yield any duplicate-free
+        iterable of process ids — a reused tuple, a ``range``, a list —
+        instead of materializing a fresh ``frozenset`` per step.
+
+        Contract: ``list(map(sorted, steps_fast(n)))`` must equal
+        ``list(map(sorted, steps(n)))`` — same steps, same order, and for
+        seeded schedulers the *same RNG stream consumption* — and every
+        yielded step must be duplicate-free.  The default adapter simply
+        delegates to :meth:`steps` (correct for any subclass, including
+        wrappers like crash plans); the built-in scheduler families
+        override it to skip the per-step ``frozenset`` churn.
+        """
+        return self.steps(n)
+
     def __iter__(self):  # pragma: no cover - convenience only
         raise TypeError(
             "iterate via schedule.steps(n); a Schedule needs to know n"
@@ -81,6 +107,17 @@ class FiniteSchedule(Schedule):
     def steps(self, n: int) -> Iterator[ActivationSet]:
         for s in self._raw:
             yield validate_step(s, n)
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        # The stored steps are frozensets already; validate ids without
+        # the frozenset copy validate_step would make per step.
+        for s in self._raw:
+            for p in s:
+                if not (0 <= p < n):
+                    raise ScheduleError(
+                        f"schedule activates unknown process {p} (n={n})"
+                    )
+            yield s
 
     def __len__(self) -> int:
         return len(self._raw)

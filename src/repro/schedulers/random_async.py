@@ -12,10 +12,10 @@ interesting run exactly.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import ScheduleError
-from repro.model.schedule import ActivationSet, Schedule
+from repro.model.schedule import ActivationSet, FastStep, Schedule
 
 __all__ = [
     "BernoulliScheduler",
@@ -39,13 +39,25 @@ class BernoulliScheduler(Schedule):
         self.seed = seed
         self.horizon = horizon
 
+    def _draw(self, n: int, rng: random.Random) -> List[int]:
+        """One non-empty Bernoulli draw; redraws consume ``n`` further
+        RNG values each, exactly like a fresh draw — the replayability
+        contract (a given seed always produces the same step stream,
+        redraws included)."""
+        while True:
+            step = [i for i in range(n) if rng.random() < self.p]
+            if step:
+                return step
+
     def steps(self, n: int) -> Iterator[ActivationSet]:
         rng = random.Random(self.seed)
         for _ in range(self.horizon):
-            step = frozenset(i for i in range(n) if rng.random() < self.p)
-            while not step:
-                step = frozenset(i for i in range(n) if rng.random() < self.p)
-            yield step
+            yield frozenset(self._draw(n, rng))
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        rng = random.Random(self.seed)
+        for _ in range(self.horizon):
+            yield self._draw(n, rng)
 
     def __repr__(self) -> str:
         return f"BernoulliScheduler(p={self.p}, seed={self.seed})"
@@ -69,6 +81,13 @@ class UniformSubsetScheduler(Schedule):
         for _ in range(self.horizon):
             size = rng.randint(1, n)
             yield frozenset(rng.sample(ids, size))
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        rng = random.Random(self.seed)
+        ids = list(range(n))
+        for _ in range(self.horizon):
+            size = rng.randint(1, n)
+            yield rng.sample(ids, size)
 
     def __repr__(self) -> str:
         return f"UniformSubsetScheduler(seed={self.seed})"
@@ -127,6 +146,13 @@ class GeometricRateScheduler(Schedule):
             else:
                 # Avoid burning simulated time on global idleness.
                 yield frozenset({rng.randrange(n)})
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        rng = random.Random(self.seed)
+        rates = self._resolve_rates(n, rng)
+        for _ in range(self.horizon):
+            step = [i for i in range(n) if rng.random() < rates[i]]
+            yield step if step else [rng.randrange(n)]
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import ScheduleError
-from repro.model.schedule import ActivationSet, Schedule
+from repro.model.schedule import ActivationSet, FastStep, Schedule
 
 __all__ = ["RoundRobinScheduler", "BlockRoundRobinScheduler"]
 
@@ -26,6 +26,11 @@ class RoundRobinScheduler(Schedule):
     def steps(self, n: int) -> Iterator[ActivationSet]:
         for t in range(self.horizon):
             yield frozenset({(t + self.offset) % n})
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        singletons = [(p,) for p in range(n)]
+        for t in range(self.horizon):
+            yield singletons[(t + self.offset) % n]
 
     def __repr__(self) -> str:
         return f"RoundRobinScheduler(offset={self.offset})"
@@ -50,6 +55,12 @@ class BlockRoundRobinScheduler(Schedule):
         for t in range(self.horizon):
             start = (t * k + self.offset) % n
             yield frozenset((start + i) % n for i in range(k))
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        k = min(self.k, n)
+        for t in range(self.horizon):
+            start = (t * k + self.offset) % n
+            yield tuple((start + i) % n for i in range(k))
 
     def __repr__(self) -> str:
         return f"BlockRoundRobinScheduler(k={self.k}, offset={self.offset})"

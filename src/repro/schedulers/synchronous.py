@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.model.schedule import ActivationSet, Schedule
+from repro.model.schedule import ActivationSet, FastStep, Schedule
 
 __all__ = ["SynchronousScheduler"]
 
@@ -28,6 +28,11 @@ class SynchronousScheduler(Schedule):
 
     def steps(self, n: int) -> Iterator[ActivationSet]:
         everyone = frozenset(range(n))
+        for _ in range(self.horizon):
+            yield everyone
+
+    def steps_fast(self, n: int) -> Iterator[FastStep]:
+        everyone = range(n)
         for _ in range(self.horizon):
             yield everyone
 

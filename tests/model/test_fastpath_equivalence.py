@@ -1,0 +1,284 @@
+"""Differential equivalence harness: fast engine vs reference engine.
+
+The fast execution engine (:mod:`repro.model.fastpath`, including the
+compiled kernels of :mod:`repro.model.kernels`) claims to be
+*observably identical* to the reference :class:`~repro.model.execution.
+Executor`.  This suite is that claim's enforcement: it replays seeded
+random, adversarial and synchronous schedules through both engines
+across every registered algorithm and asserts bit-identical
+:class:`~repro.model.execution.ExecutionResult`\\ s — outputs,
+activation counts, return times, final time, final states, and (where
+recorded) full traces.
+
+Two dispatch tiers are exercised deliberately:
+
+* registered algorithm classes hit their *compiled kernels*;
+* subclasses (exact-type dispatch excludes them) and tracing runs hit
+  the *generic fast path* — so both tiers are diffed against the
+  reference oracle here.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign.registry import ALGORITHMS
+from repro.analysis.inputs import random_distinct_ids
+from repro.core.fast_coloring5 import FastFiveColoring
+from repro.errors import ExecutionError
+from repro.model.execution import ENGINES, Executor, run_execution
+from repro.model.fastpath import FastExecutor
+from repro.model.schedule import FiniteSchedule
+from repro.model.topology import Cycle, Path
+from repro.schedulers import (
+    AlternatingScheduler,
+    BernoulliScheduler,
+    BurstScheduler,
+    GeometricRateScheduler,
+    InterleaveScheduler,
+    LateWakeupScheduler,
+    RoundRobinScheduler,
+    SlowChainScheduler,
+    SoloScheduler,
+    StaggeredScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+#: Scheduler families of the sweep: synchronous, seeded random, and
+#: structured adversaries.  Factories take ``seed`` so random families
+#: get a fresh stream per case while structured ones ignore it.
+SCHEDULER_FAMILIES = [
+    ("sync", lambda seed: SynchronousScheduler()),
+    ("bernoulli", lambda seed: BernoulliScheduler(p=0.35, seed=seed)),
+    ("uniform-subset", lambda seed: UniformSubsetScheduler(seed=seed)),
+    ("adversarial", lambda seed: SlowChainScheduler(slow=[0], slowdown=7)),
+]
+
+
+def both_engines(algorithm_factory, topology, inputs, schedule_factory,
+                 *, max_time=20_000, **kwargs):
+    """Run the same configuration through both engines.
+
+    Each engine gets its own schedule instance (random schedules are
+    seeded, so two instances replay the same stream) and its own
+    algorithm instance, ruling out accidental state sharing.
+    """
+    results = []
+    for engine in ("reference", "fast"):
+        results.append(
+            run_execution(
+                algorithm_factory(), topology, list(inputs),
+                schedule_factory(), max_time=max_time, engine=engine,
+                **kwargs,
+            )
+        )
+    return results
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("sched_name,sched_factory", SCHEDULER_FAMILIES)
+def test_engines_bit_identical_over_25_seeds(alg_name, sched_name, sched_factory):
+    """The headline differential sweep (Issue 2 acceptance criterion).
+
+    Every registered algorithm × every scheduler family × 25 seeds:
+    the two engines must produce equal ``ExecutionResult``s — dataclass
+    equality covers outputs, activations, return_times, final_time,
+    time_exhausted and final_states.
+    """
+    factory = ALGORITHMS[alg_name]
+    for seed in range(25):
+        n = 5 + (seed % 7)
+        ids = random_distinct_ids(n, seed=seed)
+        reference, fast = both_engines(
+            factory, Cycle(n), ids, lambda: sched_factory(seed)
+        )
+        assert reference == fast, (
+            f"{alg_name} under {sched_name} seed {seed}: engines diverged"
+        )
+        # The sweep must exercise real executions, not vacuous ones.
+        assert reference.all_terminated or reference.final_time > 0
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+def test_trace_and_register_recording_equivalence(alg_name):
+    """Recorded traces are bit-identical too (generic fast path).
+
+    ``record_registers=True`` makes every step carry a full register
+    snapshot, so this compares the engines' visible memory word for
+    word at every time index.
+    """
+    factory = ALGORITHMS[alg_name]
+    for seed in range(5):
+        n = 7
+        ids = random_distinct_ids(n, seed=seed)
+        for sched in (
+            lambda: SynchronousScheduler(),
+            lambda: BernoulliScheduler(p=0.4, seed=seed),
+            lambda: RoundRobinScheduler(),
+        ):
+            reference, fast = both_engines(
+                factory, Cycle(n), ids, sched,
+                max_time=2_000, record_trace=True, record_registers=True,
+            )
+            assert reference.trace is not None and fast.trace is not None
+            assert reference.trace == fast.trace
+            assert reference == fast
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+def test_adversarial_gallery_equivalence(alg_name):
+    """Structured adversaries and composite schedules, both engines."""
+    factory = ALGORITHMS[alg_name]
+    n = 9
+    ids = random_distinct_ids(n, seed=3)
+    adversaries = [
+        lambda: SoloScheduler(pid=2, solo_steps=20),
+        lambda: LateWakeupScheduler(sleepers=[0, 4], wake_time=25),
+        lambda: SlowChainScheduler(slow=[1, 5], slowdown=5),
+        lambda: StaggeredScheduler(stagger=2),
+        lambda: AlternatingScheduler(),
+        lambda: BurstScheduler(burst=3),
+        lambda: GeometricRateScheduler(seed=1),
+        lambda: InterleaveScheduler(
+            RoundRobinScheduler(), SynchronousScheduler()
+        ),
+    ]
+    for sched in adversaries:
+        reference, fast = both_engines(factory, Cycle(n), ids, sched)
+        assert reference == fast
+
+
+def test_generic_path_via_subclass_matches_reference():
+    """Kernels dispatch on exact type; a subclass gets the generic
+    fast path — which must also be bit-identical to the reference."""
+
+    class Subclassed(FastFiveColoring):
+        pass
+
+    for seed in range(10):
+        n = 8
+        ids = random_distinct_ids(n, seed=seed)
+        reference, fast = both_engines(
+            Subclassed, Cycle(n), ids,
+            lambda: BernoulliScheduler(p=0.3, seed=seed),
+        )
+        assert reference == fast
+
+
+def test_kernel_vs_generic_dispatch():
+    """Tracing runs bypass the kernel; plain runs compile one."""
+    alg = FastFiveColoring()
+    plain = FastExecutor(Cycle(5), alg, [3, 11, 6, 14, 9])
+    traced = FastExecutor(
+        Cycle(5), alg, [3, 11, 6, 14, 9], record_trace=True
+    )
+    assert plain._kernel is not None
+    assert traced._kernel is None
+
+
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+def test_path_topology_equivalence(alg_name):
+    """Degree-1 endpoints (Path) hit the kernels' one-neighbor arms."""
+    factory = ALGORITHMS[alg_name]
+    for seed in range(5):
+        n = 6
+        ids = random_distinct_ids(n, seed=seed)
+        reference, fast = both_engines(
+            factory, Path(n), ids,
+            lambda: UniformSubsetScheduler(seed=seed),
+        )
+        assert reference == fast
+
+
+def test_max_time_exhaustion_equivalence():
+    """Both engines cut off at the same time with the same flag."""
+    for alg_name, factory in sorted(ALGORITHMS.items()):
+        reference, fast = both_engines(
+            factory, Cycle(9), random_distinct_ids(9, seed=0),
+            lambda: BernoulliScheduler(p=0.2, seed=0),
+            max_time=7,
+        )
+        assert reference == fast
+        assert reference.final_time <= 7
+
+
+def test_idle_cutoff_equivalence():
+    """The idle-streak cutoff fires identically in both engines."""
+    sched = lambda: FiniteSchedule([{0}] * 3 + [set()] * 40)
+    alg = FastFiveColoring
+    ids = [5, 1, 9]
+    r1 = Executor(Cycle(3), alg(), ids).run(sched(), idle_limit=10)
+    r2 = FastExecutor(Cycle(3), alg(), ids).run(sched(), idle_limit=10)
+    assert r1 == r2
+    # idle_limit=0 disables the cutoff in both.
+    r3 = Executor(Cycle(3), alg(), ids).run(sched(), idle_limit=0)
+    r4 = FastExecutor(Cycle(3), alg(), ids).run(sched(), idle_limit=0)
+    assert r3 == r4
+    assert r3.final_time > r1.final_time
+
+
+def test_quiescence_skip_requires_declaration():
+    """An algorithm that renounces view-determinism is never skipped.
+
+    The impure algorithm below changes behavior on its k-th step with
+    the *same* state and views — a contract violation the fast engine
+    must not paper over once ``view_deterministic`` is False.  With the
+    flag False, both engines agree (the fast engine re-steps every
+    activation); this pins the gate, not the impure behavior.
+    """
+    from repro.core.algorithm import Algorithm, StepOutcome
+
+    class CountingAlg(Algorithm):
+        name = "counting"
+        view_deterministic = False
+
+        def __init__(self):
+            self.calls = 0
+
+        def initial_state(self, x_input):
+            return ("s", x_input)
+
+        def register_value(self, state):
+            return state[1]
+
+        def step(self, state, views):
+            self.calls += 1
+            if self.calls >= 12:
+                return StepOutcome.ret(state, state[1])
+            return StepOutcome.cont(state)  # identical state: a no-op
+
+    reference = run_execution(
+        CountingAlg(), Cycle(3), [1, 2, 3], SynchronousScheduler(),
+        max_time=100, engine="reference",
+    )
+    fast = run_execution(
+        CountingAlg(), Cycle(3), [1, 2, 3], SynchronousScheduler(),
+        max_time=100, engine="fast",
+    )
+    assert reference == fast
+    assert reference.all_terminated  # skipping would starve the counter
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ExecutionError, match="unknown engine"):
+        run_execution(
+            FastFiveColoring(), Cycle(3), [1, 2, 3],
+            SynchronousScheduler(), engine="warp",
+        )
+    assert set(ENGINES) == {"fast", "reference"}
+
+
+def test_fast_executor_input_length_check():
+    with pytest.raises(ExecutionError):
+        FastExecutor(Cycle(4), FastFiveColoring(), [1, 2, 3])
+
+
+def test_non_integer_inputs_flow_through_unchanged():
+    """Kernels must not coerce identifiers; ``bool`` ids (an int
+    subtype that must survive verbatim in outputs/states) prove it."""
+    ids = [True, 3, 7]  # True == 1, a distinct-id set with a bool
+    reference, fast = both_engines(
+        FastFiveColoring, Cycle(3), ids, lambda: SynchronousScheduler()
+    )
+    assert reference == fast

@@ -65,3 +65,33 @@ class TestBatchSemantics:
         rf.write(0, "a")
         rf.write(1, "b")
         assert rf.read_many((1, 0)) == ("b", "a")
+
+
+class TestValidatedUncheckedPath:
+    """The fast engine's validate-once / read-unchecked protocol."""
+
+    def test_validate_indices_returns_tuple(self):
+        rf = RegisterFile(4)
+        assert rf.validate_indices([3, 0]) == (3, 0)
+        assert rf.validate_indices(()) == ()
+
+    def test_validate_indices_rejects_bad_indices(self):
+        rf = RegisterFile(4)
+        with pytest.raises(RegisterError):
+            rf.validate_indices([0, 4])
+        with pytest.raises(RegisterError):
+            rf.validate_indices([-1])
+
+    def test_unchecked_matches_checked_after_validation(self):
+        rf = RegisterFile(3)
+        rf.write_all([(0, "v0"), (2, "v2")])
+        indices = rf.validate_indices((2, 1, 0))
+        assert rf.read_many_unchecked(indices) == rf.read_many(indices)
+        assert rf.read_many_unchecked(indices) == ("v2", BOTTOM, "v0")
+
+    def test_checked_read_many_stays_default_guardrail(self):
+        """The public batch read still validates — the unchecked path
+        is an opt-in for callers that pre-validated."""
+        rf = RegisterFile(2)
+        with pytest.raises(RegisterError):
+            rf.read_many((0, 2))
