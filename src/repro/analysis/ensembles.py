@@ -32,6 +32,7 @@ class Distribution:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: float
 
     @classmethod
@@ -51,13 +52,15 @@ class Distribution:
             mean=sum(ordered) / n,
             p50=pct(0.50),
             p95=pct(0.95),
+            p99=pct(0.99),
             maximum=float(ordered[-1]),
         )
 
     def __str__(self) -> str:
         return (
             f"min={self.minimum:g} mean={self.mean:.2f} p50={self.p50:g} "
-            f"p95={self.p95:g} max={self.maximum:g} (n={self.count})"
+            f"p95={self.p95:g} p99={self.p99:g} max={self.maximum:g} "
+            f"(n={self.count})"
         )
 
 

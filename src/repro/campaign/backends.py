@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.campaign.spec import TaskSpec
 from repro.campaign.worker import execute_task
 from repro.errors import CampaignError
+from repro.obs.metrics import active_registry
 
 __all__ = ["CampaignBackend", "SequentialBackend", "PoolBackend", "make_backend"]
 
@@ -111,7 +112,12 @@ class SequentialBackend(CampaignBackend):
         max_retries: int = 2,
         on_record: RecordSink,
     ) -> None:
-        for task in tasks:
+        registry = active_registry()
+        for i, task in enumerate(tasks):
+            if registry is not None:
+                registry.set_gauge(
+                    "campaign_queue_depth", len(tasks) - i, backend=self.name
+                )
             attempts = 0
             started = time.perf_counter()
             while True:
@@ -145,6 +151,8 @@ class SequentialBackend(CampaignBackend):
                     )
                 )
                 break
+        if registry is not None:
+            registry.set_gauge("campaign_queue_depth", 0, backend=self.name)
 
 
 def _pool_worker(wid: int, task_q, result_q) -> None:
@@ -282,8 +290,13 @@ class PoolBackend(CampaignBackend):
         for _ in range(min(self.workers, total)):
             spawn()
 
+        registry = active_registry()
         try:
             while done < total:
+                if registry is not None:
+                    registry.set_gauge(
+                        "campaign_queue_depth", len(ready), backend=self.name
+                    )
                 # 1. hand tasks to idle workers (one in flight each, so
                 #    the supervisor always knows what a dead worker held)
                 if ready:
@@ -383,6 +396,10 @@ class PoolBackend(CampaignBackend):
                     w.process.join(timeout=1)
             result_q.close()
             result_q.join_thread()
+            if registry is not None:
+                registry.set_gauge(
+                    "campaign_queue_depth", len(ready), backend=self.name
+                )
 
 
 def make_backend(

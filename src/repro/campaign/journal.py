@@ -24,6 +24,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Set, Union
 
 from repro.errors import CampaignError
+from repro.obs.metrics import active_registry
+from repro.obs.spans import span
 
 __all__ = ["TaskRecord", "CampaignJournal"]
 
@@ -84,9 +86,13 @@ class CampaignJournal:
         self._write_line(record)
 
     def _write_line(self, payload: Dict[str, Any]) -> None:
-        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with span("campaign_journal_append"):
+            self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        registry = active_registry()
+        if registry is not None:
+            registry.inc("campaign_journal_appends_total", 1)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -29,6 +29,7 @@ from repro.campaign.journal import CampaignJournal, TaskRecord
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.worker import TaskResult
 from repro.errors import CampaignError
+from repro.obs.metrics import active_registry
 
 __all__ = [
     "CampaignSummary",
@@ -55,9 +56,27 @@ class CampaignSummary:
     wall_time: float
     runs_per_sec: float
     per_shard_latency: Dict[int, Distribution] = field(default_factory=dict)
+    metrics: Optional[Dict[str, Any]] = None  # snapshot when collecting
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        def shard_dict(d: Distribution) -> Dict[str, Any]:
+            # Per-shard wall-clock is the sum of its task latencies
+            # (tasks within a shard run sequentially); throughput is
+            # tasks over that wall.
+            wall = d.mean * d.count
+            return {
+                "count": d.count,
+                "min": d.minimum,
+                "mean": d.mean,
+                "p50": d.p50,
+                "p95": d.p95,
+                "p99": d.p99,
+                "max": d.maximum,
+                "wall": wall,
+                "tasks_per_sec": (d.count / wall) if wall > 0 else 0.0,
+            }
+
+        out = {
             "backend": self.backend,
             "workers": self.workers,
             "total_tasks": self.total_tasks,
@@ -71,17 +90,13 @@ class CampaignSummary:
             "wall_time": self.wall_time,
             "runs_per_sec": self.runs_per_sec,
             "per_shard_latency": {
-                str(shard): {
-                    "count": d.count,
-                    "min": d.minimum,
-                    "mean": d.mean,
-                    "p50": d.p50,
-                    "p95": d.p95,
-                    "max": d.maximum,
-                }
+                str(shard): shard_dict(d)
                 for shard, d in sorted(self.per_shard_latency.items())
             },
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
     def write(self, path: Union[str, Path]) -> Path:
         """Write the summary artifact as JSON and return its path."""
@@ -231,11 +246,28 @@ def run_campaign(
         todo = todo[: max(0, stop_after)]
 
     new_records: List[TaskRecord] = []
+    registry = active_registry()
 
     def sink(record: TaskRecord) -> None:
         if journal is not None:
             journal.append(record)
         new_records.append(record)
+        if registry is not None:
+            status = str(record.get("status", "unknown"))
+            registry.inc("campaign_tasks_total", 1, status=status)
+            registry.observe(
+                "campaign_task_seconds", float(record.get("elapsed", 0.0))
+            )
+            registry.inc(
+                "campaign_retries_total",
+                max(0, int(record.get("attempts", 1)) - 1),
+            )
+            registry.inc(
+                "campaign_timeouts_total", int(record.get("timeouts", 0))
+            )
+            registry.inc(
+                "campaign_crashes_total", int(record.get("crashes", 0))
+            )
         if on_record is not None:
             on_record(record)
 
@@ -276,4 +308,7 @@ def run_campaign(
         runs_per_sec=(len(new_records) / wall) if wall > 0 else 0.0,
         per_shard_latency=_shard_latencies(all_records),
     )
+    if registry is not None:
+        registry.set_gauge("campaign_runs_per_sec", summary.runs_per_sec)
+        summary.metrics = registry.snapshot()
     return CampaignOutcome(report=report, summary=summary, records=all_records)

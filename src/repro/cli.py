@@ -7,6 +7,8 @@ Installed as ``repro-color`` (see pyproject) and runnable as
     repro-color run --algorithm alg2 --n 16 --inputs monotone \\
         --schedule bernoulli --seed 3 --timeline
     repro-color run --algorithm fast6 --n 32 --json
+    repro-color metrics --algorithm alg1 --n 64 --schedule round-robin
+    repro-color metrics --algorithm fast5 --n 128 --format prom --output m.prom
     repro-color livelock --loops 50
     repro-color falsify --target mis
     repro-color sweep --algorithm fast5 --max-n 4096
@@ -22,6 +24,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.complexity import fit_linear, fit_logstar, summarize_activations
@@ -39,7 +43,7 @@ from repro.core.fast_coloring5 import FastFiveColoring
 from repro.core.coin_tossing import log_star
 from repro.errors import ReproError
 from repro.extensions.livelock import demonstrate_livelock
-from repro.model.execution import ENGINES, run_execution
+from repro.model.execution import ENGINES, run_execution, time_exhausted_error
 from repro.model.topology import Cycle
 from repro.render import render_cycle, render_outputs, render_timeline
 from repro.schedulers import (
@@ -59,6 +63,52 @@ _SCHEDULE_CHOICES = [
 
 def _make_schedule(name: str, seed: int):
     return resolve_schedule(name, seed=seed)
+
+
+def _add_metrics_flags(subparser) -> None:
+    subparser.add_argument(
+        "--metrics", choices=["off", "json", "prom"], default="off",
+        help="collect instrumentation metrics and emit them as a JSON "
+             "artifact or Prometheus text exposition (default: off — "
+             "zero overhead; see docs/OBSERVABILITY.md)",
+    )
+    subparser.add_argument(
+        "--metrics-output", metavar="PATH",
+        help="write the metrics artifact here instead of stdout",
+    )
+
+
+def _emit_metrics(registry, fmt: str, output, *, extra=None) -> None:
+    """Print or write one collected registry in the chosen format."""
+    from repro.obs.exposition import (
+        render_json,
+        render_prometheus,
+        write_json_artifact,
+    )
+
+    # The "wrote" notice goes to stderr: --metrics-output composes with
+    # --json modes whose stdout must stay one machine-readable document.
+    if fmt == "prom":
+        text = render_prometheus(registry)
+        if output:
+            path = Path(output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {output}", file=sys.stderr)
+        else:
+            print(text, end="")
+    else:
+        if output:
+            write_json_artifact(registry, output, extra=extra)
+            print(f"wrote {output}", file=sys.stderr)
+        else:
+            print(
+                json.dumps(
+                    render_json(registry, extra=extra),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +138,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable output: JSON verdict + activation stats",
     )
+    _add_metrics_flags(run)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="instrumented, bound-monitored run: checks the paper's "
+             "activation budget, palette and proper-coloring promises "
+             "live and emits the metrics artifact",
+    )
+    metrics.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="alg1")
+    metrics.add_argument("--n", type=int, default=64)
+    metrics.add_argument("--inputs", choices=sorted(_INPUTS), default="random")
+    metrics.add_argument("--schedule", choices=_SCHEDULE_CHOICES, default="sync")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--max-time", type=int, default=1_000_000)
+    metrics.add_argument("--engine", choices=list(ENGINES), default="fast")
+    metrics.add_argument(
+        "--budget-scale", type=float, default=1.0,
+        help="multiply the paper activation budget (scale < 1 tightens "
+             "the bound — useful to demonstrate violation detection)",
+    )
+    metrics.add_argument("--format", choices=["json", "prom"], default="json")
+    metrics.add_argument("--output", metavar="PATH",
+                         help="write the artifact here instead of stdout")
 
     livelock = sub.add_parser(
         "livelock", help="replay the Algorithm 2 livelock witness (finding E13)"
@@ -169,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the campaign summary JSON artifact here")
     campaign.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of text")
+    _add_metrics_flags(campaign)
     return parser
 
 
@@ -176,13 +250,23 @@ def _cmd_run(args) -> int:
     algorithm = _ALGORITHMS[args.algorithm]()
     inputs = _INPUTS[args.inputs](args.n, args.seed)
     schedule = _make_schedule(args.schedule, args.seed)
-    result = run_execution(
-        algorithm, Cycle(args.n), inputs, schedule,
-        max_time=args.max_time, record_trace=args.timeline,
-        engine=args.engine,
-    )
+    with ExitStack() as stack:
+        registry = None
+        if args.metrics != "off":
+            from repro.obs.metrics import collecting
+
+            registry = stack.enter_context(collecting())
+        result = run_execution(
+            algorithm, Cycle(args.n), inputs, schedule,
+            max_time=args.max_time, record_trace=args.timeline,
+            engine=args.engine,
+        )
     verdict = verify_execution(Cycle(args.n), result, palette=_PALETTES[args.algorithm])
     ok = verdict.ok and result.all_terminated
+    if result.time_exhausted:
+        # Satellite of the observability PR: a run cut off by max_time
+        # is surfaced with its partial state, not a bare flag.
+        print(f"warning: {time_exhausted_error(result)}", file=sys.stderr)
     if args.json:
         counts = list(result.activations.values())
         payload = {
@@ -210,7 +294,20 @@ def _cmd_run(args) -> int:
                 {str(c) for c in result.outputs.values()}
             ),
         }
+        if result.time_exhausted:
+            payload["time_exhausted"] = {
+                "final_time": result.final_time,
+                "pending": sorted(result.pending),
+                "activations": {
+                    str(p): result.activations.get(p, 0)
+                    for p in sorted(result.pending)
+                },
+            }
+        if registry is not None and args.metrics == "json" and not args.metrics_output:
+            payload["metrics"] = registry.snapshot()
         print(json.dumps(payload, indent=2, sort_keys=True))
+        if registry is not None and (args.metrics == "prom" or args.metrics_output):
+            _emit_metrics(registry, args.metrics, args.metrics_output)
         return 0 if ok else 1
     print(f"algorithm : {algorithm.name}")
     print(f"schedule  : {schedule!r}")
@@ -229,6 +326,50 @@ def _cmd_run(args) -> int:
 
         for path in save_execution_svgs(result, inputs, args.svg):
             print(f"wrote {path}")
+    if registry is not None:
+        print()
+        _emit_metrics(registry, args.metrics, args.metrics_output)
+    return 0 if ok else 1
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import collecting, default_monitors
+
+    algorithm = _ALGORITHMS[args.algorithm]()
+    inputs = _INPUTS[args.inputs](args.n, args.seed)
+    schedule = _make_schedule(args.schedule, args.seed)
+    monitors = default_monitors(args.algorithm, args.n, scale=args.budget_scale)
+    with collecting() as registry:
+        result = run_execution(
+            algorithm, Cycle(args.n), inputs, schedule,
+            max_time=args.max_time, engine=args.engine, monitors=monitors,
+        )
+    reports = [m.report() for m in monitors]
+    ok = all(m.ok for m in monitors) and result.all_terminated
+    extra = {
+        "run": {
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "inputs": args.inputs,
+            "schedule": args.schedule,
+            "seed": args.seed,
+            "engine": args.engine,
+            "budget_scale": args.budget_scale,
+            "all_terminated": result.all_terminated,
+            "round_complexity": result.round_complexity,
+        },
+        "monitors": reports,
+        "ok": ok,
+    }
+    _emit_metrics(registry, args.format, args.output, extra=extra)
+    if not result.all_terminated:
+        print(
+            f"warning: only {len(result.outputs)}/{args.n} processes returned",
+            file=sys.stderr,
+        )
+    for report in reports:
+        for violation in report["violations"]:
+            print(f"violation: {violation['message']}", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -420,14 +561,20 @@ def _cmd_campaign(args) -> int:
         engine=args.engine,
     )
     backend = make_backend(args.backend, workers=args.workers)
-    outcome = run_campaign(
-        spec,
-        backend=backend,
-        journal_path=args.journal,
-        resume=args.resume,
-        task_timeout=args.timeout,
-        max_retries=args.retries,
-    )
+    with ExitStack() as stack:
+        registry = None
+        if args.metrics != "off":
+            from repro.obs.metrics import collecting
+
+            registry = stack.enter_context(collecting())
+        outcome = run_campaign(
+            spec,
+            backend=backend,
+            journal_path=args.journal,
+            resume=args.resume,
+            task_timeout=args.timeout,
+            max_retries=args.retries,
+        )
     if args.summary:
         outcome.summary.write(args.summary)
     if args.json:
@@ -453,6 +600,8 @@ def _cmd_campaign(args) -> int:
             print(outcome.report)
         if args.summary:
             print(f"\nwrote {args.summary}")
+    if registry is not None and (args.metrics == "prom" or args.metrics_output):
+        _emit_metrics(registry, args.metrics, args.metrics_output)
     return 0 if outcome.all_ok else 1
 
 
@@ -461,6 +610,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "metrics": _cmd_metrics,
         "livelock": _cmd_livelock,
         "falsify": _cmd_falsify,
         "sweep": _cmd_sweep,

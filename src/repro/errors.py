@@ -13,6 +13,7 @@ __all__ = [
     "TopologyError",
     "ScheduleError",
     "ExecutionError",
+    "TimeExhaustedError",
     "RegisterError",
     "SpecViolation",
     "ColoringViolation",
@@ -37,6 +38,36 @@ class ScheduleError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised when the execution engine is driven incorrectly."""
+
+
+class TimeExhaustedError(ExecutionError):
+    """A run hit its ``max_time`` cap with processes still working.
+
+    Carries the diagnostics a non-terminating run needs to be debugged
+    instead of a bare message: per-process activation counts, the last
+    simulated time index, the unreturned processes, and the partial
+    :class:`~repro.model.execution.ExecutionResult` itself.
+
+    Attributes
+    ----------
+    activations:
+        ``{p: count}`` of working activations at cutoff.
+    final_time:
+        The last time index the engine executed.
+    pending:
+        Sorted list of processes that never returned.
+    partial_result:
+        The full partial :class:`ExecutionResult` (``time_exhausted``
+        set), for replaying or white-box inspection.
+    """
+
+    def __init__(self, message: str, *, activations=None, final_time=0,
+                 pending=None, partial_result=None):
+        super().__init__(message)
+        self.activations = dict(activations or {})
+        self.final_time = final_time
+        self.pending = sorted(pending or [])
+        self.partial_result = partial_result
 
 
 class RegisterError(ReproError):

@@ -26,16 +26,25 @@ of working activations over processes, matching the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TimeExhaustedError
 from repro.model.registers import RegisterFile
 from repro.model.schedule import Schedule
 from repro.model.topology import Topology
 from repro.model.trace import StepEvent, Trace
+from repro.obs.metrics import active_registry, record_execution
+from repro.obs.spans import Stopwatch
 from repro.types import ProcessId
 
-__all__ = ["Executor", "ExecutionResult", "ENGINES", "run_execution"]
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "ENGINES",
+    "run_execution",
+    "time_exhausted_error",
+]
 
 #: Default safety cap on simulated time, so a buggy non-terminating
 #: algorithm under an infinite schedule fails fast instead of hanging.
@@ -109,6 +118,30 @@ class ExecutionResult:
         )
 
 
+def time_exhausted_error(result: ExecutionResult) -> TimeExhaustedError:
+    """A diagnosable :class:`TimeExhaustedError` for an exhausted run.
+
+    Shared by both engines: the message names the unreturned processes
+    with their activation counts (the first thing one needs to tell a
+    starved process from a livelocked one), and the error object
+    carries the full partial state.
+    """
+    pending = sorted(result.pending)
+    sample = ", ".join(
+        f"p{p}(activations={result.activations.get(p, 0)})"
+        for p in pending[:8]
+    )
+    more = "" if len(pending) <= 8 else f", … +{len(pending) - 8} more"
+    return TimeExhaustedError(
+        f"max_time exhausted at t={result.final_time} with "
+        f"{len(pending)}/{result.n} processes unreturned: {sample}{more}",
+        activations=result.activations,
+        final_time=result.final_time,
+        pending=pending,
+        partial_result=result,
+    )
+
+
 class Executor:
     """Runs one algorithm on one topology under any schedule.
 
@@ -153,6 +186,9 @@ class Executor:
         schedule: Schedule,
         max_time: int = DEFAULT_MAX_TIME,
         idle_limit: int = 10_000,
+        *,
+        monitors: Optional[Sequence[Any]] = None,
+        raise_on_exhaustion: bool = False,
     ) -> ExecutionResult:
         """Execute the schedule and return the measured result.
 
@@ -164,10 +200,31 @@ class Executor:
         under such a schedule suffix nothing can ever change, so the
         remaining processes are starved forever.  Pass ``idle_limit=0``
         to disable the cutoff.
+
+        ``monitors`` is an optional sequence of
+        :class:`repro.obs.monitors.BoundMonitor`-like observers driven
+        live: ``on_run_start`` before the first step, ``observe_step``
+        after every step activating at least one working process, and
+        ``on_run_end`` with the finished result.  With
+        ``raise_on_exhaustion=True``, hitting ``max_time`` with
+        processes still working raises a diagnosable
+        :class:`~repro.errors.TimeExhaustedError` (carrying per-process
+        activation counts, the last time index, the unreturned
+        processes, and the partial result) instead of returning a
+        result with ``time_exhausted`` set.
         """
         topo = self.topology
         alg = self.algorithm
         n = topo.n
+
+        registry = active_registry()
+        mons = list(monitors) if monitors else None
+        if mons is not None:
+            for m in mons:
+                m.on_run_start(topo, alg, self.inputs)
+        write_watch = Stopwatch() if registry is not None else None
+        update_watch = Stopwatch() if registry is not None else None
+        started = perf_counter() if registry is not None else 0.0
 
         states: Dict[ProcessId, Any] = {
             p: alg.initial_state(self.inputs[p]) for p in topo.processes()
@@ -208,16 +265,22 @@ class Executor:
             idle_streak = 0
 
             # Phase 1 — all activated processes write.
+            if write_watch is not None:
+                write_watch.tick()
             writes: Dict[ProcessId, Any] = {}
             for p in working:
                 value = alg.register_value(states[p])
                 writes[p] = value
             registers.write_all(writes.items())
+            if write_watch is not None:
+                write_watch.tock()
 
             # Phase 2+3 — each activated process reads its neighbors'
             # registers and performs its private update.  Writes all
             # happened above, and updates only touch private state, so
             # per-process iteration order is immaterial.
+            if update_watch is not None:
+                update_watch.tick()
             returned: Dict[ProcessId, Any] = {}
             for p in working:
                 views = registers.read_many(topo.neighbors(p))
@@ -228,6 +291,12 @@ class Executor:
                     return_times[p] = time
                     returned[p] = outcome.output
                 states[p] = outcome.state
+            if update_watch is not None:
+                update_watch.tock()
+
+            if mons is not None:
+                for m in mons:
+                    m.observe_step(time, working, returned, activations)
 
             if trace is not None:
                 trace.append(
@@ -240,7 +309,7 @@ class Executor:
                     )
                 )
 
-        return ExecutionResult(
+        result = ExecutionResult(
             n=n,
             outputs=outputs,
             activations=activations,
@@ -250,6 +319,24 @@ class Executor:
             trace=trace,
             final_states=states,
         )
+        if registry is not None:
+            alg_name = type(alg).__name__
+            record_execution(
+                registry, "reference", alg_name, result,
+                elapsed=perf_counter() - started,
+            )
+            write_watch.flush(
+                "engine_phase", registry, engine="reference", phase="write"
+            )
+            update_watch.flush(
+                "engine_phase", registry, engine="reference", phase="update"
+            )
+        if mons is not None:
+            for m in mons:
+                m.on_run_end(result)
+        if raise_on_exhaustion and result.time_exhausted:
+            raise time_exhausted_error(result)
+        return result
 
 
 #: Engine registry for :func:`run_execution`.  ``"fast"`` is the
@@ -269,6 +356,8 @@ def run_execution(
     record_trace: bool = False,
     record_registers: bool = False,
     engine: str = "fast",
+    monitors: Optional[Sequence[Any]] = None,
+    raise_on_exhaustion: bool = False,
 ) -> ExecutionResult:
     """One-shot convenience wrapper around an execution engine.
 
@@ -305,4 +394,9 @@ def run_execution(
         record_trace=record_trace,
         record_registers=record_registers,
     )
-    return executor.run(schedule, max_time=max_time)
+    return executor.run(
+        schedule,
+        max_time=max_time,
+        monitors=monitors,
+        raise_on_exhaustion=raise_on_exhaustion,
+    )

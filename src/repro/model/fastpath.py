@@ -50,14 +50,20 @@ are not maintained by this engine.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ExecutionError
-from repro.model.execution import DEFAULT_MAX_TIME, ExecutionResult
+from repro.model.execution import (
+    DEFAULT_MAX_TIME,
+    ExecutionResult,
+    time_exhausted_error,
+)
 from repro.model.registers import RegisterFile
 from repro.model.schedule import Schedule
 from repro.model.topology import Topology
 from repro.model.trace import StepEvent, Trace
+from repro.obs.metrics import active_registry, record_execution
 
 __all__ = ["FastExecutor"]
 
@@ -105,17 +111,52 @@ class FastExecutor:
         schedule: Schedule,
         max_time: int = DEFAULT_MAX_TIME,
         idle_limit: int = 10_000,
+        *,
+        monitors: Optional[Sequence[Any]] = None,
+        raise_on_exhaustion: bool = False,
     ) -> ExecutionResult:
-        """Execute the schedule; same semantics as ``Executor.run``."""
-        if self._kernel is not None:
-            return self._kernel(schedule, max_time, idle_limit)
-        return self._run_generic(schedule, max_time, idle_limit)
+        """Execute the schedule; same semantics as ``Executor.run``.
+
+        Monitored runs take the generic fast path — a fused kernel
+        cannot call out per step, exactly like tracing runs.  Metric
+        emission is computed post hoc from the finished result, so the
+        kernel inner loops stay untouched and the disabled-mode cost is
+        one registry check per *run*.
+        """
+        if self._kernel is not None and not monitors:
+            registry = active_registry()
+            started = perf_counter() if registry is not None else 0.0
+            result = self._kernel(schedule, max_time, idle_limit)
+            if registry is not None:
+                record_execution(
+                    registry,
+                    "fast",
+                    type(self.algorithm).__name__,
+                    result,
+                    elapsed=perf_counter() - started,
+                )
+            if raise_on_exhaustion and result.time_exhausted:
+                raise time_exhausted_error(result)
+            return result
+        return self._run_generic(
+            schedule,
+            max_time,
+            idle_limit,
+            monitors=monitors,
+            raise_on_exhaustion=raise_on_exhaustion,
+        )
 
     # ------------------------------------------------------------------
     # Generic fast path
     # ------------------------------------------------------------------
     def _run_generic(
-        self, schedule: Schedule, max_time: int, idle_limit: int
+        self,
+        schedule: Schedule,
+        max_time: int,
+        idle_limit: int,
+        *,
+        monitors: Optional[Sequence[Any]] = None,
+        raise_on_exhaustion: bool = False,
     ) -> ExecutionResult:
         alg = self.algorithm
         n = self.topology.n
@@ -144,6 +185,13 @@ class FastExecutor:
         return_times: Dict[int, int] = {}
         activations = [0] * n
         trace = Trace() if record_trace else None
+
+        registry = active_registry()
+        started = perf_counter() if registry is not None else 0.0
+        mons = list(monitors) if monitors else None
+        if mons is not None:
+            for m in mons:
+                m.on_run_start(self.topology, alg, self.inputs)
 
         time = 0
         idle_streak = 0
@@ -213,6 +261,10 @@ class FastExecutor:
                         last_views[p] = views
                     states[p] = new_state
 
+            if mons is not None:
+                for m in mons:
+                    m.observe_step(time, working, returned, activations)
+
             if trace is not None:
                 trace.append(
                     StepEvent(
@@ -224,7 +276,7 @@ class FastExecutor:
                     )
                 )
 
-        return ExecutionResult(
+        result = ExecutionResult(
             n=n,
             outputs=outputs,
             activations={p: activations[p] for p in range(n)},
@@ -234,3 +286,17 @@ class FastExecutor:
             trace=trace,
             final_states={p: states[p] for p in range(n)},
         )
+        if registry is not None:
+            record_execution(
+                registry,
+                "fast",
+                type(alg).__name__,
+                result,
+                elapsed=perf_counter() - started,
+            )
+        if mons is not None:
+            for m in mons:
+                m.on_run_end(result)
+        if raise_on_exhaustion and result.time_exhausted:
+            raise time_exhausted_error(result)
+        return result

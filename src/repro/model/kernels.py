@@ -30,6 +30,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.model.execution import ExecutionResult
 from repro.model.topology import Topology
+from repro.obs.metrics import active_registry
+from repro.obs.spans import span
 
 __all__ = ["register_kernel", "build_kernel", "KERNELS"]
 
@@ -57,10 +59,26 @@ def build_kernel(algorithm, topology: Topology, inputs: List[Any]):
     Exact-type dispatch: subclasses never match (their overridden
     methods could change semantics under the kernel's feet).
     """
+    alg_name = type(algorithm).__name__
     factory = KERNELS.get(type(algorithm))
     if factory is None:
+        registry = active_registry()
+        if registry is not None:
+            registry.inc(
+                "engine_kernel_builds_total", 1,
+                algorithm=alg_name, outcome="unregistered",
+            )
         return None
-    return factory(algorithm, topology, inputs)
+    with span("engine_kernel_build", algorithm=alg_name):
+        kernel = factory(algorithm, topology, inputs)
+    registry = active_registry()
+    if registry is not None:
+        registry.inc(
+            "engine_kernel_builds_total", 1,
+            algorithm=alg_name,
+            outcome="compiled" if kernel is not None else "declined",
+        )
+    return kernel
 
 
 # ----------------------------------------------------------------------

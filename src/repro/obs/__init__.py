@@ -1,0 +1,76 @@
+"""repro.obs — the instrumentation layer (metrics, spans, monitors).
+
+Zero-overhead-when-disabled observability for the whole stack:
+
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry with
+  deterministic label sets and the single module-level collection
+  switch every instrumentation site checks;
+* :mod:`repro.obs.spans` — wall-clock timers feeding ``*_seconds``
+  histograms (kernel builds, engine phases, journal fsyncs);
+* :mod:`repro.obs.monitors` — pluggable bound monitors that check the
+  paper's activation budgets, palettes and proper-coloring promise
+  *live* during execution and flag the first violating step;
+* :mod:`repro.obs.exposition` — JSON artifacts and Prometheus text
+  exposition of a collected snapshot.
+
+Quickstart::
+
+    from repro.obs import collecting, default_monitors
+    from repro.model.execution import run_execution
+
+    monitors = default_monitors("alg1", n)
+    with collecting() as registry:
+        result = run_execution(alg, Cycle(n), ids, sched, monitors=monitors)
+    assert all(m.ok for m in monitors)
+    print(registry.snapshot()["engine_activations_total"])
+
+See docs/OBSERVABILITY.md for the metric-name catalog.
+"""
+
+from repro.obs.exposition import (
+    render_json,
+    render_prometheus,
+    write_json_artifact,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    record_execution,
+)
+from repro.obs.monitors import (
+    BOUND_CATALOG,
+    ActivationBudgetMonitor,
+    BoundMonitor,
+    BoundViolation,
+    PaletteGaugeMonitor,
+    ProperColoringMonitor,
+    budget_for,
+    default_monitors,
+)
+from repro.obs.spans import Span, Stopwatch, span
+
+__all__ = [
+    "ActivationBudgetMonitor",
+    "BOUND_CATALOG",
+    "BoundMonitor",
+    "BoundViolation",
+    "MetricsRegistry",
+    "PaletteGaugeMonitor",
+    "ProperColoringMonitor",
+    "Span",
+    "Stopwatch",
+    "active_registry",
+    "budget_for",
+    "collecting",
+    "default_monitors",
+    "disable_metrics",
+    "enable_metrics",
+    "record_execution",
+    "render_json",
+    "render_prometheus",
+    "span",
+    "write_json_artifact",
+]

@@ -1,0 +1,141 @@
+"""Exposition: render a metrics snapshot as JSON or Prometheus text.
+
+Two formats, both pure functions of
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`:
+
+* **JSON** (:func:`render_json` / :func:`write_json_artifact`) — the
+  machine-readable artifact checked into campaign results and consumed
+  by the differential harness;
+* **Prometheus text exposition** (:func:`render_prometheus`) —
+  counters and gauges verbatim, histograms as summaries (quantile
+  series plus ``_sum``/``_count``), suitable for a textfile collector
+  or a scrape endpoint.
+
+No HTTP server ships here on purpose: the workloads are batch runs,
+so the natural integration points are artifacts and the node-exporter
+textfile pattern.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "render_json",
+    "render_prometheus",
+    "write_json_artifact",
+]
+
+#: Histogram stat -> Prometheus summary quantile label.
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def _snapshot(source: Union[MetricsRegistry, Dict[str, Any]]) -> Dict[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def render_json(
+    source: Union[MetricsRegistry, Dict[str, Any]],
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The JSON artifact payload: versioned, metrics plus extras.
+
+    ``extra`` merges additional top-level sections (run config, monitor
+    reports) into the artifact.
+    """
+    payload: Dict[str, Any] = {
+        "artifact": "repro-metrics",
+        "version": 1,
+        "metrics": _snapshot(source),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_json_artifact(
+    source: Union[MetricsRegistry, Dict[str, Any]],
+    path: Union[str, Path],
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write :func:`render_json` to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(render_json(source, extra=extra), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _label_string(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, Dict[str, Any]]
+) -> str:
+    """The snapshot in Prometheus text exposition format (0.0.4).
+
+    Counters and gauges render one line per series; histograms render
+    as summaries — ``name{quantile=...}``, ``name_sum``, ``name_count``
+    — since the registry keeps exact count/sum plus percentiles rather
+    than fixed buckets.
+    """
+    lines: List[str] = []
+    for name, entry in sorted(_snapshot(source).items()):
+        kind = entry["kind"]
+        if kind == "histogram":
+            lines.append(f"# TYPE {name} summary")
+            for sample in entry["samples"]:
+                labels = sample["labels"]
+                for stat, quantile in _QUANTILES:
+                    lines.append(
+                        f"{name}{_label_string(labels, {'quantile': quantile})}"
+                        f" {_format_value(sample[stat])}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_string(labels)}"
+                    f" {_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_string(labels)}"
+                    f" {_format_value(sample['count'])}"
+                )
+        else:
+            lines.append(f"# TYPE {name} {kind}")
+            for sample in entry["samples"]:
+                lines.append(
+                    f"{name}{_label_string(sample['labels'])}"
+                    f" {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

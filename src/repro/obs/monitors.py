@@ -1,0 +1,399 @@
+"""Bound monitors: live checking of the paper's guarantees.
+
+The theorems promise *per-execution* quantities — Theorem 3.1 bounds
+every Algorithm 1 process by ``⌊3n/2⌋ + 4`` activations, Theorem 3.11
+bounds Algorithm 2 by ``3n + 8``, Theorem 4.4 gives Algorithm 3 an
+``O(log* n)`` budget, and all three promise a proper coloring within a
+fixed palette.  A :class:`BoundMonitor` checks such a promise *while
+the execution runs*: both engines feed it every step that activates a
+working process, so the first violating step is flagged with its full
+context (time index, process, observed value, budget) instead of being
+discovered in post-processing with the trace already gone.
+
+Monitors are pluggable — pass any list to
+:func:`repro.model.execution.run_execution` via ``monitors=`` — and
+engine-neutral: the reference engine and the fast path drive them
+through the same three hooks (:meth:`~BoundMonitor.on_run_start`,
+:meth:`~BoundMonitor.observe_step`, :meth:`~BoundMonitor.on_run_end`).
+When metrics collection is enabled, every violation also increments
+the ``bound_violations_total{monitor=...}`` counter and each monitor
+publishes its summary gauges, so a ``repro-color metrics`` artifact
+records the verdicts.
+
+The catalog at the bottom maps the shipped algorithms to their
+paper bounds: ``default_monitors("alg1", ...)`` returns the
+Theorem 3.1 activation budget plus palette and proper-coloring
+monitors, ready to attach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.errors import (
+    ColoringViolation,
+    PaletteViolation,
+    WaitFreedomViolation,
+)
+from repro.obs.metrics import active_registry
+
+__all__ = [
+    "BoundViolation",
+    "BoundMonitor",
+    "ActivationBudgetMonitor",
+    "PaletteGaugeMonitor",
+    "ProperColoringMonitor",
+    "BOUND_CATALOG",
+    "budget_for",
+    "default_monitors",
+]
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """One flagged step: where a promised bound first broke.
+
+    ``time`` is the engine's global time index of the violating step
+    (the same index traces and return times use), so a recorded
+    schedule can be replayed straight to the failure.
+    """
+
+    monitor: str
+    time: int
+    process: Optional[int]
+    observed: Any
+    budget: Any
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "time": self.time,
+            "process": self.process,
+            "observed": self.observed,
+            "budget": self.budget,
+            "message": self.message,
+        }
+
+
+class BoundMonitor:
+    """Base class: collects violations, optionally raising on the first.
+
+    Subclasses implement the three hooks; ``strict=True`` turns the
+    first violation into the matching :class:`~repro.errors.SpecViolation`
+    subclass (``strict_error``) instead of recording and continuing.
+    """
+
+    name = "monitor"
+    strict_error = WaitFreedomViolation
+
+    def __init__(self, *, name: Optional[str] = None, strict: bool = False):
+        if name is not None:
+            self.name = name
+        self.strict = strict
+        self.violations: List[BoundViolation] = []
+
+    # -- engine-facing hooks -------------------------------------------
+    def on_run_start(self, topology, algorithm, inputs) -> None:
+        """Called once before the first step."""
+
+    def observe_step(self, time, working, returned, activations) -> None:
+        """Called after each step that activated >= 1 working process.
+
+        ``working`` is the activated working set, ``returned`` maps the
+        processes that returned *at this step* to their outputs, and
+        ``activations`` is indexable by process id with the count
+        *including* this step.
+        """
+
+    def on_run_end(self, result) -> None:
+        """Called once with the finished ``ExecutionResult``."""
+
+    # -- shared machinery ----------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Whether no violation was observed."""
+        return not self.violations
+
+    def flag(
+        self,
+        time: int,
+        process: Optional[int],
+        observed: Any,
+        budget: Any,
+        message: str,
+    ) -> None:
+        """Record one violation (and raise it when strict)."""
+        violation = BoundViolation(
+            monitor=self.name,
+            time=time,
+            process=process,
+            observed=observed,
+            budget=budget,
+            message=message,
+        )
+        self.violations.append(violation)
+        registry = active_registry()
+        if registry is not None:
+            registry.inc("bound_violations_total", 1, monitor=self.name)
+        if self.strict:
+            raise self.strict_error(message)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-serializable verdict for artifacts."""
+        return {
+            "monitor": self.name,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+#: A budget is a flat number, a per-process mapping, or ``fn(n)``.
+Budget = Union[int, float, Mapping[int, float], Callable[[int], float]]
+
+
+class ActivationBudgetMonitor(BoundMonitor):
+    """Checks a per-process activation budget live (wait-freedom).
+
+    A process violates the budget the first time it is activated more
+    than ``budget`` times without having returned; the violating step
+    is flagged with the process, its count and the budget.  ``budget``
+    may be a number (the paper's global bounds), a mapping ``p ->
+    budget`` (the per-process Lemma 3.9 / 3.14 bounds), or a callable
+    ``fn(n)`` resolved when the run starts.
+    """
+
+    name = "activation-budget"
+    strict_error = WaitFreedomViolation
+
+    def __init__(
+        self,
+        budget: Budget,
+        *,
+        name: Optional[str] = None,
+        strict: bool = False,
+    ):
+        super().__init__(name=name, strict=strict)
+        self._budget_spec = budget
+        self._budgets: Optional[Mapping[int, float]] = None
+        self._flat: Optional[float] = None
+        self._flagged: set = set()
+        self.max_observed = 0
+
+    def _budget_of(self, p: int) -> Optional[float]:
+        if self._flat is not None:
+            return self._flat
+        if self._budgets is not None:
+            return self._budgets.get(p)
+        return None
+
+    def on_run_start(self, topology, algorithm, inputs) -> None:
+        spec = self._budget_spec
+        if callable(spec):
+            spec = spec(topology.n)
+        if isinstance(spec, Mapping):
+            self._budgets = spec
+            self._flat = None
+        else:
+            self._flat = float(spec)
+        self._flagged = set()
+        self.max_observed = 0
+
+    def observe_step(self, time, working, returned, activations) -> None:
+        for p in working:
+            count = activations[p]
+            if count > self.max_observed:
+                self.max_observed = count
+            if p in returned or p in self._flagged:
+                continue
+            budget = self._budget_of(p)
+            if budget is not None and count > budget:
+                self._flagged.add(p)
+                self.flag(
+                    time,
+                    p,
+                    count,
+                    budget,
+                    f"process {p} reached activation {count} > budget "
+                    f"{budget:g} without returning (monitor {self.name!r}, "
+                    f"step t={time})",
+                )
+
+    def on_run_end(self, result) -> None:
+        registry = active_registry()
+        if registry is not None and self._flat is not None:
+            registry.set_gauge(
+                "bound_margin",
+                self._flat - self.max_observed,
+                monitor=self.name,
+            )
+
+    def report(self) -> Dict[str, Any]:
+        out = super().report()
+        out["budget"] = (
+            self._flat if self._flat is not None else "per-process"
+        )
+        out["max_observed"] = self.max_observed
+        return out
+
+
+class PaletteGaugeMonitor(BoundMonitor):
+    """Tracks the live palette of returned colors.
+
+    Publishes the ``palette_size`` gauge as colors appear; when a
+    ``palette`` is given, any out-of-palette return is flagged at its
+    step (the live form of the Theorem palettes — 6 colors for
+    Algorithm 1, 5 for Algorithms 2/3).
+    """
+
+    name = "palette"
+    strict_error = PaletteViolation
+
+    def __init__(
+        self,
+        palette: Optional[Iterable[Any]] = None,
+        *,
+        name: Optional[str] = None,
+        strict: bool = False,
+    ):
+        super().__init__(name=name, strict=strict)
+        self._allowed = set(palette) if palette is not None else None
+        self.colors: set = set()
+
+    def on_run_start(self, topology, algorithm, inputs) -> None:
+        self.colors = set()
+
+    def observe_step(self, time, working, returned, activations) -> None:
+        if not returned:
+            return
+        for p, color in returned.items():
+            self.colors.add(color)
+            if self._allowed is not None and color not in self._allowed:
+                self.flag(
+                    time,
+                    p,
+                    color,
+                    sorted(self._allowed, key=repr),
+                    f"process {p} returned out-of-palette color {color!r} "
+                    f"at t={time}",
+                )
+        registry = active_registry()
+        if registry is not None:
+            registry.set_gauge(
+                "palette_size", len(self.colors), monitor=self.name
+            )
+
+    def report(self) -> Dict[str, Any]:
+        out = super().report()
+        out["palette_size"] = len(self.colors)
+        return out
+
+
+class ProperColoringMonitor(BoundMonitor):
+    """Asserts proper coloring *at each return*, not post-hoc.
+
+    When a process returns, its color is checked against every
+    already-returned neighbor — the paper's correctness condition on
+    the graph induced by terminating processes, enforced at the first
+    step it can possibly break.
+    """
+
+    name = "proper-coloring"
+    strict_error = ColoringViolation
+
+    def __init__(self, *, name: Optional[str] = None, strict: bool = False):
+        super().__init__(name=name, strict=strict)
+        self._neighbors: List[tuple] = []
+        self._outputs: Dict[int, Any] = {}
+
+    def on_run_start(self, topology, algorithm, inputs) -> None:
+        self._neighbors = [
+            topology.neighbors(p) for p in topology.processes()
+        ]
+        self._outputs = {}
+
+    def observe_step(self, time, working, returned, activations) -> None:
+        for p, color in returned.items():
+            for q in self._neighbors[p]:
+                if q in self._outputs and self._outputs[q] == color:
+                    self.flag(
+                        time,
+                        p,
+                        color,
+                        None,
+                        f"monochromatic edge {p} ~ {q}: both colored "
+                        f"{color!r} (p returned at t={time})",
+                    )
+            self._outputs[p] = color
+
+
+# ----------------------------------------------------------------------
+# Catalog: algorithm name -> paper bound
+# ----------------------------------------------------------------------
+
+def _logstar_budget(n: int) -> int:
+    from repro.analysis.complexity import logstar_budget
+
+    return int(math.ceil(logstar_budget(n)))
+
+
+def _theorem_3_1(n: int) -> int:
+    from repro.analysis.complexity import theorem_3_1_bound
+
+    return theorem_3_1_bound(n)
+
+
+def _theorem_3_11(n: int) -> int:
+    from repro.analysis.complexity import theorem_3_11_bound
+
+    return theorem_3_11_bound(n)
+
+
+#: Algorithm registry name -> (bound label, budget fn(n) -> int).
+#: ``alg1`` is Theorem 3.1's ``⌊3n/2⌋ + 4``; ``alg2`` Theorem 3.11's
+#: ``3n + 8``; the Algorithm 3 family gets the calibrated ``O(log* n)``
+#: budget of Theorem 4.4 (see ``logstar_budget``).
+BOUND_CATALOG: Dict[str, Any] = {
+    "alg1": ("theorem-3.1", _theorem_3_1),
+    "alg2": ("theorem-3.11", _theorem_3_11),
+    "fast5": ("theorem-4.4", _logstar_budget),
+    "fast6": ("theorem-4.4", _logstar_budget),
+}
+
+
+def budget_for(algorithm: str, n: int, *, scale: float = 1.0):
+    """``(bound_label, budget)`` for a registered algorithm on ``C_n``.
+
+    ``scale`` multiplies the budget — tests tighten with ``scale < 1``
+    to prove violation detection fires.  Raises ``KeyError`` for
+    algorithms without a catalogued bound.
+    """
+    label, fn = BOUND_CATALOG[algorithm]
+    return label, int(math.floor(fn(n) * scale))
+
+
+def default_monitors(
+    algorithm: str,
+    n: int,
+    *,
+    scale: float = 1.0,
+    strict: bool = False,
+) -> List[BoundMonitor]:
+    """The monitor suite for one registered algorithm on ``C_n``:
+    activation budget (when catalogued) + palette gauge + live proper-
+    coloring assertion."""
+    from repro.campaign.registry import resolve_palette
+
+    monitors: List[BoundMonitor] = []
+    if algorithm in BOUND_CATALOG:
+        label, budget = budget_for(algorithm, n, scale=scale)
+        monitors.append(
+            ActivationBudgetMonitor(budget, name=label, strict=strict)
+        )
+    monitors.append(
+        PaletteGaugeMonitor(resolve_palette(algorithm), strict=strict)
+    )
+    monitors.append(ProperColoringMonitor(strict=strict))
+    return monitors

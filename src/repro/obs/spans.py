@@ -1,0 +1,100 @@
+"""Lightweight spans: wall-clock timers feeding the metrics registry.
+
+A *span* times one phase of work — a kernel build, a journal fsync, a
+whole execution — and records the duration into the histogram
+``<name>_seconds`` of the active registry.  When collection is
+disabled the span resolves to a shared no-op object whose enter/exit
+do nothing, so wrapping hot paths costs one
+:func:`~repro.obs.metrics.active_registry` check and nothing else.
+
+Usage::
+
+    with span("campaign_journal_append"):
+        fh.write(line); os.fsync(fh.fileno())
+
+For code that times many small slices and wants a single histogram
+observation per run (the reference engine's per-step phases), use
+:class:`Stopwatch` to accumulate and flush once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry, active_registry
+
+__all__ = ["span", "Span", "Stopwatch"]
+
+
+class Span:
+    """Context manager timing one block into ``<name>_seconds``."""
+
+    __slots__ = ("name", "labels", "registry", "started", "elapsed")
+
+    def __init__(self, name: str, registry: MetricsRegistry, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.registry = registry
+        self.started = 0.0
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.elapsed = time.perf_counter() - self.started
+        self.registry.observe(
+            f"{self.name}_seconds", self.elapsed, **self.labels
+        )
+
+
+class _NoopSpan:
+    """The disabled-mode span: enter/exit are no-ops."""
+
+    __slots__ = ()
+    elapsed = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **labels: Any):
+    """A timing context for ``<name>_seconds``, or a no-op when
+    collection is disabled (the single flag check)."""
+    registry = active_registry()
+    if registry is None:
+        return _NOOP
+    return Span(name, registry, labels)
+
+
+class Stopwatch:
+    """Accumulates many timed slices, flushed as one observation.
+
+    Built for per-step phase profiling: ``tick()`` before the phase,
+    ``tock()`` after, :meth:`flush` once per run.  A stopwatch is only
+    constructed when collection is enabled, so the disabled-mode cost
+    of a profiled loop is one ``None`` check per phase.
+    """
+
+    __slots__ = ("total", "_started")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._started = 0.0
+
+    def tick(self) -> None:
+        self._started = time.perf_counter()
+
+    def tock(self) -> None:
+        self.total += time.perf_counter() - self._started
+
+    def flush(self, name: str, registry: MetricsRegistry, **labels: Any) -> None:
+        registry.observe(f"{name}_seconds", self.total, **labels)

@@ -149,6 +149,33 @@ def test_adversarial_gallery_equivalence(alg_name):
         assert reference == fast
 
 
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("sched_name,sched_factory", SCHEDULER_FAMILIES)
+def test_engines_emit_identical_metrics(alg_name, sched_name, sched_factory):
+    """The metrics diff: beyond bit-identical results, the engines must
+    emit bit-identical *instrumentation* (deterministic metrics, with
+    the ``engine`` label and machine-dependent series excluded)."""
+    from repro.obs.metrics import collecting
+
+    factory = ALGORITHMS[alg_name]
+    snapshots = {}
+    for engine in ("reference", "fast"):
+        with collecting() as registry:
+            for seed in range(5):
+                n = 5 + (seed % 7)
+                run_execution(
+                    factory(), Cycle(n), random_distinct_ids(n, seed=seed),
+                    sched_factory(seed), max_time=20_000, engine=engine,
+                )
+        snapshots[engine] = registry.deterministic_snapshot(
+            ignore_labels=("engine",)
+        )
+    assert snapshots["reference"] == snapshots["fast"], (
+        f"{alg_name} under {sched_name}: metric emissions diverged"
+    )
+    assert snapshots["fast"], "sweep emitted no deterministic metrics"
+
+
 def test_generic_path_via_subclass_matches_reference():
     """Kernels dispatch on exact type; a subclass gets the generic
     fast path — which must also be bit-identical to the reference."""

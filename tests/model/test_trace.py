@@ -2,9 +2,11 @@
 
 from repro.core.coloring6 import SixColoring
 from repro.model.execution import run_execution
+from repro.model.faults import CrashPlan
 from repro.model.schedule import FiniteSchedule
 from repro.model.topology import Cycle
 from repro.model.trace import StepEvent, Trace
+from repro.schedulers import BernoulliScheduler, SynchronousScheduler
 
 
 def _traced_run():
@@ -48,3 +50,103 @@ class TestTraceAccessors:
     def test_iteration_and_len(self):
         result = _traced_run()
         assert len(result.trace) == len(list(result.trace))
+
+
+def _crashed_run(n=6, crash_times=None, crash_after=None, seed=0):
+    """A traced run under a crash-prone adversarial schedule."""
+    return run_execution(
+        SixColoring(), Cycle(n), [(i * 17) % 101 for i in range(n)],
+        CrashPlan(
+            BernoulliScheduler(p=0.5, seed=seed),
+            crash_times=crash_times,
+            crash_after=crash_after,
+        ),
+        record_registers=True,
+        max_time=500,
+        engine="reference",
+    )
+
+
+class TestTraceUnderCrashes:
+    """Satellite coverage: trace helpers on crash-prone schedules."""
+
+    def test_activations_of_crashed_process_stops_at_crash(self):
+        result = _crashed_run(crash_after={2: 3})
+        acts = result.trace.activations_of(2)
+        assert len(acts) == result.activations[2] <= 3
+        assert acts == sorted(acts)
+        # No activation is recorded after the crash censors p=2.
+        if acts:
+            assert all(2 not in e.activated for e in result.trace
+                       if e.time > acts[-1])
+
+    def test_return_time_of_crashed_process_is_none(self):
+        result = _crashed_run(crash_times={1: 1, 4: 1})
+        for p in (1, 4):
+            assert p not in result.outputs
+            assert result.trace.return_time_of(p) is None
+            assert result.trace.activations_of(p) == []
+        # Survivors' recorded return times still match the result.
+        for p, t in result.return_times.items():
+            assert result.trace.return_time_of(p) == t
+
+    def test_register_history_frozen_after_crash(self):
+        result = _crashed_run(crash_after={3: 2})
+        history = result.trace.register_history(3)
+        assert len(history) == len(result.trace.activations_of(3))
+        times = [t for t, _ in history]
+        assert times == sorted(times)
+        # A never-woken process never writes.
+        dead = _crashed_run(crash_times={0: 1})
+        assert dead.trace.register_history(0) == []
+
+    def test_final_registers_present_despite_crashes(self):
+        result = _crashed_run(crash_after={2: 1, 5: 1})
+        final = result.trace.final_registers()
+        assert final is not None and len(final) == 6
+
+    def test_all_crashed_run_still_traces_time(self):
+        """Every process crashed at t=1: the schedule still advances
+        time with empty steps until the idle cutoff."""
+        n = 4
+        result = run_execution(
+            SixColoring(), Cycle(n), [5, 1, 9, 7],
+            CrashPlan(
+                SynchronousScheduler(),
+                crash_times={p: 1 for p in range(n)},
+            ),
+            record_trace=True, max_time=50, engine="reference",
+        )
+        assert result.outputs == {}
+        for p in range(n):
+            assert result.trace.activations_of(p) == []
+            assert result.trace.return_time_of(p) is None
+
+
+class TestEmptyTraceEdgeCases:
+    def test_empty_trace_helpers(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.activations_of(0) == []
+        assert trace.return_time_of(0) is None
+        assert trace.register_history(0) == []
+        assert trace.final_registers() is None
+
+    def test_empty_schedule_yields_empty_trace(self):
+        result = run_execution(
+            SixColoring(), Cycle(3), [5, 1, 9], FiniteSchedule([]),
+            record_registers=True, engine="reference",
+        )
+        assert result.final_time == 0
+        assert len(result.trace) == 0
+        assert result.trace.final_registers() is None
+
+    def test_final_registers_none_without_register_recording(self):
+        result = run_execution(
+            SixColoring(), Cycle(3), [5, 1, 9],
+            FiniteSchedule([[0, 1, 2]] * 4),
+            record_trace=True, engine="reference",
+        )
+        assert len(result.trace) > 0
+        assert result.trace.final_registers() is None

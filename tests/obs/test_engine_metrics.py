@@ -1,0 +1,244 @@
+"""Integration tests: instrumentation wired through engines and campaigns.
+
+Covers the observability-PR acceptance criteria that span layers:
+
+* both engines emit the *same* metric names with bit-identical
+  deterministic values on equal workloads;
+* the Theorem 3.1 bound monitor confirms, live, that every Algorithm 1
+  process on ``C_n`` returns within ``⌊3n/2⌋ + 4`` activations under
+  synchronous and adversarial schedules for several ``n``;
+* ``max_time`` exhaustion is diagnosable (``TimeExhaustedError`` with
+  partial state) on both engines;
+* campaigns report task/retry/journal metrics and per-shard
+  percentiles into ``CampaignSummary``.
+"""
+
+import pytest
+
+from repro.analysis.complexity import theorem_3_1_bound
+from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.campaign.registry import ALGORITHMS
+from repro.errors import TimeExhaustedError
+from repro.model.execution import run_execution, time_exhausted_error
+from repro.model.topology import Cycle
+from repro.obs.metrics import collecting
+from repro.obs.monitors import ActivationBudgetMonitor, default_monitors
+from repro.schedulers import (
+    BernoulliScheduler,
+    LateWakeupScheduler,
+    RoundRobinScheduler,
+    SlowChainScheduler,
+    SynchronousScheduler,
+    UniformSubsetScheduler,
+)
+
+ENGINE_METRICS = [
+    "engine_runs_total",
+    "engine_steps_total",
+    "engine_activations_total",
+    "engine_returns_total",
+    "engine_time_exhausted_total",
+    "engine_last_round_complexity",
+]
+
+
+class TestCrossEngineMetricEquality:
+    @pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+    def test_engines_emit_identical_deterministic_metrics(self, alg_name):
+        """Metric values are a pure function of the (bit-identical)
+        results, so the two engines' emissions must diff clean."""
+        snapshots = {}
+        for engine in ("reference", "fast"):
+            with collecting() as registry:
+                for seed in range(5):
+                    n = 6 + seed
+                    run_execution(
+                        ALGORITHMS[alg_name](), Cycle(n),
+                        random_distinct_ids(n, seed=seed),
+                        BernoulliScheduler(p=0.4, seed=seed),
+                        engine=engine, max_time=20_000,
+                    )
+            snapshots[engine] = registry.deterministic_snapshot(
+                ignore_labels=("engine",)
+            )
+        assert snapshots["reference"] == snapshots["fast"]
+        for name in ENGINE_METRICS:
+            assert name in snapshots["fast"], f"{name} never emitted"
+
+    def test_both_engines_emit_same_metric_names(self):
+        names = {}
+        for engine in ("reference", "fast"):
+            with collecting() as registry:
+                run_execution(
+                    ALGORITHMS["fast5"](), Cycle(8),
+                    random_distinct_ids(8, seed=0),
+                    SynchronousScheduler(), engine=engine,
+                )
+            names[engine] = {
+                n for n in registry.names()
+                if not n.endswith("_seconds")
+                and n != "engine_kernel_builds_total"
+            }
+        assert names["reference"] == names["fast"]
+
+    def test_disabled_collection_emits_nothing(self):
+        with collecting() as registry:
+            pass  # enabled but unused
+        run_execution(
+            ALGORITHMS["fast5"](), Cycle(6), random_distinct_ids(6, seed=0),
+            SynchronousScheduler(),
+        )
+        assert registry.names() == []
+
+
+class TestTheorem31LiveBound:
+    """The headline acceptance check: Algorithm 1 on C_n stays within
+    ``⌊3n/2⌋ + 4`` activations per process, confirmed *live*."""
+
+    SCHEDULES = [
+        ("sync", lambda seed: SynchronousScheduler()),
+        ("round-robin", lambda seed: RoundRobinScheduler()),
+        ("bernoulli", lambda seed: BernoulliScheduler(p=0.35, seed=seed)),
+        ("uniform-subset", lambda seed: UniformSubsetScheduler(seed=seed)),
+        ("slow-chain", lambda seed: SlowChainScheduler(slow=[0], slowdown=7)),
+        ("late-wakeup", lambda seed: LateWakeupScheduler(
+            sleepers=[1], wake_time=30)),
+    ]
+
+    @pytest.mark.parametrize("n", [8, 16, 33, 64])
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_zero_violations_across_schedules(self, n, engine):
+        for name, factory in self.SCHEDULES:
+            for seed in range(3):
+                monitors = default_monitors("alg1", n)
+                result = run_execution(
+                    ALGORITHMS["alg1"](), Cycle(n),
+                    random_distinct_ids(n, seed=seed),
+                    factory(seed), engine=engine, monitors=monitors,
+                    max_time=200_000,
+                )
+                assert result.all_terminated, (name, n, seed)
+                assert all(m.ok for m in monitors), (
+                    name, n, seed, [m.report() for m in monitors]
+                )
+                assert result.round_complexity <= theorem_3_1_bound(n)
+
+    def test_monotone_worst_case_within_bound(self):
+        """Monotone identifiers maximize chain propagation — the
+        paper's worst case still sits inside the Theorem 3.1 budget."""
+        for n in (16, 48):
+            monitor = ActivationBudgetMonitor(theorem_3_1_bound)
+            result = run_execution(
+                ALGORITHMS["alg1"](), Cycle(n), monotone_ids(n),
+                RoundRobinScheduler(), monitors=[monitor],
+            )
+            assert result.all_terminated
+            assert monitor.ok
+            assert monitor.max_observed <= theorem_3_1_bound(n)
+
+
+class TestTimeExhaustedDiagnostics:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_raise_on_exhaustion_carries_partial_state(self, engine):
+        n = 12
+        with pytest.raises(TimeExhaustedError) as excinfo:
+            run_execution(
+                ALGORITHMS["alg1"](), Cycle(n), monotone_ids(n),
+                SynchronousScheduler(), engine=engine,
+                max_time=2, raise_on_exhaustion=True,
+            )
+        err = excinfo.value
+        assert err.final_time == 2
+        assert err.pending == sorted(err.pending) and err.pending
+        assert set(err.activations) == set(range(n))
+        assert err.partial_result is not None
+        assert err.partial_result.time_exhausted
+        assert err.partial_result.final_time == 2
+        assert "unreturned" in str(err)
+
+    def test_default_behavior_unchanged(self):
+        result = run_execution(
+            ALGORITHMS["alg1"](), Cycle(12), monotone_ids(12),
+            SynchronousScheduler(), max_time=2,
+        )
+        assert result.time_exhausted  # returned, not raised
+
+    def test_no_raise_when_run_completes(self):
+        result = run_execution(
+            ALGORITHMS["fast5"](), Cycle(8), random_distinct_ids(8, seed=0),
+            SynchronousScheduler(), raise_on_exhaustion=True,
+        )
+        assert result.all_terminated
+
+    def test_error_message_samples_pending_processes(self):
+        n = 30
+        result = run_execution(
+            ALGORITHMS["alg1"](), Cycle(n), monotone_ids(n),
+            SynchronousScheduler(), max_time=1,
+        )
+        err = time_exhausted_error(result)
+        assert "+" in str(err) and "more" in str(err)  # sampled, not dumped
+        assert len(err.pending) == len(result.pending)
+
+
+class TestCampaignMetrics:
+    def _spec(self):
+        from repro.campaign.spec import CampaignSpec
+
+        return CampaignSpec.build(
+            algorithms=["fast5"], ns=[8], input_families=["random"],
+            schedules=["sync", "round-robin"], seeds=range(2),
+        )
+
+    def test_campaign_counters_and_summary_metrics(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+
+        journal = tmp_path / "journal.jsonl"
+        with collecting() as registry:
+            outcome = run_campaign(self._spec(), journal_path=journal)
+        total = outcome.summary.executed
+        assert registry.value("campaign_tasks_total", status="ok") == total
+        assert registry.value("campaign_task_seconds")["count"] == total
+        assert registry.value("campaign_retries_total") == 0
+        assert registry.value("campaign_timeouts_total") == 0
+        assert registry.value("campaign_crashes_total") == 0
+        # Header + one line per record went through the journal span.
+        assert registry.value("campaign_journal_appends_total") == total + 1
+        stats = registry.value("campaign_journal_append_seconds")
+        assert stats["count"] == total + 1
+        # The summary embeds the snapshot when collecting.
+        assert outcome.summary.metrics is not None
+        assert "campaign_tasks_total" in outcome.summary.to_dict()["metrics"]
+        # Queue depth gauge drained to zero.
+        assert registry.value(
+            "campaign_queue_depth", backend="sequential"
+        ) == 0
+
+    def test_campaign_without_collection_has_no_metrics(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+
+        outcome = run_campaign(
+            self._spec(), journal_path=tmp_path / "journal.jsonl"
+        )
+        assert outcome.summary.metrics is None
+        assert "metrics" not in outcome.summary.to_dict()
+
+    def test_per_shard_percentiles_and_throughput(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+
+        outcome = run_campaign(
+            self._spec(), journal_path=tmp_path / "journal.jsonl"
+        )
+        shards = outcome.summary.to_dict()["per_shard_latency"]
+        assert shards
+        for shard in shards.values():
+            assert {"count", "min", "mean", "p50", "p95", "p99", "max",
+                    "wall", "tasks_per_sec"} <= set(shard)
+            assert shard["p95"] <= shard["p99"] <= shard["max"]
+            assert shard["wall"] == pytest.approx(
+                shard["mean"] * shard["count"]
+            )
+            if shard["wall"] > 0:
+                assert shard["tasks_per_sec"] == pytest.approx(
+                    shard["count"] / shard["wall"]
+                )

@@ -1,0 +1,197 @@
+"""Unit tests for repro.obs.metrics and repro.obs.exposition."""
+
+import json
+
+import pytest
+
+from repro.obs.exposition import (
+    render_json,
+    render_prometheus,
+    write_json_artifact,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NONDETERMINISTIC_METRICS,
+    active_registry,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+)
+from repro.obs.spans import Stopwatch, span
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        r.inc("hits_total", 1, route="a")
+        r.inc("hits_total", 2, route="a")
+        r.inc("hits_total", 5, route="b")
+        assert r.value("hits_total", route="a") == 3
+        assert r.value("hits_total", route="b") == 5
+
+    def test_counter_rejects_decrease(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            r.inc("hits_total", -1)
+
+    def test_gauge_last_write_wins(self):
+        r = MetricsRegistry()
+        r.set_gauge("depth", 7)
+        r.set_gauge("depth", 3)
+        assert r.value("depth") == 3
+
+    def test_histogram_stats(self):
+        r = MetricsRegistry()
+        for v in [1, 2, 3, 4, 100]:
+            r.observe("latency", v)
+        stats = r.value("latency")
+        assert stats["count"] == 5
+        assert stats["sum"] == 110
+        assert stats["min"] == 1
+        assert stats["max"] == 100
+        assert stats["mean"] == 22
+        assert stats["p50"] == 3
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.inc("x_total")
+        with pytest.raises(ValueError, match="is a counter"):
+            r.set_gauge("x_total", 1)
+
+    def test_label_order_is_canonical(self):
+        r = MetricsRegistry()
+        r.inc("t", 1, a=1, b=2)
+        r.inc("t", 1, b=2, a=1)
+        assert r.value("t", b=2, a=1) == 2
+
+    def test_missing_series_is_none(self):
+        r = MetricsRegistry()
+        assert r.value("never") is None
+        r.inc("t", 1, a=1)
+        assert r.value("t", a=2) is None
+
+    def test_snapshot_shape_and_determinism(self):
+        def fill(r):
+            r.inc("runs_total", 1, engine="fast")
+            r.set_gauge("depth", 4)
+            r.observe("latency", 0.5)
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        fill(a)
+        fill(b)
+        assert a.snapshot() == b.snapshot()
+        snap = a.snapshot()
+        assert snap["runs_total"]["kind"] == "counter"
+        assert snap["runs_total"]["samples"][0]["labels"] == {"engine": "fast"}
+        assert snap["depth"]["samples"][0]["value"] == 4
+        # The snapshot must round-trip through JSON (artifact format).
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_deterministic_snapshot_filters(self):
+        r = MetricsRegistry()
+        r.inc("engine_runs_total", 1, engine="fast")
+        r.observe("engine_run_seconds", 0.2, engine="fast")
+        for name in NONDETERMINISTIC_METRICS:
+            r.inc(name, 1) if name.endswith("_total") else r.set_gauge(name, 1)
+        det = r.deterministic_snapshot(ignore_labels=("engine",))
+        assert set(det) == {"engine_runs_total"}
+        assert det["engine_runs_total"]["samples"][0]["labels"] == {}
+
+    def test_names_sorted(self):
+        r = MetricsRegistry()
+        r.inc("b_total")
+        r.inc("a_total")
+        assert r.names() == ["a_total", "b_total"]
+
+
+class TestCollectionSwitch:
+    def test_disabled_by_default(self):
+        assert active_registry() is None
+
+    def test_collecting_restores_previous(self):
+        outer = MetricsRegistry()
+        with collecting(outer):
+            assert active_registry() is outer
+            with collecting() as inner:
+                assert active_registry() is inner
+                assert inner is not outer
+            assert active_registry() is outer
+        assert active_registry() is None
+
+    def test_enable_disable(self):
+        try:
+            registry = enable_metrics()
+            assert active_registry() is registry
+        finally:
+            disable_metrics()
+        assert active_registry() is None
+
+
+class TestSpans:
+    def test_span_noop_when_disabled(self):
+        s = span("anything")
+        with s:
+            pass
+        assert s.elapsed is None
+
+    def test_span_observes_when_enabled(self):
+        with collecting() as r:
+            with span("build", algorithm="alg1"):
+                pass
+        stats = r.value("build_seconds", algorithm="alg1")
+        assert stats["count"] == 1
+        assert stats["sum"] >= 0
+
+    def test_stopwatch_accumulates_slices(self):
+        r = MetricsRegistry()
+        watch = Stopwatch()
+        for _ in range(3):
+            watch.tick()
+            watch.tock()
+        watch.flush("phase", r, phase="write")
+        stats = r.value("phase_seconds", phase="write")
+        assert stats["count"] == 1
+        assert stats["sum"] == watch.total
+
+
+class TestExposition:
+    def _registry(self):
+        r = MetricsRegistry()
+        r.inc("runs_total", 2, engine="fast")
+        r.set_gauge("depth", 3)
+        r.observe("latency", 1.0)
+        r.observe("latency", 3.0)
+        return r
+
+    def test_render_json_versioned(self):
+        payload = render_json(self._registry(), extra={"ok": True})
+        assert payload["artifact"] == "repro-metrics"
+        assert payload["version"] == 1
+        assert payload["ok"] is True
+        assert "runs_total" in payload["metrics"]
+
+    def test_write_json_artifact(self, tmp_path):
+        path = write_json_artifact(self._registry(), tmp_path / "m.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["depth"]["samples"][0]["value"] == 3
+
+    def test_prometheus_text(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{engine="fast"} 2' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 3" in text
+        # Histograms render as summaries.
+        assert "# TYPE latency summary" in text
+        assert 'latency{quantile="0.5"} 1' in text
+        assert "latency_sum 4" in text
+        assert "latency_count 2" in text
+
+    def test_prometheus_escapes_labels(self):
+        r = MetricsRegistry()
+        r.inc("t", 1, msg='say "hi"\n')
+        text = render_prometheus(r)
+        assert r'msg="say \"hi\"\n"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""

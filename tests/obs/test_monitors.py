@@ -1,0 +1,260 @@
+"""Unit tests for repro.obs.monitors (bound monitors)."""
+
+import pytest
+
+from repro.analysis.complexity import theorem_3_1_bound
+from repro.analysis.inputs import monotone_ids, random_distinct_ids
+from repro.errors import (
+    ColoringViolation,
+    PaletteViolation,
+    WaitFreedomViolation,
+)
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.obs.metrics import collecting
+from repro.obs.monitors import (
+    BOUND_CATALOG,
+    ActivationBudgetMonitor,
+    BoundMonitor,
+    PaletteGaugeMonitor,
+    ProperColoringMonitor,
+    budget_for,
+    default_monitors,
+)
+from repro.campaign.registry import ALGORITHMS
+from repro.schedulers import (
+    BernoulliScheduler,
+    RoundRobinScheduler,
+    SlowChainScheduler,
+    SynchronousScheduler,
+)
+
+
+def run_monitored(alg_name, n, schedule, monitors, *, engine="fast",
+                  inputs=None, max_time=100_000):
+    return run_execution(
+        ALGORITHMS[alg_name](), Cycle(n),
+        inputs if inputs is not None else random_distinct_ids(n, seed=0),
+        schedule, engine=engine, monitors=monitors, max_time=max_time,
+    )
+
+
+class TestActivationBudgetMonitor:
+    def test_paper_bound_holds_on_alg1(self):
+        n = 24
+        monitor = ActivationBudgetMonitor(theorem_3_1_bound)
+        run_monitored("alg1", n, RoundRobinScheduler(), [monitor])
+        assert monitor.ok
+        assert monitor.max_observed <= theorem_3_1_bound(n)
+
+    def test_tightened_budget_flags_with_step_context(self):
+        """A deliberately too-small budget proves detection fires, and
+        the violation carries step-level context (acceptance criterion)."""
+        n = 16
+        monitor = ActivationBudgetMonitor(1)
+        result = run_monitored(
+            "alg1", n, SynchronousScheduler(), [monitor],
+            inputs=monotone_ids(n),
+        )
+        assert not monitor.ok
+        v = monitor.violations[0]
+        assert v.monitor == monitor.name
+        assert v.observed == 2 and v.budget == 1
+        assert v.time >= 1 and v.process in range(n)
+        assert result.activations[v.process] >= v.observed
+        assert str(v.process) in v.message and f"t={v.time}" in v.message
+        # Each process is flagged at most once (first violating step).
+        assert len({w.process for w in monitor.violations}) == len(
+            monitor.violations
+        )
+
+    def test_strict_mode_raises(self):
+        monitor = ActivationBudgetMonitor(1, strict=True)
+        with pytest.raises(WaitFreedomViolation):
+            run_monitored(
+                "alg1", 12, SynchronousScheduler(), [monitor],
+                inputs=monotone_ids(12),
+            )
+
+    def test_per_process_mapping_budget(self):
+        n = 8
+        monitor = ActivationBudgetMonitor({p: 1 for p in range(1, n)})
+        run_monitored(
+            "alg1", n, SynchronousScheduler(), [monitor],
+            inputs=monotone_ids(n),
+        )
+        # Process 0 has no budget entry, so it is never flagged.
+        assert all(v.process != 0 for v in monitor.violations)
+        assert not monitor.ok
+
+    def test_returned_process_not_flagged(self):
+        """Returning at exactly the budget is within the bound."""
+        n = 12
+        budget = theorem_3_1_bound(n)
+        monitor = ActivationBudgetMonitor(budget)
+        result = run_monitored("alg1", n, SynchronousScheduler(), [monitor])
+        assert result.all_terminated
+        assert monitor.ok
+
+    def test_report_and_margin_gauge(self):
+        n = 16
+        monitor = ActivationBudgetMonitor(theorem_3_1_bound, name="t3.1")
+        with collecting() as registry:
+            run_monitored("alg1", n, RoundRobinScheduler(), [monitor])
+        report = monitor.report()
+        assert report["monitor"] == "t3.1"
+        assert report["ok"] is True
+        assert report["max_observed"] == monitor.max_observed
+        margin = registry.value("bound_margin", monitor="t3.1")
+        assert margin == theorem_3_1_bound(n) - monitor.max_observed
+        assert registry.value("bound_violations_total", monitor="t3.1") is None
+
+    def test_violations_counter_increments(self):
+        with collecting() as registry:
+            monitor = ActivationBudgetMonitor(1)
+            run_monitored(
+                "alg1", 8, SynchronousScheduler(), [monitor],
+                inputs=monotone_ids(8),
+            )
+        assert registry.value(
+            "bound_violations_total", monitor=monitor.name
+        ) == len(monitor.violations)
+
+
+class TestPaletteMonitor:
+    def test_in_palette_run_is_clean(self):
+        from repro.campaign.registry import resolve_palette
+
+        palette = resolve_palette("alg1")
+        monitor = PaletteGaugeMonitor(palette)
+        run_monitored("alg1", 10, SynchronousScheduler(), [monitor])
+        assert monitor.ok
+        assert monitor.colors <= set(palette)
+        assert monitor.report()["palette_size"] == len(monitor.colors)
+
+    def test_out_of_palette_flagged(self):
+        monitor = PaletteGaugeMonitor(palette=[(0, 0)])
+        result = run_monitored("alg1", 10, SynchronousScheduler(), [monitor])
+        assert not monitor.ok
+        assert any(v.observed in result.outputs.values()
+                   for v in monitor.violations)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(PaletteViolation):
+            run_monitored(
+                "alg1", 10, SynchronousScheduler(),
+                [PaletteGaugeMonitor(palette=[(0, 0)], strict=True)],
+            )
+
+    def test_palette_size_gauge(self):
+        with collecting() as registry:
+            monitor = PaletteGaugeMonitor()
+            run_monitored("alg1", 12, SynchronousScheduler(), [monitor])
+        assert registry.value(
+            "palette_size", monitor=monitor.name
+        ) == len(monitor.colors)
+
+
+class TestProperColoringMonitor:
+    def test_clean_on_correct_algorithm(self):
+        monitor = ProperColoringMonitor()
+        run_monitored("fast5", 14, BernoulliScheduler(p=0.4, seed=2),
+                      [monitor])
+        assert monitor.ok
+
+    def test_flags_monochromatic_edge(self):
+        from repro.core.algorithm import Algorithm, StepOutcome
+
+        class ConstantColor(Algorithm):
+            name = "constant"
+
+            def initial_state(self, x_input):
+                return x_input
+
+            def register_value(self, state):
+                return state
+
+            def step(self, state, views):
+                return StepOutcome.ret(state, 0)  # everyone returns 0
+
+        monitor = ProperColoringMonitor()
+        run_execution(
+            ConstantColor(), Cycle(5), [1, 2, 3, 4, 5],
+            SynchronousScheduler(), monitors=[monitor],
+        )
+        assert not monitor.ok
+        v = monitor.violations[0]
+        assert v.observed == 0 and "monochromatic" in v.message
+
+        with pytest.raises(ColoringViolation):
+            run_execution(
+                ConstantColor(), Cycle(5), [1, 2, 3, 4, 5],
+                SynchronousScheduler(),
+                monitors=[ProperColoringMonitor(strict=True)],
+            )
+
+
+class TestCatalog:
+    def test_catalog_covers_registered_algorithms(self):
+        assert set(BOUND_CATALOG) <= set(ALGORITHMS)
+        for name in ("alg1", "alg2", "fast5", "fast6"):
+            assert name in BOUND_CATALOG
+
+    def test_budget_for_alg1_matches_theorem(self):
+        label, budget = budget_for("alg1", 64)
+        assert label == "theorem-3.1"
+        assert budget == 3 * 64 // 2 + 4
+
+    def test_budget_scale_tightens(self):
+        _, full = budget_for("alg1", 64)
+        _, half = budget_for("alg1", 64, scale=0.5)
+        assert half == full // 2
+
+    def test_budget_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            budget_for("nope", 8)
+
+    @pytest.mark.parametrize("alg_name", sorted(BOUND_CATALOG))
+    def test_default_monitors_clean_on_shipped_algorithms(self, alg_name):
+        n = 16
+        monitors = default_monitors(alg_name, n)
+        kinds = {type(m) for m in monitors}
+        assert ActivationBudgetMonitor in kinds
+        assert PaletteGaugeMonitor in kinds
+        assert ProperColoringMonitor in kinds
+        result = run_monitored(
+            alg_name, n, BernoulliScheduler(p=0.5, seed=1), monitors
+        )
+        assert result.all_terminated
+        assert all(m.ok for m in monitors), [m.report() for m in monitors]
+
+
+class TestEngineNeutrality:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_same_verdicts_on_both_engines(self, engine):
+        n = 12
+        monitors = default_monitors("alg1", n)
+        run_monitored(
+            "alg1", n, SlowChainScheduler(slow=[0], slowdown=5),
+            monitors, engine=engine,
+        )
+        assert all(m.ok for m in monitors)
+
+    def test_monitored_fast_run_falls_back_to_generic(self):
+        """Kernels cannot drive monitors, so a monitored fast run must
+        still produce correct verdicts (via the generic path)."""
+        from repro.model.fastpath import FastExecutor
+
+        n = 10
+        executor = FastExecutor(
+            Cycle(n), ALGORITHMS["alg1"](), monotone_ids(n)
+        )
+        assert executor._kernel is not None  # kernel exists...
+        monitor = ActivationBudgetMonitor(1)
+        executor.run(SynchronousScheduler(), monitors=[monitor])
+        assert not monitor.ok  # ...but the monitor still saw every step
+
+    def test_base_monitor_hooks_are_noops(self):
+        monitor = BoundMonitor()
+        run_monitored("alg1", 6, SynchronousScheduler(), [monitor])
+        assert monitor.ok

@@ -129,3 +129,113 @@ class TestCampaignCommand:
         artifact = json.loads(summary.read_text())
         assert artifact["skipped"] == 8
         assert artifact["executed"] == 0
+
+    def test_per_shard_percentiles_in_summary(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        shards = payload["summary"]["per_shard_latency"]
+        assert shards
+        for shard in shards.values():
+            assert "p99" in shard and "wall" in shard
+            assert "tasks_per_sec" in shard
+
+    def test_campaign_metrics_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.metrics.json"
+        assert main(self.ARGS + ["--metrics", "json",
+                                 "--metrics-output", str(out_path)]) == 0
+        capsys.readouterr()
+        artifact = json.loads(out_path.read_text())
+        assert artifact["artifact"] == "repro-metrics"
+        metrics = artifact["metrics"]
+        assert metrics["campaign_tasks_total"]["samples"][0]["value"] == 8
+        assert "campaign_journal_appends_total" not in metrics  # no journal
+        assert "engine_runs_total" in metrics  # worker runs instrumented
+
+
+class TestMetricsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.algorithm == "alg1"
+        assert args.n == 64
+        assert args.budget_scale == 1.0
+        assert args.format == "json"
+
+    def test_alg1_c64_zero_violations(self, capsys):
+        """The acceptance-criterion run: Algorithm 1 on C_64 with the
+        Theorem 3.1 monitor — the artifact records zero violations."""
+        assert main(["metrics", "--algorithm", "alg1", "--n", "64"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["run"]["all_terminated"] is True
+        for report in payload["monitors"]:
+            assert report["ok"] is True
+            assert report["violations"] == []
+        budget_report = next(
+            r for r in payload["monitors"] if r["monitor"] == "theorem-3.1"
+        )
+        assert budget_report["max_observed"] <= 3 * 64 // 2 + 4
+        assert "engine_activations_total" in payload["metrics"]
+
+    def test_tightened_budget_detects_violation(self, capsys):
+        status = main(["metrics", "--algorithm", "alg1", "--n", "32",
+                       "--inputs", "monotone", "--budget-scale", "0.02"])
+        assert status == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        violations = [
+            v for r in payload["monitors"] for v in r["violations"]
+        ]
+        assert violations
+        first = violations[0]
+        assert {"time", "process", "observed", "budget"} <= set(first)
+        assert first["observed"] > first["budget"]
+        assert "violation:" in captured.err
+
+    def test_prometheus_output_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["metrics", "--algorithm", "fast5", "--n", "16",
+                     "--format", "prom", "--output", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "# TYPE engine_runs_total counter" in text
+        assert "bound_violations_total" not in text  # clean run
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_both_engines(self, engine, capsys):
+        assert main(["metrics", "--algorithm", "fast6", "--n", "12",
+                     "--engine", engine]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+
+class TestRunMetricsFlags:
+    def test_run_metrics_off_by_default(self, capsys):
+        assert main(["run", "--n", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload
+
+    def test_run_json_embeds_metrics(self, capsys):
+        assert main(["run", "--n", "6", "--json", "--metrics", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "engine_runs_total" in payload["metrics"]
+
+    def test_run_text_mode_appends_artifact(self, capsys):
+        assert main(["run", "--n", "6", "--metrics", "json"]) == 0
+        out = capsys.readouterr().out
+        assert '"repro-metrics"' in out
+
+    def test_run_metrics_output_file(self, tmp_path, capsys):
+        out_path = tmp_path / "run.prom"
+        assert main(["run", "--n", "6", "--metrics", "prom",
+                     "--metrics-output", str(out_path)]) == 0
+        assert "engine_runs_total" in out_path.read_text()
+
+    def test_run_exhaustion_diagnostics_on_stderr(self, capsys):
+        status = main(["run", "--algorithm", "alg1", "--n", "12",
+                       "--inputs", "monotone", "--max-time", "2", "--json"])
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "max_time exhausted" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["time_exhausted"]["final_time"] == 2
+        assert payload["time_exhausted"]["pending"]
