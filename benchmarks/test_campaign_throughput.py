@@ -11,8 +11,10 @@ campaign layer is visible across PRs.
 The ≥ 2× pool-over-sequential expectation only applies to multi-core
 machines (the pool cannot beat physics on one core); the assertion
 scales with the visible CPU count, and on a single-CPU runner the
-artifact records ``"comparable": false`` instead of asserting on a
-number the pool does not control.
+pool leg is not run at all — a 1-CPU "speedup" measures supervisor
+overhead, not the pool — so the artifact records ``"pool": null`` and
+``"comparable": false`` instead of a number cross-PR comparisons would
+have to know to ignore.
 """
 
 import json
@@ -55,23 +57,28 @@ def test_campaign_backend_throughput():
     seq = run_campaign(spec, backend=SequentialBackend())
     assert seq.all_ok and seq.report.runs == spec.size
 
-    pool = run_campaign(
-        spec, backend=PoolBackend(workers=cpus), task_timeout=120.0
+    # On a single visible CPU the pool cannot express parallelism: a
+    # "speedup" there measures supervisor overhead, nothing the pool
+    # controls.  Skip the pool leg entirely and record the gap.
+    pool = None
+    if cpus >= 2:
+        pool = run_campaign(
+            spec, backend=PoolBackend(workers=cpus), task_timeout=120.0
+        )
+        assert pool.all_ok and pool.report.runs == spec.size
+        # Identical grids must aggregate identically, whatever the backend.
+        assert pool.report == seq.report
+
+    speedup = (
+        pool.summary.runs_per_sec / seq.summary.runs_per_sec if pool else None
     )
-    assert pool.all_ok and pool.report.runs == spec.size
-
-    # Identical grids must aggregate identically, whatever the backend.
-    assert pool.report == seq.report
-
-    speedup = pool.summary.runs_per_sec / seq.summary.runs_per_sec
     payload = {
         "grid": spec.to_dict(),
         "spec_hash": spec.spec_hash,
         "tasks": spec.size,
         "cpus": cpus,
-        "workers": pool.summary.workers,
-        # A 1-CPU "speedup" measures scheduling overhead, not the pool;
-        # flag such artifacts so cross-PR comparisons skip them.
+        "workers": pool.summary.workers if pool else None,
+        # Cross-PR comparisons skip non-comparable artifacts.
         "comparable": cpus >= 2,
         "sequential": {
             "runs_per_sec": seq.summary.runs_per_sec,
@@ -81,28 +88,27 @@ def test_campaign_backend_throughput():
             "workers": pool.summary.workers,
             "runs_per_sec": pool.summary.runs_per_sec,
             "wall_time": pool.summary.wall_time,
-        },
+        } if pool else None,
         "speedup": speedup,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
-    emit(
-        "campaign backend throughput (BENCH_campaign.json)",
-        [
-            {"backend": "sequential", "workers": 1,
-             "runs/sec": round(seq.summary.runs_per_sec, 1),
-             "wall [s]": round(seq.summary.wall_time, 2)},
+    rows = [
+        {"backend": "sequential", "workers": 1,
+         "runs/sec": round(seq.summary.runs_per_sec, 1),
+         "wall [s]": round(seq.summary.wall_time, 2)},
+    ]
+    if pool:
+        rows.append(
             {"backend": "pool", "workers": pool.summary.workers,
              "runs/sec": round(pool.summary.runs_per_sec, 1),
              "wall [s]": round(pool.summary.wall_time, 2)},
-        ],
-    )
+        )
+    emit("campaign backend throughput (BENCH_campaign.json)", rows)
 
     # Acceptance: ≥ 2× on a multi-core machine.  Below 4 visible CPUs
     # the ideal speedup itself approaches the supervisor's overhead, so
-    # the bar scales down; on one core a "speedup" number measures
-    # nothing the pool controls, so the artifact is recorded as
-    # non-comparable instead of asserting on noise.
+    # the bar scales down.
     if cpus >= 4:
         assert speedup >= 2.0, f"pool speedup {speedup:.2f}x < 2x on {cpus} CPUs"
     elif cpus >= 2:

@@ -105,9 +105,20 @@ def _fresh_schedule(entry: Union[Schedule, Callable[[], Schedule]]) -> Schedule:
     from a shared list, advancing an RNG stored on ``self``) would
     silently leak state across the grid and corrupt every run after
     the first.  So each run gets its own instance — zero-argument
-    factories are called, plain schedules are deep-copied.
+    factories are called, plain schedules are deep-copied — *unless*
+    the schedule declares :attr:`~repro.model.schedule.Schedule.
+    reusable` (immutable parameters, all iteration state created per
+    ``steps`` call), in which case the deep copy would only clone
+    frozen parameters and the instance is shared as-is.
+
+    The declaration is honored only when it appears on the *exact*
+    class of the instance (mirroring kernel exact-type dispatch): a
+    subclass inherits the attribute but may add mutable state its base
+    never had, so inherited ``reusable = True`` still deep-copies.
     """
     if isinstance(entry, Schedule):
+        if "reusable" in vars(type(entry)) and entry.reusable:
+            return entry
         return copy.deepcopy(entry)
     if callable(entry):
         return entry()
@@ -130,11 +141,16 @@ def run_ensemble(
 
     ``schedules`` yields ``(label, schedule_or_factory)`` pairs.  Every
     run of the grid executes against a *fresh* schedule instance (a
-    deep copy, or a new factory call) so that stateful schedules cannot
-    leak consumed steps or RNG state across runs — see
+    deep copy, or a new factory call; schedules declaring
+    ``reusable = True`` are shared as-is) so that stateful schedules
+    cannot leak consumed steps or RNG state across runs — see
     :func:`_fresh_schedule`.  ``engine`` selects the execution engine
     for every run of the grid (see
-    :data:`repro.model.execution.ENGINES`).
+    :data:`repro.model.execution.ENGINES`); ``engine="batch"`` packs
+    the whole grid into one lockstep :func:`repro.model.batch.run_batch`
+    call when a batched kernel covers the configuration (same
+    aggregates, bit-identical per-run results), falling back to
+    per-run execution otherwise.
     """
     maxima: List[float] = []
     means: List[float] = []
@@ -144,26 +160,45 @@ def run_ensemble(
     palette_list = list(palette) if palette is not None else None
 
     schedule_pairs = list(schedules)
-    for inputs in inputs_list:
-        for _label, schedule_entry in schedule_pairs:
-            result = run_execution(
-                algorithm_factory(), topology, inputs,
-                _fresh_schedule(schedule_entry),
-                max_time=max_time,
-                engine=engine,
+    grid: List[Tuple[Sequence[int], Schedule]] = [
+        (inputs, _fresh_schedule(schedule_entry))
+        for inputs in inputs_list
+        for _label, schedule_entry in schedule_pairs
+    ]
+
+    results: Optional[Iterable[Any]] = None
+    if engine == "batch" and grid:
+        from repro.model.batch import run_batch
+
+        results = run_batch(
+            [algorithm_factory() for _ in grid],
+            topology,
+            [list(inputs) for inputs, _ in grid],
+            [schedule for _, schedule in grid],
+            max_time=max_time,
+        )
+    if results is None:
+        results = (
+            run_execution(
+                algorithm_factory(), topology, inputs, schedule,
+                max_time=max_time, engine=engine,
             )
-            verdict = verify_execution(topology, result, palette=palette_list)
-            runs += 1
-            terminated += result.all_terminated
-            proper += verdict.proper
-            palette_ok += verdict.palette_ok
-            counts = list(result.activations.values())
-            maxima.append(max(counts))
-            means.append(sum(counts) / len(counts))
-            for color in result.outputs.values():
-                colors[color] = colors.get(color, 0) + 1
-            for count in counts:
-                histogram[count] = histogram.get(count, 0) + 1
+            for inputs, schedule in grid
+        )
+
+    for result in results:
+        verdict = verify_execution(topology, result, palette=palette_list)
+        runs += 1
+        terminated += result.all_terminated
+        proper += verdict.proper
+        palette_ok += verdict.palette_ok
+        counts = list(result.activations.values())
+        maxima.append(max(counts))
+        means.append(sum(counts) / len(counts))
+        for color in result.outputs.values():
+            colors[color] = colors.get(color, 0) + 1
+        for count in counts:
+            histogram[count] = histogram.get(count, 0) + 1
 
     return EnsembleReport(
         runs=runs,

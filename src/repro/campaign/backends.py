@@ -45,7 +45,13 @@ from repro.campaign.worker import execute_task
 from repro.errors import CampaignError
 from repro.obs.metrics import active_registry
 
-__all__ = ["CampaignBackend", "SequentialBackend", "PoolBackend", "make_backend"]
+__all__ = [
+    "CampaignBackend",
+    "SequentialBackend",
+    "BatchBackend",
+    "PoolBackend",
+    "make_backend",
+]
 
 #: ``on_record`` callback signature: one terminal record per task.
 RecordSink = Callable[[Dict[str, Any]], None]
@@ -151,6 +157,118 @@ class SequentialBackend(CampaignBackend):
                     )
                 )
                 break
+        if registry is not None:
+            registry.set_gauge("campaign_queue_depth", 0, backend=self.name)
+
+
+class BatchBackend(CampaignBackend):
+    """Batch-aware task packer: compatible tasks run in lockstep.
+
+    Tasks whose engine is ``"batch"`` are grouped by their batched-
+    kernel signature — ``(algorithm, topology, n, max_time)``; seeds,
+    input families and schedule types are free to differ within a
+    group (:func:`repro.model.batch.run_batch` merges heterogeneous
+    schedule streams itself).  Each group executes as *one* lockstep
+    call; every task still gets its own terminal record with its own
+    hash and :class:`~repro.campaign.worker.TaskResult` — bit-identical
+    to what per-run execution would journal, which is what keeps
+    ``--resume`` sound when a journal holds half of a former group
+    (the remainder simply re-packs into a smaller batch).  The group's
+    wall time is attributed evenly across its tasks.
+
+    Tasks the packer cannot place — a different engine, no registered
+    batched kernel for the configuration, or a group that raised —
+    fall back to per-task in-process execution with the sequential
+    backend's retry semantics.  Like :class:`SequentialBackend`, this
+    backend runs in-process: ``task_timeout`` applies only to the
+    fallback path's documented (ignored) extent.
+    """
+
+    name = "batch"
+    workers = 1
+
+    def execute(
+        self,
+        tasks: Sequence[TaskSpec],
+        *,
+        task_timeout: float = 60.0,
+        max_retries: int = 2,
+        on_record: RecordSink,
+    ) -> None:
+        from repro.campaign.registry import (
+            resolve_algorithm,
+            resolve_inputs,
+            resolve_palette,
+            resolve_schedule,
+            resolve_topology,
+        )
+        from repro.campaign.worker import task_result_from_execution
+        from repro.model.batch import run_batch
+
+        registry = active_registry()
+        groups: Dict[Any, List[TaskSpec]] = {}
+        fallback: List[TaskSpec] = []
+        for task in tasks:
+            if task.engine == "batch":
+                key = (task.algorithm, task.topology, task.n, task.max_time)
+                groups.setdefault(key, []).append(task)
+            else:
+                fallback.append(task)
+
+        done = 0
+        total = len(tasks)
+        for key, group in groups.items():
+            if registry is not None:
+                registry.set_gauge(
+                    "campaign_queue_depth", total - done, backend=self.name
+                )
+            algorithm_name, topology_name, n, max_time = key
+            started = time.perf_counter()
+            try:
+                topology = resolve_topology(topology_name, n)
+                palette = resolve_palette(algorithm_name)
+                results = run_batch(
+                    [resolve_algorithm(t.algorithm)() for t in group],
+                    topology,
+                    [resolve_inputs(t.inputs, t.n, t.seed) for t in group],
+                    [
+                        resolve_schedule(
+                            t.schedule, seed=t.seed, **dict(t.schedule_params)
+                        )
+                        for t in group
+                    ],
+                    max_time=max_time,
+                )
+            except Exception:
+                results = None
+            if results is None:
+                fallback.extend(group)
+                continue
+            share = (time.perf_counter() - started) / max(1, len(group))
+            for task, result in zip(group, results):
+                task_result = task_result_from_execution(
+                    task, topology, result, palette, elapsed=share
+                )
+                on_record(
+                    _record(
+                        task,
+                        "ok",
+                        result=task_result.to_dict(),
+                        error=None,
+                        attempts=1,
+                        elapsed=share,
+                        worker=None,
+                    )
+                )
+                done += 1
+
+        if fallback:
+            SequentialBackend().execute(
+                fallback,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                on_record=on_record,
+            )
         if registry is not None:
             registry.set_gauge("campaign_queue_depth", 0, backend=self.name)
 
@@ -411,6 +529,10 @@ def make_backend(
     """Backend factory used by the CLI (``--backend``)."""
     if name == "sequential":
         return SequentialBackend()
+    if name == "batch":
+        return BatchBackend()
     if name == "pool":
         return PoolBackend(workers=workers, mp_context=mp_context)
-    raise CampaignError(f"unknown backend {name!r} (known: sequential, pool)")
+    raise CampaignError(
+        f"unknown backend {name!r} (known: sequential, batch, pool)"
+    )

@@ -27,7 +27,7 @@ from repro.campaign.registry import (
 from repro.campaign.spec import TaskSpec
 from repro.model.execution import run_execution
 
-__all__ = ["TaskResult", "execute_task"]
+__all__ = ["TaskResult", "execute_task", "task_result_from_execution"]
 
 
 def _freeze_color(color: Any) -> Any:
@@ -99,28 +99,20 @@ class TaskResult:
         )
 
 
-def execute_task(task: Mapping[str, Any]) -> TaskResult:
-    """Run one task description end to end and measure it.
+def task_result_from_execution(
+    spec: TaskSpec,
+    topology: Any,
+    result: Any,
+    palette: Any,
+    elapsed: float,
+) -> TaskResult:
+    """Verify one finished execution and distill it into a TaskResult.
 
-    Deterministic up to ``elapsed``: the same description always
-    produces the same execution and verification outcome, which is
-    what makes journal-based resume sound.
+    Shared by :func:`execute_task` (one run at a time) and the batch
+    backend (one lockstep run covering many tasks): both paths must
+    produce byte-identical result rows for the same execution, which
+    is what keeps batched and per-run journals interchangeable.
     """
-    spec = TaskSpec.from_dict(task)
-    started = time.perf_counter()
-
-    algorithm = resolve_algorithm(spec.algorithm)()
-    topology = resolve_topology(spec.topology, spec.n)
-    inputs = resolve_inputs(spec.inputs, spec.n, spec.seed)
-    schedule = resolve_schedule(
-        spec.schedule, seed=spec.seed, **dict(spec.schedule_params)
-    )
-    palette = resolve_palette(spec.algorithm)
-
-    result = run_execution(
-        algorithm, topology, inputs, schedule,
-        max_time=spec.max_time, engine=spec.engine,
-    )
     verdict = verify_execution(topology, result, palette=palette)
 
     counts = list(result.activations.values())
@@ -143,5 +135,33 @@ def execute_task(task: Mapping[str, Any]) -> TaskResult:
         final_time=result.final_time,
         colors=sorted(colors.items(), key=lambda kv: repr(kv[0])),
         activation_histogram=sorted(histogram.items()),
+        elapsed=elapsed,
+    )
+
+
+def execute_task(task: Mapping[str, Any]) -> TaskResult:
+    """Run one task description end to end and measure it.
+
+    Deterministic up to ``elapsed``: the same description always
+    produces the same execution and verification outcome, which is
+    what makes journal-based resume sound.
+    """
+    spec = TaskSpec.from_dict(task)
+    started = time.perf_counter()
+
+    algorithm = resolve_algorithm(spec.algorithm)()
+    topology = resolve_topology(spec.topology, spec.n)
+    inputs = resolve_inputs(spec.inputs, spec.n, spec.seed)
+    schedule = resolve_schedule(
+        spec.schedule, seed=spec.seed, **dict(spec.schedule_params)
+    )
+    palette = resolve_palette(spec.algorithm)
+
+    result = run_execution(
+        algorithm, topology, inputs, schedule,
+        max_time=spec.max_time, engine=spec.engine,
+    )
+    return task_result_from_execution(
+        spec, topology, result, palette,
         elapsed=time.perf_counter() - started,
     )

@@ -226,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-time", type=int, default=200_000)
     campaign.add_argument("--engine", choices=list(ENGINES), default="fast",
                           help="execution engine for every task of the grid")
-    campaign.add_argument("--backend", choices=["sequential", "pool"],
+    campaign.add_argument("--backend", choices=["sequential", "batch", "pool"],
                           default="pool")
     campaign.add_argument("--workers", type=int, default=None,
                           help="pool size (default: cpu count)")

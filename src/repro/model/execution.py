@@ -340,10 +340,13 @@ class Executor:
 
 
 #: Engine registry for :func:`run_execution`.  ``"fast"`` is the
-#: compiled fast path of :mod:`repro.model.fastpath`, observably
-#: identical to ``"reference"`` (this module's :class:`Executor`), which
-#: is retained everywhere as the semantics oracle.
-ENGINES = ("fast", "reference")
+#: compiled fast path of :mod:`repro.model.fastpath`; ``"batch"`` is
+#: the lockstep ensemble engine of :mod:`repro.model.batch` (for a
+#: single run it executes a batch of one, falling back to ``"fast"``
+#: where batching doesn't apply).  Both are observably identical to
+#: ``"reference"`` (this module's :class:`Executor`), which is
+#: retained everywhere as the semantics oracle.
+ENGINES = ("fast", "batch", "reference")
 
 
 def run_execution(
@@ -379,6 +382,21 @@ def run_execution(
     >>> result.all_terminated
     True
     """
+    if engine == "batch":
+        # The batch engine covers plain (untraced, unmonitored) runs of
+        # kernel-supported configurations; anything else falls back to
+        # the fast engine, mirroring the fast engine's own kernel gate.
+        if not record_trace and not record_registers and not monitors:
+            from repro.model.batch import run_single_batch
+
+            result = run_single_batch(
+                algorithm, topology, inputs, schedule, max_time=max_time
+            )
+            if result is not None:
+                if raise_on_exhaustion and result.time_exhausted:
+                    raise time_exhausted_error(result)
+                return result
+        engine = "fast"
     if engine == "fast":
         from repro.model.fastpath import FastExecutor as executor_cls
     elif engine == "reference":

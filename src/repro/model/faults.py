@@ -62,6 +62,11 @@ class CrashPlan(Schedule):
             if k < 0:
                 raise ScheduleError(f"crash activation count for {p} must be >= 0")
 
+    @property
+    def reusable(self) -> bool:
+        """Reusable iff the wrapped schedule is (censor state is local)."""
+        return self._inner.reusable
+
     def steps(self, n: int) -> Iterator[ActivationSet]:
         seen: Dict[ProcessId, int] = {}
         for time, step in enumerate(self._inner.steps(n), start=1):

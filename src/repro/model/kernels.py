@@ -26,6 +26,7 @@ Third-party algorithms can register their own kernels with
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.model.execution import ExecutionResult
@@ -85,24 +86,46 @@ def build_kernel(algorithm, topology: Topology, inputs: List[Any]):
 # Shared pieces
 # ----------------------------------------------------------------------
 
+#: Per-topology-object memo for :func:`_degree2_arrays` — topologies
+#: are immutable once built, and both the per-run and batched kernel
+#: factories call this on every build, so the n ``neighbors()`` walks
+#: are paid once per topology instance.  ``False`` records a declined
+#: (too dense) topology; weak keys keep the memo from pinning objects.
+_DEGREE2_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def _degree2_arrays(topology: Topology) -> Optional[Tuple[List[int], List[int]]]:
     """Neighbor ids as two flat arrays (−1 = absent), or ``None``.
 
     The shipped kernels specialize for the paper's degree-≤2 topologies
     (cycles, paths); anything denser falls back to the generic path.
+    The returned arrays are cached per topology object and shared —
+    callers must treat them as read-only.
     """
+    try:
+        cached = _DEGREE2_CACHE.get(topology)
+    except TypeError:  # unhashable / non-weakrefable topology
+        cached = None
+    if cached is not None:
+        return None if cached is False else cached
     n = topology.n
     nb1 = [-1] * n
     nb2 = [-1] * n
+    arrays: Any = (nb1, nb2)
     for p in range(n):
         nbrs = topology.neighbors(p)
         if len(nbrs) > 2:
-            return None
+            arrays = False
+            break
         if len(nbrs) >= 1:
             nb1[p] = nbrs[0]
         if len(nbrs) == 2:
             nb2[p] = nbrs[1]
-    return nb1, nb2
+    try:
+        _DEGREE2_CACHE[topology] = arrays
+    except TypeError:
+        pass
+    return None if arrays is False else arrays
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,15 @@ class Schedule:
     running the same adversary against several algorithms).
     """
 
+    #: Whether :meth:`steps` can be called repeatedly on the *same*
+    #: instance with identical results — i.e. iteration state lives
+    #: entirely in the generator frame, not on the object.  Ensemble
+    #: runners deep-copy non-reusable schedules before every run (the
+    #: stateful-schedule-reuse fix); declaring ``reusable = True`` lets
+    #: them skip that copy.  Default ``False``: copying a reusable
+    #: schedule is only slow, reusing a stateful one is *wrong*.
+    reusable: bool = False
+
     def steps(self, n: int) -> Iterator[ActivationSet]:
         """Yield ``σ(1), σ(2), …`` for a system of ``n`` processes."""
         raise NotImplementedError
@@ -87,6 +96,45 @@ class Schedule:
         """
         return self.steps(n)
 
+    @classmethod
+    def steps_batch(cls, schedules: Sequence["Schedule"], n: int, active):
+        """Yield one activation row per schedule, lockstep by lockstep.
+
+        The batch engine (:mod:`repro.model.batch`) drives ``B``
+        same-type schedules together; each yielded value is a list of
+        ``B`` rows where row ``i`` is either ``None`` (schedule ``i``
+        is exhausted) or an activation step — a :data:`FastStep` id
+        sequence, or (vectorized overrides) a length-``n`` boolean
+        mask.  The generator is *infinite*: once every schedule is
+        exhausted it keeps yielding all-``None`` rows and the engine
+        decides when to stop.
+
+        ``active`` is a read-only, live view of which replicas the
+        engine still runs; implementations must not consume the stream
+        (schedule steps *or* RNG draws) of an inactive replica — the
+        per-run engines stop iterating a finished run's schedule, and
+        retirement of one replica must never perturb another's stream.
+
+        Contract: for every replica that stays active, the sequence of
+        its non-``None`` rows must equal its own ``steps_fast(n)``
+        stream (same steps, same order, same RNG consumption).  This
+        default adapter drives one ``steps_fast`` iterator per
+        schedule and is correct for any subclass; vectorized overrides
+        (Bernoulli, synchronous, round-robin) draw whole rows at once.
+        """
+        iterators = [s.steps_fast(n) for s in schedules]
+        exhausted = [False] * len(schedules)
+        while True:
+            rows: List = [None] * len(schedules)
+            for i, it in enumerate(iterators):
+                if exhausted[i] or not active[i]:
+                    continue
+                try:
+                    rows[i] = next(it)
+                except StopIteration:
+                    exhausted[i] = True
+            yield rows
+
     def __iter__(self):  # pragma: no cover - convenience only
         raise TypeError(
             "iterate via schedule.steps(n); a Schedule needs to know n"
@@ -100,6 +148,8 @@ class FiniteSchedule(Schedule):
     that have not returned by then are considered crashed/starved (the
     paper's second stopping scenario).
     """
+
+    reusable = True  # iteration state lives in the generator frame
 
     def __init__(self, steps: Sequence[Iterable[ProcessId]]):
         self._raw: List[FrozenSet[ProcessId]] = [frozenset(s) for s in steps]

@@ -57,7 +57,15 @@ LabelKey = Tuple[Tuple[str, str], ...]
 #: are excluded from :meth:`MetricsRegistry.deterministic_snapshot`
 #: together with every ``*_seconds`` timing metric.
 NONDETERMINISTIC_METRICS = frozenset(
-    {"engine_kernel_builds_total", "campaign_queue_depth"}
+    {
+        "engine_kernel_builds_total",
+        "campaign_queue_depth",
+        # Batch-engine packing metrics describe how replicas were
+        # grouped, not the modeled system; the same workload packs
+        # differently across backends and fallback paths.
+        "batch_replicas",
+        "batch_occupancy",
+    }
 )
 
 #: Cap on stored histogram observations per series; count/sum stay

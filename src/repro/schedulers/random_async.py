@@ -32,6 +32,8 @@ class BernoulliScheduler(Schedule):
     re-drawn (they would only waste simulated time).
     """
 
+    reusable = True  # (p, seed, horizon) are immutable; state per call
+
     def __init__(self, p: float = 0.5, seed: int = 0, horizon: int = 10**9):
         if not (0 < p <= 1):
             raise ScheduleError(f"activation probability must be in (0, 1], got {p}")
@@ -59,6 +61,56 @@ class BernoulliScheduler(Schedule):
         for _ in range(self.horizon):
             yield self._draw(n, rng)
 
+    @classmethod
+    def steps_batch(cls, schedules, n: int, active):
+        """Vectorized lockstep draws over a bank of MT19937 streams.
+
+        Draws one ``(live, n)`` matrix of doubles per lockstep and
+        compares against each stream's ``p``; rows that come out empty
+        are re-drawn (``n`` further doubles each), replicating
+        :meth:`_draw`'s consumption exactly — stream ``i`` sees the
+        same doubles, in the same order, as ``random.Random(seed_i)``
+        would, so the yielded masks match ``steps_fast`` step by step.
+        Retired replicas stop consuming entirely.
+        """
+        from repro.model.batch import MTBatch, load_numpy
+
+        np = load_numpy()
+        if cls is not BernoulliScheduler or np is None:
+            # Subclasses may override _draw/steps; and without numpy
+            # the scalar streams are the ground truth anyway.
+            yield from Schedule.steps_batch(schedules, n, active)
+            return
+        B = len(schedules)
+        mt = MTBatch([s.seed for s in schedules], np)
+        ps = np.array([s.p for s in schedules], dtype=np.float64)
+        horizons = [s.horizon for s in schedules]
+        emitted = [0] * B
+        retired = [False] * B
+        while True:
+            rows = [None] * B
+            live = []
+            for i in range(B):
+                if retired[i]:
+                    continue
+                if not active[i] or emitted[i] >= horizons[i]:
+                    retired[i] = True
+                    mt.retire(i)
+                    continue
+                live.append(i)
+            if live:
+                masks = mt.take(live, n) < ps[live][:, None]
+                pending = np.nonzero(~masks.any(axis=1))[0]
+                while len(pending):
+                    redraw = [live[k] for k in pending]
+                    sub = mt.take(redraw, n) < ps[redraw][:, None]
+                    masks[pending] = sub
+                    pending = pending[~sub.any(axis=1)]
+                for k, i in enumerate(live):
+                    rows[i] = masks[k]
+                    emitted[i] += 1
+            yield rows
+
     def __repr__(self) -> str:
         return f"BernoulliScheduler(p={self.p}, seed={self.seed})"
 
@@ -70,6 +122,8 @@ class UniformSubsetScheduler(Schedule):
     uniformly from ``1..n``, producing a fatter tail of near-solo and
     near-synchronous steps.
     """
+
+    reusable = True  # (seed, horizon) are immutable; state per call
 
     def __init__(self, seed: int = 0, horizon: int = 10**9):
         self.seed = seed
@@ -101,6 +155,8 @@ class GeometricRateScheduler(Schedule):
     models a mix of fast and nearly-crashed processes — the "moderately
     slow neighbor" regime central to the Theorem 4.4 analysis.
     """
+
+    reusable = True  # params immutable; iteration state per call
 
     def __init__(
         self,

@@ -19,6 +19,8 @@ __all__ = ["RoundRobinScheduler", "BlockRoundRobinScheduler"]
 class RoundRobinScheduler(Schedule):
     """``σ(t) = {(t − 1 + offset) mod n}`` — one process per step."""
 
+    reusable = True  # (offset, horizon) immutable; state per call
+
     def __init__(self, offset: int = 0, horizon: int = 10**9):
         self.offset = offset
         self.horizon = horizon
@@ -32,6 +34,25 @@ class RoundRobinScheduler(Schedule):
         for t in range(self.horizon):
             yield singletons[(t + self.offset) % n]
 
+    @classmethod
+    def steps_batch(cls, schedules, n: int, active):
+        """Per-replica rotation counters over one shared singleton table."""
+        if cls is not RoundRobinScheduler:
+            yield from Schedule.steps_batch(schedules, n, active)
+            return
+        singletons = [(p,) for p in range(n)]
+        B = len(schedules)
+        offsets = [s.offset for s in schedules]
+        horizons = [s.horizon for s in schedules]
+        emitted = [0] * B
+        while True:
+            rows = [None] * B
+            for i in range(B):
+                if active[i] and emitted[i] < horizons[i]:
+                    rows[i] = singletons[(emitted[i] + offsets[i]) % n]
+                    emitted[i] += 1
+            yield rows
+
     def __repr__(self) -> str:
         return f"RoundRobinScheduler(offset={self.offset})"
 
@@ -42,6 +63,8 @@ class BlockRoundRobinScheduler(Schedule):
     ``k = 1`` degenerates to :class:`RoundRobinScheduler`; ``k = n``
     degenerates to the synchronous schedule.
     """
+
+    reusable = True  # (k, offset, horizon) immutable; state per call
 
     def __init__(self, k: int, offset: int = 0, horizon: int = 10**9):
         if k < 1:

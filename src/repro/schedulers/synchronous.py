@@ -23,6 +23,8 @@ class SynchronousScheduler(Schedule):
     the engine stops as soon as everyone returns.
     """
 
+    reusable = True  # horizon is immutable; iteration state per call
+
     def __init__(self, horizon: int = 10**9):
         self.horizon = horizon
 
@@ -35,6 +37,24 @@ class SynchronousScheduler(Schedule):
         everyone = range(n)
         for _ in range(self.horizon):
             yield everyone
+
+    @classmethod
+    def steps_batch(cls, schedules, n: int, active):
+        """Everyone, every lockstep, per-replica horizons respected."""
+        if cls is not SynchronousScheduler:
+            yield from Schedule.steps_batch(schedules, n, active)
+            return
+        everyone = range(n)
+        B = len(schedules)
+        horizons = [s.horizon for s in schedules]
+        emitted = [0] * B
+        while True:
+            rows = [None] * B
+            for i in range(B):
+                if active[i] and emitted[i] < horizons[i]:
+                    rows[i] = everyone
+                    emitted[i] += 1
+            yield rows
 
     def __repr__(self) -> str:
         return "SynchronousScheduler()"

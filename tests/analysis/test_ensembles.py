@@ -141,3 +141,88 @@ class TestScheduleReuse:
                 FastFiveColoring, Cycle(self.N), self.INPUTS,
                 [("bogus", object())], palette=range(5),
             )
+
+
+class TestFreshScheduleDedupe:
+    """``reusable`` schedules are shared across the grid; everything
+    else still gets a private instance (the PR-1 fresh-instance fix)."""
+
+    def test_reusable_schedule_shared(self):
+        from repro.analysis.ensembles import _fresh_schedule
+
+        schedule = BernoulliScheduler(p=0.4, seed=1)
+        assert _fresh_schedule(schedule) is schedule
+
+    def test_crash_plan_delegates_to_inner(self):
+        from repro.analysis.ensembles import _fresh_schedule
+        from repro.model.faults import CrashPlan
+
+        plan = CrashPlan(SynchronousScheduler(), crash_times={0: 2})
+        assert _fresh_schedule(plan) is plan
+
+    def test_inherited_reusable_not_trusted(self):
+        """A subclass may add mutable state its base never had, so
+        ``reusable = True`` is honored only when declared on the exact
+        class — ``OneShotSchedule`` inherits it yet must be copied."""
+        from repro.analysis.ensembles import _fresh_schedule
+
+        schedule = OneShotSchedule()
+        fresh = _fresh_schedule(schedule)
+        assert fresh is not schedule
+
+    def test_stateful_non_reusable_copied(self):
+        from repro.analysis.ensembles import _fresh_schedule
+        from repro.model.schedule import Schedule
+
+        class Stateful(Schedule):
+            def steps(self, n):
+                yield range(n)
+
+        schedule = Stateful()
+        assert Stateful.reusable is False
+        assert _fresh_schedule(schedule) is not schedule
+
+
+class TestBatchEngineEnsemble:
+    """``engine="batch"`` packs the grid into one lockstep run and must
+    reproduce the per-run engines' report exactly."""
+
+    N = 12
+    INPUTS = [
+        monotone_ids(12), zigzag_ids(12), random_distinct_ids(12, seed=1)
+    ]
+    SCHEDULES = [
+        ("sync", SynchronousScheduler()),
+        ("rr", RoundRobinScheduler()),
+        ("bern", BernoulliScheduler(p=0.5, seed=0)),
+    ]
+
+    def _report(self, engine):
+        return run_ensemble(
+            FastFiveColoring, Cycle(self.N), self.INPUTS, self.SCHEDULES,
+            palette=range(5), engine=engine,
+        )
+
+    def test_batch_report_equals_per_run_engines(self):
+        reference = self._report("reference")
+        fast = self._report("fast")
+        batch = self._report("batch")
+        assert batch == fast == reference
+
+    def test_batch_report_falls_back_for_unpackable(self):
+        """Subclassed algorithms have no batched kernel; the ensemble
+        must fall back to per-run execution, not fail or mis-aggregate."""
+
+        class Subclassed(FastFiveColoring):
+            pass
+
+        batch = run_ensemble(
+            Subclassed, Cycle(self.N), self.INPUTS, self.SCHEDULES,
+            palette=range(5), engine="batch",
+        )
+        fast = run_ensemble(
+            Subclassed, Cycle(self.N), self.INPUTS, self.SCHEDULES,
+            palette=range(5), engine="fast",
+        )
+        assert batch == fast
+        assert batch.runs == 9 and batch.all_ok

@@ -293,7 +293,7 @@ def test_unknown_engine_rejected():
             FastFiveColoring(), Cycle(3), [1, 2, 3],
             SynchronousScheduler(), engine="warp",
         )
-    assert set(ENGINES) == {"fast", "reference"}
+    assert set(ENGINES) == {"fast", "batch", "reference"}
 
 
 def test_fast_executor_input_length_check():
