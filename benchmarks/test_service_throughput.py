@@ -1,0 +1,165 @@
+"""Service-layer throughput: cold, cached and coalesced request legs.
+
+Not a paper experiment — the performance anchor for the simulation
+service (:mod:`repro.service`).  Starts a real :class:`ColorServer` on
+a background event-loop thread and drives it over actual sockets with
+the deterministic load generator, measuring three legs against an
+in-process uncached sequential baseline (solo fast-engine runs of the
+same workload):
+
+* **cold** — every request unique, submitted one at a time: the full
+  HTTP + validation + execution path with no cache or batch help.
+* **cached** — the identical burst replayed: every response is a
+  content-addressed cache hit.
+* **coalesced** — a fresh unique burst submitted concurrently inside
+  one coalescing window, so requests pack into lockstep batches.
+
+The artifact ``BENCH_service.json`` records all four throughputs.  The
+acceptance bars (Issue 6) — cached ≥ 5× and coalesced ≥ 2× the
+uncached sequential baseline — only bind on multi-CPU runners where
+the serving thread and the client are not fighting for one core; on a
+single-CPU box the artifact records ``"comparable": false`` and the
+ratio assertions are skipped (the legs still run, so correctness is
+exercised either way).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.campaign.registry import resolve_algorithm, resolve_inputs
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler
+from repro.service.loadgen import build_mix, run_loadgen
+from repro.service.server import ServerThread
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_service.json"
+
+#: The service anchor workload: 32 unique fast5 ensembles on C_1024
+#: under Bernoulli activation — small enough that per-request HTTP
+#: overhead is visible, large enough that execution dominates a run.
+REQUESTS = 32
+N = 1024
+MAX_TIME = 100_000
+
+COMPARABLE = (os.cpu_count() or 1) >= 2
+
+
+def service_mix(seed_base=0):
+    return build_mix(
+        REQUESTS, duplicates=0.0, algorithm="fast5", n=N,
+        schedule="bernoulli", max_time=MAX_TIME, seed_base=seed_base,
+    )
+
+
+def measure_baseline(requests):
+    """Uncached sequential solo runs of the exact same workload."""
+    started = time.perf_counter()
+    for request in requests:
+        result = run_execution(
+            resolve_algorithm(request.algorithm)(),
+            Cycle(request.n),
+            resolve_inputs(request.inputs, request.n, request.seed),
+            BernoulliScheduler(p=0.4, seed=request.seed),
+            max_time=request.max_time,
+            engine="fast",
+        )
+        assert result.all_terminated
+    return time.perf_counter() - started
+
+
+@pytest.mark.slow
+def test_service_cold_cached_coalesced_throughput():
+    baseline_wall = measure_baseline(service_mix())
+    baseline_rate = REQUESTS / baseline_wall
+
+    with ServerThread(coalesce_window=0.05, max_batch=REQUESTS) as server:
+        # Leg 1: cold — sequential unique requests, nothing cached.
+        cold = run_loadgen(
+            port=server.port, requests=REQUESTS, concurrency=1,
+            duplicates=0.0, n=N, max_time=MAX_TIME,
+        )
+        # Leg 2: cached — the identical burst again, all hits.
+        cached = run_loadgen(
+            port=server.port, requests=REQUESTS, concurrency=4,
+            duplicates=0.0, n=N, max_time=MAX_TIME,
+        )
+        # Leg 3: coalesced — a fresh unique burst posted concurrently
+        # inside one window, packing into lockstep batches.
+        coalesced = run_loadgen(
+            port=server.port, requests=REQUESTS, concurrency=REQUESTS,
+            duplicates=0.0, n=N, max_time=MAX_TIME, seed_base=10_000,
+        )
+        hits = server.registry.value("service_cache_hits_total")
+
+    for leg in (cold, cached, coalesced):
+        assert leg["statuses"] == {"200": REQUESTS}
+        assert leg["outcomes"]["errors"] == 0
+    assert cached["outcomes"]["cached"] == REQUESTS
+    assert hits is not None and hits >= REQUESTS
+    assert coalesced["outcomes"]["coalesced"] >= 2
+
+    cached_ratio = cached["requests_per_sec"] / baseline_rate
+    coalesced_ratio = coalesced["requests_per_sec"] / baseline_rate
+
+    payload = {
+        "workload": {
+            "algorithm": "fast5", "topology": f"cycle({N})",
+            "inputs": "random", "schedule": "bernoulli(p=0.4)",
+            "requests": REQUESTS, "max_time": MAX_TIME,
+        },
+        "comparable": COMPARABLE,
+        "cpu_count": os.cpu_count() or 1,
+        "baseline_sequential": {
+            "requests_per_sec": baseline_rate, "wall_time": baseline_wall,
+        },
+        "cold": {
+            "requests_per_sec": cold["requests_per_sec"],
+            "wall_time": cold["wall_seconds"],
+        },
+        "cached": {
+            "requests_per_sec": cached["requests_per_sec"],
+            "wall_time": cached["wall_seconds"],
+            "speedup_vs_baseline": cached_ratio,
+        },
+        "coalesced": {
+            "requests_per_sec": coalesced["requests_per_sec"],
+            "wall_time": coalesced["wall_seconds"],
+            "speedup_vs_baseline": coalesced_ratio,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        "service throughput (BENCH_service.json)",
+        [
+            {"leg": "baseline (in-process)",
+             "req/sec": round(baseline_rate, 1),
+             "speedup": 1.0},
+            {"leg": "cold (HTTP, sequential)",
+             "req/sec": round(cold["requests_per_sec"], 1),
+             "speedup": round(cold["requests_per_sec"] / baseline_rate, 2)},
+            {"leg": "cached (HTTP)",
+             "req/sec": round(cached["requests_per_sec"], 1),
+             "speedup": round(cached_ratio, 2)},
+            {"leg": "coalesced (HTTP)",
+             "req/sec": round(coalesced["requests_per_sec"], 1),
+             "speedup": round(coalesced_ratio, 2)},
+        ],
+    )
+
+    # The bars only bind where client and server have separate cores;
+    # on a 1-CPU runner the artifact records comparable=false instead.
+    if COMPARABLE:
+        assert cached_ratio >= 5.0, (
+            f"cached leg {cached_ratio:.2f}x < 5x over uncached baseline"
+        )
+        assert coalesced_ratio >= 2.0, (
+            f"coalesced leg {coalesced_ratio:.2f}x < 2x over uncached baseline"
+        )

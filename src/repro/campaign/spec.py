@@ -16,8 +16,6 @@ over a canonical JSON encoding, never :func:`hash`).
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
@@ -29,17 +27,12 @@ from repro.campaign.registry import (
     TOPOLOGIES,
 )
 
+# Re-exported for backward compatibility: the helper moved to
+# repro.util.hashing so the service layer derives request keys from the
+# exact same canonical encoding (keys must never drift between the two).
+from repro.util.hashing import canonical_hash
+
 __all__ = ["ScheduleSpec", "TaskSpec", "CampaignSpec", "canonical_hash"]
-
-
-def canonical_hash(payload: Mapping[str, Any], *, digest_chars: int = 16) -> str:
-    """Stable hex digest of a JSON-serializable mapping.
-
-    Keys are sorted and encoding is canonical, so the digest identifies
-    the *content*, independent of dict construction order or process.
-    """
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:digest_chars]
 
 
 @dataclass(frozen=True)

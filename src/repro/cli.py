@@ -14,6 +14,8 @@ Installed as ``repro-color`` (see pyproject) and runnable as
     repro-color sweep --algorithm fast5 --max-n 4096
     repro-color campaign --algorithms fast5,fast6 --ns 16,32 --seeds 10 \\
         --backend pool --journal artifacts/campaign.jsonl --resume
+    repro-color serve --port 8731 --queue-limit 64
+    repro-color loadgen --port 8731 --requests 200 --duplicates 0.5 --json
 
 Exit status is non-zero when a verification fails, so the CLI can be
 used in scripts as a smoke check.
@@ -116,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-color",
         description="Wait-free coloring of the asynchronous cycle (PODC 2022 reproduction).",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -243,6 +250,61 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of text")
     _add_metrics_flags(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve coloring executions over HTTP with caching, request "
+             "coalescing and backpressure (see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="TCP port (0 = ephemeral; default: 8731)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache capacity (0 disables caching)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission-queue bound; overflow is shed with 429")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="max requests coalesced into one lockstep batch")
+    serve.add_argument("--coalesce-window", type=float, default=0.002,
+                       help="seconds to wait for coalescible company "
+                            "(default: 0.002)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request wall-clock timeout → 504")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="executor threads running simulations")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-shutdown drain budget on SIGTERM")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the startup/shutdown notices")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve endpoint with a deterministic request burst "
+             "and report throughput / latency / status split",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8731)
+    loadgen.add_argument("--requests", type=int, default=100)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--duplicates", type=float, default=0.0,
+                         help="fraction of requests drawn from a hot "
+                              "working set (cache exerciser), in [0, 1]")
+    loadgen.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                         default="fast5")
+    loadgen.add_argument("--n", type=int, default=64)
+    loadgen.add_argument("--inputs", choices=sorted(_INPUTS), default="random")
+    loadgen.add_argument("--schedule", choices=_SCHEDULE_CHOICES,
+                         default="bernoulli")
+    loadgen.add_argument("--max-time", type=int, default=200_000)
+    loadgen.add_argument("--seed-base", type=int, default=0,
+                         help="first seed of the burst (shift to defeat "
+                              "a warm server cache)")
+    loadgen.add_argument("--working-set", type=int, default=4,
+                         help="distinct hot requests behind --duplicates")
+    loadgen.add_argument("--timeout", type=float, default=60.0,
+                         help="client-side timeout per request")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full summary as JSON")
     return parser
 
 
@@ -605,6 +667,66 @@ def _cmd_campaign(args) -> int:
     return 0 if outcome.all_ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        coalesce_window=args.coalesce_window,
+        request_timeout=args.request_timeout,
+        executor_workers=args.workers,
+        drain_timeout=args.drain_timeout,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    summary = run_loadgen(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        duplicates=args.duplicates,
+        algorithm=args.algorithm,
+        n=args.n,
+        inputs=args.inputs,
+        schedule=args.schedule,
+        max_time=args.max_time,
+        seed_base=args.seed_base,
+        working_set=args.working_set,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        outcomes = summary["outcomes"]
+        latency = summary["latency_ms"]
+        print(
+            f"{summary['requests']} requests @ concurrency "
+            f"{summary['concurrency']} in {summary['wall_seconds']:.2f}s "
+            f"({summary['requests_per_sec']:.1f} req/s)"
+        )
+        print(f"statuses  : {summary['statuses']}")
+        print(
+            f"outcomes  : computed={outcomes['computed']} "
+            f"cached={outcomes['cached']} coalesced={outcomes['coalesced']} "
+            f"errors={outcomes['errors']}"
+        )
+        print(
+            f"latency   : p50={latency['p50']:.1f}ms "
+            f"p95={latency['p95']:.1f}ms p99={latency['p99']:.1f}ms "
+            f"max={latency['max']:.1f}ms"
+        )
+    # A burst that only produced errors/sheds is a failed smoke check.
+    return 0 if summary["ok"] > 0 and summary["outcomes"]["errors"] == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -618,6 +740,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "models": _cmd_models,
         "progress": _cmd_progress,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     try:
         return handlers[args.command](args)

@@ -21,6 +21,9 @@ __all__ = [
     "WaitFreedomViolation",
     "TaskSpecError",
     "CampaignError",
+    "ServiceError",
+    "RequestValidationError",
+    "BackpressureError",
 ]
 
 
@@ -96,3 +99,31 @@ class TaskSpecError(ReproError):
 
 class CampaignError(ReproError):
     """Raised for malformed campaign specs, journals or backend misuse."""
+
+
+class ServiceError(ReproError):
+    """Base class of errors raised by the simulation service layer."""
+
+
+class RequestValidationError(ServiceError):
+    """A service request failed schema validation (HTTP 400).
+
+    ``field`` names the offending request field when one can be
+    singled out, so clients can surface precise errors.
+    """
+
+    def __init__(self, message: str, *, field: str = ""):
+        super().__init__(message)
+        self.field = field
+
+
+class BackpressureError(ServiceError):
+    """The admission queue is full and the request was shed (HTTP 429).
+
+    ``retry_after`` is the server's hint, in seconds, for when capacity
+    is expected back — clients should back off at least that long.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -1,0 +1,43 @@
+"""repro.service — simulation-as-a-service over the execution engines.
+
+The long-lived serving surface of the reproduction (see
+``docs/SERVICE.md``): a stdlib-only (``asyncio`` + ``http``) HTTP
+server that executes coloring requests with content-addressed result
+caching, single-flight dedup, coalescing of compatible requests into
+the vectorized batch engine, and explicit backpressure.
+
+Layering (each module imports only downward):
+
+* :mod:`repro.service.schema` — validated requests/responses, keyed
+  by the campaign content-hash discipline;
+* :mod:`repro.service.cache` — LRU result cache + single-flight;
+* :mod:`repro.service.coalesce` — bounded admission, batch packing,
+  engine dispatch;
+* :mod:`repro.service.server` — the asyncio HTTP endpoint, graceful
+  drain, ``/healthz`` and ``/metrics``;
+* :mod:`repro.service.client` — blocking stdlib client;
+* :mod:`repro.service.loadgen` — deterministic closed-loop load
+  generator.
+"""
+
+from repro.service.cache import LRUCache, SingleFlight
+from repro.service.client import ServiceClient, ServiceReply
+from repro.service.coalesce import Coalescer
+from repro.service.loadgen import build_mix, run_loadgen
+from repro.service.schema import ColorRequest, ColorResponse
+from repro.service.server import ColorServer, ServerThread, serve
+
+__all__ = [
+    "ColorRequest",
+    "ColorResponse",
+    "LRUCache",
+    "SingleFlight",
+    "Coalescer",
+    "ColorServer",
+    "ServerThread",
+    "serve",
+    "ServiceClient",
+    "ServiceReply",
+    "build_mix",
+    "run_loadgen",
+]

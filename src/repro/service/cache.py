@@ -1,0 +1,142 @@
+"""Result cache of the service: LRU storage plus single-flight dedup.
+
+Executions are fully deterministic functions of their request
+configuration — (algorithm, topology, n, inputs, schedule, seed,
+max_time) — so results are perfectly cacheable by the request's
+content hash, forever: there is no TTL because there is nothing to go
+stale.  Two layers cooperate:
+
+* :class:`LRUCache` — bounded mapping ``request_key → ColorResponse``
+  with least-recently-*used* eviction and hit/miss accounting.  Only
+  touched from the event loop, so it needs no locking.
+* :class:`SingleFlight` — at most one computation per key may be in
+  flight: the first requester (the *leader*) computes, every
+  concurrent duplicate (*followers*) awaits the leader's future.  The
+  leader's result lands in the cache exactly once; followers never
+  enter the admission queue at all, so a thundering herd of identical
+  requests costs one execution and zero extra queue slots.
+
+Waiters must guard the shared future with :func:`asyncio.shield` —
+one client timing out and cancelling must not cancel the computation
+for everyone else; :meth:`SingleFlight.wait` does this internally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["LRUCache", "SingleFlight"]
+
+
+class LRUCache:
+    """Bounded ``key → value`` mapping with LRU eviction.
+
+    ``capacity=0`` disables storage entirely (every ``get`` misses,
+    every ``put`` is dropped) — the switch the coalescing benchmark
+    leg uses to measure batching without cache interference.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, freshly promoted to most-recently-used —
+        or ``None``, counting a miss."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry on
+        overflow."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self) -> Tuple[str, ...]:
+        """Keys from least- to most-recently-used (exposed for tests)."""
+        return tuple(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class SingleFlight:
+    """Per-key computation dedup over asyncio futures.
+
+    Protocol: call :meth:`claim` with the key.  The first caller gets
+    ``(future, True)`` and *must* eventually :meth:`resolve` or
+    :meth:`reject` the key (a ``finally`` duty); concurrent callers
+    get ``(future, False)`` and just await it via :meth:`wait`.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.joins = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inflight
+
+    def claim(self, key: str) -> Tuple[asyncio.Future, bool]:
+        """The in-flight future for ``key`` and whether the caller is
+        the leader (created it just now)."""
+        future = self._inflight.get(key)
+        if future is not None:
+            self.joins += 1
+            return future, False
+        future = asyncio.get_event_loop().create_future()
+        self._inflight[key] = future
+        return future, True
+
+    async def wait(self, future: asyncio.Future) -> Any:
+        """Await a claimed future, shielded from the caller's timeout:
+        cancelling one waiter must not abort the shared computation."""
+        return await asyncio.shield(future)
+
+    def resolve(self, key: str, value: Any) -> None:
+        """Deliver ``value`` to every waiter of ``key`` and retire it."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def reject(self, key: str, exc: BaseException) -> None:
+        """Fail every waiter of ``key`` with ``exc`` and retire it."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+            # A rejected key may have no waiters left (e.g. the leader
+            # sheds and raises its own copy of ``exc``); mark the
+            # exception retrieved so the loop does not log it.
+            future.exception()

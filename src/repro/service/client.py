@@ -1,0 +1,158 @@
+"""Blocking HTTP client for the simulation service (stdlib only).
+
+A thin, dependency-free wrapper over :mod:`http.client` with
+keep-alive and one transparent reconnect (servers may close idle
+connections between calls).  Used by the load generator, the CI smoke
+job and the test suite; application code gets structured
+:class:`ServiceReply` objects instead of raw sockets.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ServiceError
+from repro.service.schema import ColorRequest
+
+__all__ = ["ServiceReply", "ServiceClient"]
+
+
+@dataclass
+class ServiceReply:
+    """One HTTP exchange: status code, decoded JSON body, headers."""
+
+    status: int
+    body: Any
+    headers: Dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The server's backoff hint on 429/503 replies, if any."""
+        value = self.headers.get("retry-after")
+        if value is None and isinstance(self.body, dict):
+            value = self.body.get("retry_after")
+        try:
+            return float(value) if value is not None else None
+        except (TypeError, ValueError):
+            return None
+
+
+class ServiceClient:
+    """Keep-alive client bound to one server address.
+
+    Not thread-safe (one underlying connection): give each load-
+    generator worker its own instance.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        *,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> ServiceReply:
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                raw = conn.getresponse()
+                payload = raw.read()
+                break
+            except (
+                ConnectionError,
+                http.client.HTTPException,
+                socket.timeout,
+                OSError,
+            ) as exc:
+                # One silent reconnect covers a server-closed keep-alive
+                # socket; a second failure is a real outage.
+                self.close()
+                if attempt:
+                    raise ServiceError(
+                        f"service at {self.host}:{self.port} unreachable: {exc}"
+                    ) from exc
+        content_type = raw.getheader("Content-Type", "")
+        decoded: Any = payload.decode("utf-8", "replace")
+        if "json" in content_type:
+            try:
+                decoded = json.loads(decoded or "null")
+            except json.JSONDecodeError:
+                pass
+        return ServiceReply(
+            status=raw.status,
+            body=decoded,
+            headers={k.lower(): v for k, v in raw.getheaders()},
+        )
+
+    # -- API -----------------------------------------------------------
+    def color(
+        self, request: Union[ColorRequest, Dict[str, Any]]
+    ) -> ServiceReply:
+        """POST one coloring request (a :class:`ColorRequest` or a raw
+        JSON-shaped dict, sent as-is so tests can probe validation)."""
+        if isinstance(request, ColorRequest):
+            payload = request.config()
+        else:
+            payload = dict(request)
+        return self._request(
+            "POST", "/v1/color", json.dumps(payload).encode("utf-8")
+        )
+
+    def healthz(self) -> ServiceReply:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body of ``GET /metrics``."""
+        reply = self._request("GET", "/metrics")
+        if not reply.ok:
+            raise ServiceError(f"GET /metrics returned {reply.status}")
+        return reply.body
+
+    def wait_ready(self, timeout: float = 15.0, interval: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the server answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.healthz().ok:
+                    return True
+            except ServiceError:
+                pass
+            time.sleep(interval)
+        return False

@@ -1,0 +1,332 @@
+"""Admission control and request coalescing into the batch engine.
+
+The service's execution pipeline, between the cache and the engines:
+
+1. **Admission** — a bounded queue.  :meth:`Coalescer.submit` sheds
+   with :class:`~repro.errors.BackpressureError` (the server's 429)
+   the moment the number of admitted-but-unfinished requests reaches
+   ``queue_limit``: explicit backpressure instead of unbounded memory
+   growth and collapsing latency.
+2. **Single-flight** — concurrent identical requests collapse onto one
+   computation before ever reaching the queue (see
+   :mod:`repro.service.cache`).
+3. **Coalescing** — a batcher task drains the queue, waits at most
+   ``coalesce_window`` seconds for company, groups compatible requests
+   by the same signature the campaign batch packer uses —
+   ``(algorithm, topology, n, max_time)``; seeds, input families and
+   schedules are free to differ — and runs each group as *one*
+   lockstep :func:`repro.model.batch.run_batch` call.  Singleton
+   groups (and groups the batched kernels decline) fall back to the
+   fast-path engine per run.  Either way the per-request results are
+   bit-identical to what a solo run would produce — the equivalence
+   tests pin this against the reference engine.
+
+Executions are CPU-bound, so groups run on a thread-pool executor;
+the event loop stays free to serve cache hits, health checks and
+metric scrapes while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import BackpressureError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cache import LRUCache, SingleFlight
+from repro.service.schema import ColorRequest, ColorResponse
+
+__all__ = ["Coalescer", "execute_requests"]
+
+
+def execute_requests(
+    requests: List[ColorRequest],
+) -> Tuple[List[Any], str]:
+    """Run one compatible group synchronously; returns (results, engine).
+
+    Pure and thread-safe (runs on executor threads): resolves fresh
+    algorithm/schedule objects per request, so no state leaks between
+    runs.  ``len(requests) > 1`` attempts one lockstep batch first;
+    the per-run fast path is the fallback whenever the batched kernels
+    decline the configuration.
+    """
+    from repro.campaign.registry import (
+        resolve_algorithm,
+        resolve_inputs,
+        resolve_schedule,
+        resolve_topology,
+    )
+    from repro.model.batch import run_batch
+    from repro.model.execution import run_execution
+
+    first = requests[0]
+    topology = resolve_topology(first.topology, first.n)
+    inputs_list = [
+        resolve_inputs(r.inputs, r.n, r.seed) for r in requests
+    ]
+    schedules = [
+        resolve_schedule(r.schedule, seed=r.seed, **dict(r.schedule_params))
+        for r in requests
+    ]
+    if len(requests) > 1:
+        results = run_batch(
+            [resolve_algorithm(r.algorithm)() for r in requests],
+            topology,
+            inputs_list,
+            schedules,
+            max_time=first.max_time,
+        )
+        if results is not None:
+            return results, "batch"
+        # The kernels declined (unsupported configuration): fresh
+        # schedules for the fallback — the batch attempt may have
+        # consumed stream state.
+        schedules = [
+            resolve_schedule(r.schedule, seed=r.seed, **dict(r.schedule_params))
+            for r in requests
+        ]
+    results = [
+        run_execution(
+            resolve_algorithm(r.algorithm)(),
+            topology,
+            inputs,
+            schedule,
+            max_time=r.max_time,
+            engine="fast",
+        )
+        for r, inputs, schedule in zip(requests, inputs_list, schedules)
+    ]
+    return results, "fast"
+
+
+@dataclass
+class _WorkItem:
+    request: ColorRequest
+    key: str
+
+
+class Coalescer:
+    """The cache-fronted, backpressured, coalescing execution pipeline.
+
+    Owns the :class:`LRUCache`, the :class:`SingleFlight` table, the
+    bounded admission queue and the batcher task.  Use as an async
+    context manager, or call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 1024,
+        queue_limit: int = 64,
+        max_batch: int = 32,
+        coalesce_window: float = 0.002,
+        executor: Optional[concurrent.futures.Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.cache = LRUCache(cache_size)
+        self.flight = SingleFlight()
+        self.queue_limit = queue_limit
+        self.max_batch = max_batch
+        self.coalesce_window = coalesce_window
+        self.registry = registry
+        self._executor = executor
+        self._owns_executor = executor is None
+        # Loop-bound primitives are created in start(), on the serving
+        # loop: on Python 3.9 a Queue constructed off-loop would bind
+        # whatever loop the constructing thread had.
+        self._queue: Optional["asyncio.Queue[_WorkItem]"] = None
+        self._admitted = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._group_tasks: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        if self._batcher is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if self._executor is None:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-service"
+            )
+        self._batcher = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the batcher and fail whatever is still in flight."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._batcher = None
+        for task in list(self._group_tasks):
+            task.cancel()
+        for key in list(self.flight._inflight):
+            self.flight.reject(key, asyncio.CancelledError())
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def __aenter__(self) -> "Coalescer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every admitted request has finished.
+
+        Returns ``True`` when the pipeline emptied within ``timeout``
+        seconds (``None`` = wait forever) — the graceful-shutdown hook.
+        """
+        if self._idle is None:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Admitted-but-unfinished requests (queued or executing)."""
+        return self._admitted
+
+    def _admit(self) -> None:
+        self._admitted += 1
+        self._idle.clear()
+        if self.registry is not None:
+            self.registry.set_gauge("service_queue_depth", self._admitted)
+
+    def _retire(self, count: int) -> None:
+        self._admitted -= count
+        if self._admitted <= 0:
+            self._admitted = 0
+            self._idle.set()
+        if self.registry is not None:
+            self.registry.set_gauge("service_queue_depth", self._admitted)
+
+    def _inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, value, **labels)
+
+    # -- request path --------------------------------------------------
+    async def submit(self, request: ColorRequest) -> ColorResponse:
+        """Serve one validated request through cache → dedup → queue.
+
+        Raises :class:`BackpressureError` when the admission queue is
+        full.  The returned response is private to the caller (cache
+        hits are copies flagged ``cached=True``).
+        """
+        if self._queue is None:
+            raise RuntimeError("Coalescer.submit before start()")
+        key = request.request_key
+        hit = self.cache.get(key)
+        if hit is not None:
+            self._inc("service_cache_hits_total")
+            return replace(hit, cached=True)
+        self._inc("service_cache_misses_total")
+
+        future, leader = self.flight.claim(key)
+        if not leader:
+            self._inc("service_singleflight_joins_total")
+            return replace(await self.flight.wait(future), cached=True)
+
+        if self._admitted >= self.queue_limit:
+            # The claim must not leak: fail it so a concurrent
+            # follower of this doomed request is shed too.
+            error = BackpressureError(
+                f"admission queue full ({self._admitted}/{self.queue_limit})",
+                retry_after=self._retry_after_hint(),
+            )
+            self.flight.reject(key, error)
+            self._inc("service_shed_total")
+            raise error
+
+        self._admit()
+        self._queue.put_nowait(_WorkItem(request=request, key=key))
+        return await self.flight.wait(future)
+
+    def _retry_after_hint(self) -> float:
+        """Crude capacity hint: a full queue of batchable work drains
+        roughly one coalesced group per execution slot."""
+        return max(1.0, self.queue_limit / max(1, self.max_batch))
+
+    # -- batcher -------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            if self.coalesce_window > 0 and self.max_batch > 1:
+                loop = asyncio.get_event_loop()
+                deadline = loop.time() + self.coalesce_window
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+
+            groups: Dict[Tuple[str, str, int, int], List[_WorkItem]] = {}
+            for work in batch:
+                groups.setdefault(work.request.group_key, []).append(work)
+            for group in groups.values():
+                # Groups execute as independent tasks so the batcher
+                # keeps coalescing the next wave while they run.
+                task = asyncio.ensure_future(self._execute_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    async def _execute_group(self, group: List[_WorkItem]) -> None:
+        requests = [w.request for w in group]
+        started = perf_counter()
+        try:
+            loop = asyncio.get_event_loop()
+            results, engine = await loop.run_in_executor(
+                self._executor, execute_requests, requests
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            for work in group:
+                self.flight.reject(work.key, exc)
+            self._inc("service_errors_total", len(group))
+            self._retire(len(group))
+            return
+        elapsed = perf_counter() - started
+        if self.registry is not None:
+            self.registry.observe("service_batch_occupancy", len(group))
+            self.registry.observe("service_exec_seconds", elapsed)
+        if len(group) > 1:
+            self._inc("service_coalesced_requests_total", len(group))
+        share = elapsed / len(group)
+        for work, result in zip(group, results):
+            response = ColorResponse.from_execution(
+                work.request,
+                result,
+                engine=engine,
+                batch_size=len(group),
+                elapsed=share,
+            )
+            self.cache.put(work.key, response)
+            self.flight.resolve(work.key, response)
+        self._retire(len(group))

@@ -1,0 +1,477 @@
+"""The HTTP serving surface: asyncio + stdlib, no frameworks.
+
+``ColorServer`` binds a plain HTTP/1.1 endpoint (keep-alive, JSON
+bodies) on top of the :class:`~repro.service.coalesce.Coalescer`
+pipeline.  Routes:
+
+* ``POST /v1/color`` — execute (or serve from cache) one validated
+  :class:`~repro.service.schema.ColorRequest`.  Responses: **200**
+  with the :class:`ColorResponse` JSON (including ``time_exhausted``
+  diagnostics when the simulation hit its ``max_time`` — the verdict
+  carries ``ok: false`` but the HTTP exchange succeeded); **400** on
+  schema violations; **429** + ``Retry-After`` when the admission
+  queue sheds; **503** while draining; **504** when the per-request
+  wall-clock timeout expires (the computation keeps running and lands
+  in the cache for the retry).
+* ``GET /healthz`` — liveness + queue/cache gauges; ``status`` flips
+  to ``"draining"`` during graceful shutdown.
+* ``GET /metrics`` — Prometheus text exposition of the service
+  registry (``service_*`` series plus the engines' ``engine_*``
+  series), rendered by :func:`repro.obs.exposition.render_prometheus`.
+
+Graceful shutdown (:func:`serve` installs SIGTERM/SIGINT handlers):
+stop accepting, answer in-flight work, drain the pipeline up to
+``drain_timeout`` seconds, exit 0.
+
+The hand-rolled request parsing is deliberately minimal — HTTP/1.1
+with ``Content-Length`` bodies only (no chunked encoding, no TLS) —
+because the service fronts trusted load generators and campaign
+clients, not the open internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import signal
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import BackpressureError, RequestValidationError
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.service.coalesce import Coalescer
+from repro.service.schema import ColorRequest
+
+__all__ = ["ColorServer", "ServerThread", "serve"]
+
+#: Cap on accepted request bodies; a color request is a few hundred
+#: bytes, so anything bigger is garbage or abuse.
+MAX_BODY_BYTES = 64 * 1024
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+class ColorServer:
+    """One serving endpoint over one event loop.
+
+    ``port=0`` binds an ephemeral port; the bound port is available as
+    :attr:`port` after :meth:`start` — the pattern the tests and the
+    in-process benchmark harness rely on.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_size: int = 1024,
+        queue_limit: int = 64,
+        max_batch: int = 32,
+        coalesce_window: float = 0.002,
+        request_timeout: float = 30.0,
+        executor_workers: int = 2,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.executor_workers = executor_workers
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self.coalescer = Coalescer(
+            cache_size=cache_size,
+            queue_limit=queue_limit,
+            max_batch=max_batch,
+            coalesce_window=coalesce_window,
+            registry=self.registry,
+        )
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the pipeline."""
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.executor_workers,
+            thread_name_prefix="repro-service",
+        )
+        self.coalescer._executor = self._executor
+        self.coalescer._owns_executor = False
+        await self.coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self, drain_timeout: float = 10.0) -> bool:
+        """Graceful stop: refuse new work, drain, tear down.
+
+        Returns whether the pipeline drained fully within the timeout.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained = await self.coalescer.drain(drain_timeout)
+        await self.coalescer.stop()
+        # Idle keep-alive connections are parked in readline(); cancel
+        # them so the loop can close without orphaned handler tasks.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        return drained
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload, extra = await self._route(method, path, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                if body == b"__TOO_LARGE__":
+                    # The oversize body was never read off the socket;
+                    # the connection cannot be reused after the 413.
+                    keep_alive = False
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request, or ``None`` on clean EOF."""
+        try:
+            # readline() surfaces an over-limit line as ValueError, not
+            # LimitOverrunError — treat either as a malformed request.
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, path, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+                return None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return method, path, headers, b"__TOO_LARGE__"
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout",
+        }.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        headers = {
+            "Content-Length": str(len(payload)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            **extra_headers,
+        }
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        path = path.split("?", 1)[0]
+        started = asyncio.get_event_loop().time()
+        status, payload, extra = await self._dispatch(method, path, body)
+        if self.registry is not None:
+            self.registry.inc(
+                "service_requests_total", 1, route=path, status=str(status)
+            )
+            self.registry.observe(
+                "service_request_seconds",
+                asyncio.get_event_loop().time() - started,
+                route=path,
+            )
+        return status, payload, extra
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                return self._error(405, "use GET")
+            return 200, self._json(self.health()), dict(_JSON_HEADERS)
+        if path == "/metrics":
+            if method != "GET":
+                return self._error(405, "use GET")
+            text = render_prometheus(self.registry).encode("utf-8")
+            return 200, text, {"Content-Type": "text/plain; version=0.0.4"}
+        if path == "/v1/color":
+            if method != "POST":
+                return self._error(405, "use POST")
+            return await self._handle_color(body)
+        return self._error(404, f"no route {path!r}")
+
+    async def _handle_color(
+        self, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        if body == b"__TOO_LARGE__":
+            return self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if self.draining:
+            return self._error(503, "server is draining")
+        try:
+            decoded = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return self._error(400, f"invalid JSON body: {exc}")
+        try:
+            request = ColorRequest.from_json_dict(decoded)
+        except RequestValidationError as exc:
+            return self._error(400, str(exc), field=exc.field)
+        try:
+            response = await asyncio.wait_for(
+                self.coalescer.submit(request), self.request_timeout
+            )
+        except BackpressureError as exc:
+            return (
+                429,
+                self._json({"error": str(exc), "retry_after": exc.retry_after}),
+                {**_JSON_HEADERS, "Retry-After": str(int(exc.retry_after + 0.5) or 1)},
+            )
+        except asyncio.TimeoutError:
+            # The wall clock ran out before the simulation did: the
+            # work item stays admitted, finishes in the background and
+            # lands in the cache, so a retry is cheap.  This mirrors
+            # TimeExhaustedError's diagnosability contract one level
+            # up: say who timed out and what to do next.
+            return (
+                504,
+                self._json(
+                    {
+                        "error": (
+                            f"request {request.request_key} exceeded the "
+                            f"{self.request_timeout:.1f}s service timeout; "
+                            "the result will be cached for a retry"
+                        ),
+                        "request_key": request.request_key,
+                        "retry_after": self.request_timeout,
+                    }
+                ),
+                dict(_JSON_HEADERS),
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced as HTTP 500
+            return self._error(500, f"{type(exc).__name__}: {exc}")
+        return 200, self._json(response.to_dict()), dict(_JSON_HEADERS)
+
+    # -- helpers -------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "queue_depth": self.coalescer.depth,
+            "queue_limit": self.coalescer.queue_limit,
+            "cache": self.coalescer.cache.stats(),
+            "inflight_keys": len(self.coalescer.flight),
+        }
+
+    @staticmethod
+    def _json(payload: Dict[str, Any]) -> bytes:
+        return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+    def _error(
+        self, status: int, message: str, **extra: Any
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        body: Dict[str, Any] = {"error": message}
+        body.update({k: v for k, v in extra.items() if v})
+        return status, self._json(body), dict(_JSON_HEADERS)
+
+
+class ServerThread:
+    """Run a :class:`ColorServer` on a background event-loop thread.
+
+    The in-process harness tests and benchmarks use::
+
+        with ServerThread(queue_limit=8) as server:
+            client = ServiceClient(port=server.port)
+            ...
+
+    ``__enter__`` returns once the socket is bound (``server.port`` is
+    real); ``__exit__`` performs the same graceful drain as SIGTERM.
+    """
+
+    def __init__(self, drain_timeout: float = 10.0, **server_kwargs: Any):
+        self.server = ColorServer(**server_kwargs)
+        self.drain_timeout = drain_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.server.registry
+
+    def __enter__(self) -> "ColorServer":
+        import threading
+
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.server.start())
+            started.set()
+            loop.run_forever()
+            # Drain runs on the loop via run_coroutine_threadsafe from
+            # __exit__; by the time run_forever returns, teardown is done.
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30.0):
+            raise RuntimeError("service event loop failed to start")
+        return self.server
+
+    def __exit__(self, *exc_info: Any) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(self.drain_timeout), loop
+        )
+        future.result(timeout=self.drain_timeout + 30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=30.0)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    *,
+    cache_size: int = 1024,
+    queue_limit: int = 64,
+    max_batch: int = 32,
+    coalesce_window: float = 0.002,
+    request_timeout: float = 30.0,
+    executor_workers: int = 2,
+    drain_timeout: float = 10.0,
+    quiet: bool = False,
+) -> int:
+    """Blocking entry point of ``repro-color serve``.
+
+    Runs until SIGTERM/SIGINT, then drains gracefully.  Exit status 0
+    on a clean drain, 1 when the drain timed out with work still in
+    flight.
+    """
+    server = ColorServer(
+        host=host,
+        port=port,
+        cache_size=cache_size,
+        queue_limit=queue_limit,
+        max_batch=max_batch,
+        coalesce_window=coalesce_window,
+        request_timeout=request_timeout,
+        executor_workers=executor_workers,
+    )
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            signal.signal(signum, lambda *_: stop.set())
+
+    async def main() -> bool:
+        # Engine metrics from executor threads land in the same
+        # registry the scrape endpoint renders.
+        with collecting(server.registry):
+            await server.start()
+            if not quiet:
+                print(
+                    f"repro-color serve: listening on "
+                    f"http://{server.host}:{server.port} "
+                    f"(queue_limit={queue_limit}, cache_size={cache_size}, "
+                    f"max_batch={max_batch})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            await stop.wait()
+            if not quiet:
+                print(
+                    "repro-color serve: signal received, draining …",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            return await server.shutdown(drain_timeout)
+
+    try:
+        drained = loop.run_until_complete(main())
+    finally:
+        loop.close()
+    if not quiet:
+        print(
+            "repro-color serve: shutdown "
+            + ("clean" if drained else "timed out with work in flight"),
+            file=sys.stderr,
+            flush=True,
+        )
+    return 0 if drained else 1

@@ -1,0 +1,9 @@
+"""Small shared utilities with no domain dependencies.
+
+Modules here must be importable from anywhere in the package without
+creating cycles: they may depend on the standard library only.
+"""
+
+from repro.util.hashing import canonical_hash, canonical_json
+
+__all__ = ["canonical_hash", "canonical_json"]

@@ -1,0 +1,43 @@
+"""Content hashing over canonical JSON — the repo-wide key discipline.
+
+Every subsystem that needs a stable identity for a *description* —
+campaign :class:`~repro.campaign.spec.TaskSpec` hashes, journal resume
+keys, service request/cache keys — must derive it from the same
+canonical encoding, or keys drift apart the first time one caller
+tweaks separators or key order.  This module is that single source:
+
+* :func:`canonical_json` — the one true encoding: keys sorted,
+  minimal separators, UTF-8.  Two mappings with equal *content*
+  encode identically regardless of construction order or process.
+* :func:`canonical_hash` — SHA-256 over :func:`canonical_json`,
+  truncated to a configurable prefix (16 hex chars by default, ample
+  for collision-freedom at campaign/service scale while keeping
+  journals and URLs readable).
+
+Determinism contract: both functions are pure, never consult
+:func:`hash` (which is salted per process), and behave identically on
+any Python ≥ 3.7 (dict ordering is insertion ordering).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = ["canonical_json", "canonical_hash"]
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """The canonical JSON encoding of a JSON-serializable mapping."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_hash(payload: Mapping[str, Any], *, digest_chars: int = 16) -> str:
+    """Stable hex digest of a JSON-serializable mapping.
+
+    Keys are sorted and encoding is canonical, so the digest identifies
+    the *content*, independent of dict construction order or process.
+    """
+    blob = canonical_json(payload)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:digest_chars]

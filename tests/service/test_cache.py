@@ -1,0 +1,111 @@
+"""Cache semantics: LRU eviction order, single-flight dedup."""
+
+import asyncio
+
+import pytest
+
+from repro.service.cache import LRUCache, SingleFlight
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.stats() == {
+            "entries": 1, "capacity": 4, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.put("d", "d")  # evicts a — the least recently used
+        assert cache.get("a") is None
+        assert cache.keys() == ("b", "c", "d")
+        assert cache.evictions == 1
+
+    def test_get_promotes_to_most_recently_used(self):
+        cache = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        assert cache.get("a") == "a"  # a is now MRU
+        cache.put("d", "d")  # evicts b, not a
+        assert cache.keys() == ("c", "a", "d")
+        assert cache.get("a") == "a"  # promoted again
+        assert cache.get("b") is None
+        assert cache.keys() == ("c", "d", "a")
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        assert cache.evictions == 0
+        cache.put("c", 3)  # evicts b — a was refreshed more recently
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_capacity_zero_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestSingleFlight:
+    def test_leader_then_followers(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, leader = flight.claim("k")
+            assert leader
+            same, second = flight.claim("k")
+            assert same is future and not second
+            assert flight.joins == 1
+
+            waiters = [
+                asyncio.ensure_future(flight.wait(future)) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            flight.resolve("k", 42)
+            assert await asyncio.gather(*waiters) == [42, 42, 42]
+            assert "k" not in flight
+            # The key is free again: a new claim is a new leader.
+            _, leader_again = flight.claim("k")
+            assert leader_again
+
+        asyncio.run(scenario())
+
+    def test_reject_fails_all_waiters(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, _ = flight.claim("k")
+            waiter = asyncio.ensure_future(flight.wait(future))
+            await asyncio.sleep(0)
+            flight.reject("k", RuntimeError("boom"))
+            with pytest.raises(RuntimeError, match="boom"):
+                await waiter
+            assert "k" not in flight
+
+        asyncio.run(scenario())
+
+    def test_wait_shields_computation_from_cancelled_waiter(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, _ = flight.claim("k")
+            impatient = asyncio.ensure_future(flight.wait(future))
+            patient = asyncio.ensure_future(flight.wait(future))
+            await asyncio.sleep(0)
+            impatient.cancel()
+            await asyncio.sleep(0)
+            # One waiter timing out must not cancel the shared future.
+            assert not future.cancelled()
+            flight.resolve("k", "done")
+            assert await patient == "done"
+
+        asyncio.run(scenario())

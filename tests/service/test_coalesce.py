@@ -1,0 +1,196 @@
+"""The coalescing pipeline: dedup, backpressure, batch equivalence.
+
+The headline guarantee (Issue 6 acceptance): a response computed as
+part of a coalesced lockstep batch is *bit-identical*, in every
+deterministic section, to the response a solo reference-engine run
+would produce — for every registered algorithm.  This reuses the
+differential discipline of ``tests/model/test_batch_equivalence.py``
+one layer up, at the service boundary.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.campaign.registry import (
+    ALGORITHMS,
+    resolve_algorithm,
+    resolve_inputs,
+)
+from repro.errors import BackpressureError
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler
+from repro.service.coalesce import Coalescer, execute_requests
+from repro.service.schema import ColorRequest, ColorResponse
+
+SEEDS = range(4)
+
+
+def bernoulli_request(algorithm, seed, n=16, max_time=50_000):
+    return ColorRequest.build(
+        algorithm, n, schedule="bernoulli", seed=seed, max_time=max_time
+    )
+
+
+def reference_response(request):
+    """The oracle: a solo run on the straight-from-the-paper engine."""
+    result = run_execution(
+        resolve_algorithm(request.algorithm)(),
+        Cycle(request.n),
+        resolve_inputs(request.inputs, request.n, request.seed),
+        BernoulliScheduler(p=0.4, seed=request.seed),
+        max_time=request.max_time,
+        engine="reference",
+    )
+    return ColorResponse.from_execution(request, result, engine="reference")
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_coalesced_responses_match_reference_engine(self, algorithm):
+        requests = [bernoulli_request(algorithm, seed) for seed in SEEDS]
+
+        async def scenario():
+            # A wide window so every submit lands in one batch.
+            async with Coalescer(
+                queue_limit=32, max_batch=32, coalesce_window=0.2
+            ) as coalescer:
+                return await asyncio.gather(
+                    *(coalescer.submit(r) for r in requests)
+                )
+
+        responses = asyncio.run(scenario())
+        assert all(r.batch_size == len(requests) for r in responses)
+        for request, response in zip(requests, responses):
+            want = reference_response(request)
+            assert response.deterministic_dict() == want.deterministic_dict()
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_execute_requests_group_matches_reference(self, algorithm):
+        """The synchronous execution helper alone: batch vs reference."""
+        requests = [bernoulli_request(algorithm, seed) for seed in SEEDS]
+        results, engine = execute_requests(list(requests))
+        assert engine in ("batch", "fast")
+        for request, result in zip(requests, results):
+            got = ColorResponse.from_execution(request, result, engine=engine)
+            want = reference_response(request)
+            assert got.deterministic_dict() == want.deterministic_dict()
+
+    def test_mixed_group_keys_split_into_separate_batches(self):
+        requests = [bernoulli_request("fast5", s) for s in range(3)] + [
+            bernoulli_request("alg1", s) for s in range(2)
+        ]
+
+        async def scenario():
+            async with Coalescer(
+                queue_limit=32, max_batch=32, coalesce_window=0.2
+            ) as coalescer:
+                return await asyncio.gather(
+                    *(coalescer.submit(r) for r in requests)
+                )
+
+        responses = asyncio.run(scenario())
+        assert [r.batch_size for r in responses] == [3, 3, 3, 2, 2]
+
+
+class TestSingleFlightDedup:
+    def test_concurrent_identical_requests_compute_once(self, monkeypatch):
+        calls = []
+        real = execute_requests
+
+        def counting(requests):
+            calls.append(len(requests))
+            return real(requests)
+
+        monkeypatch.setattr(
+            "repro.service.coalesce.execute_requests", counting
+        )
+        request = bernoulli_request("fast5", 0)
+
+        async def scenario():
+            async with Coalescer(queue_limit=8, coalesce_window=0.05) as co:
+                responses = await asyncio.gather(
+                    *(co.submit(request) for _ in range(10))
+                )
+                # The result is now cached: an eleventh request is a
+                # pure cache hit, no new claim, no new execution.
+                eleventh = await co.submit(request)
+                return responses, eleventh, co.flight.joins, co.cache.hits
+
+        responses, eleventh, joins, hits = asyncio.run(scenario())
+        # One execution of one request served all ten concurrent callers.
+        assert calls == [1]
+        assert joins == 9
+        # Leader's response is fresh; followers are flagged as shared.
+        assert [r.cached for r in responses] == [False] + [True] * 9
+        assert len({r.verdict["ok"] for r in responses}) == 1
+        assert eleventh.cached is True
+        assert hits == 1
+
+
+class TestBackpressure:
+    def test_zero_queue_limit_sheds_everything(self):
+        async def scenario():
+            async with Coalescer(queue_limit=0) as coalescer:
+                with pytest.raises(BackpressureError):
+                    await coalescer.submit(bernoulli_request("fast5", 0))
+
+        asyncio.run(scenario())
+
+    def test_overflow_sheds_with_retry_after(self):
+        async def scenario():
+            async with Coalescer(
+                queue_limit=1, coalesce_window=0.2
+            ) as coalescer:
+                first = asyncio.ensure_future(
+                    coalescer.submit(bernoulli_request("fast5", 0))
+                )
+                await asyncio.sleep(0)  # let the first request enqueue
+                assert coalescer.depth == 1
+                with pytest.raises(BackpressureError) as excinfo:
+                    await coalescer.submit(bernoulli_request("fast5", 1))
+                assert excinfo.value.retry_after >= 1.0
+                # The admitted request still completes normally.
+                response = await first
+                assert response.verdict["ok"] is True
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.depth == 0
+
+    def test_shed_request_can_be_retried(self):
+        """Shedding must clear the single-flight claim, or the retry
+        would join a future nobody will ever resolve."""
+
+        async def scenario():
+            async with Coalescer(queue_limit=0) as shedder:
+                request = bernoulli_request("fast5", 2)
+                with pytest.raises(BackpressureError):
+                    await shedder.submit(request)
+                assert len(shedder.flight) == 0
+            async with Coalescer(queue_limit=8) as ok:
+                response = await ok.submit(request)
+                assert response.verdict["ok"] is True
+
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_work(self):
+        async def scenario():
+            async with Coalescer(queue_limit=8, coalesce_window=0.05) as co:
+                futures = [
+                    asyncio.ensure_future(
+                        co.submit(bernoulli_request("fast5", seed))
+                    )
+                    for seed in range(3)
+                ]
+                await asyncio.sleep(0)
+                assert co.depth == 3
+                assert await co.drain(10.0)
+                assert co.depth == 0
+                for future in futures:
+                    assert (await future).verdict["ok"] is True
+
+        asyncio.run(scenario())

@@ -1,0 +1,56 @@
+"""The load generator's deterministic mix and summary arithmetic."""
+
+import pytest
+
+from repro.service.loadgen import build_mix, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_singleton(self):
+        assert percentile([5.0], 0.5) == 5.0
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_quantiles(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 100.0
+        assert percentile(data, 0.5) == 51.0  # nearest-rank on 0..99
+
+
+class TestBuildMix:
+    def test_deterministic(self):
+        a = build_mix(50, duplicates=0.3, n=16)
+        b = build_mix(50, duplicates=0.3, n=16)
+        assert [r.request_key for r in a] == [r.request_key for r in b]
+
+    def test_all_unique_when_no_duplicates(self):
+        mix = build_mix(40, duplicates=0.0, n=16)
+        keys = [r.request_key for r in mix]
+        assert len(set(keys)) == 40
+
+    def test_duplicate_fraction_draws_from_working_set(self):
+        mix = build_mix(100, duplicates=0.5, working_set=4, n=16)
+        keys = [r.request_key for r in mix]
+        # 50 of 100 requests come from 4 hot configurations.
+        from collections import Counter
+
+        counts = Counter(keys)
+        repeated = sum(c for c in counts.values() if c > 1)
+        assert repeated == 50
+        assert sum(1 for c in counts.values() if c > 1) == 4
+
+    def test_all_duplicates(self):
+        mix = build_mix(30, duplicates=1.0, working_set=2, n=16)
+        assert len({r.request_key for r in mix}) == 2
+
+    def test_duplicates_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_mix(10, duplicates=1.5)
+
+    def test_seed_base_shifts_the_burst(self):
+        a = {r.request_key for r in build_mix(20, seed_base=0)}
+        b = {r.request_key for r in build_mix(20, seed_base=1000)}
+        assert not a & b

@@ -1,0 +1,213 @@
+"""End-to-end HTTP tests: routes, cache, backpressure, timeout, drain.
+
+Each test runs a real :class:`ColorServer` on a background event-loop
+thread (ephemeral port) and talks to it over actual sockets with the
+stdlib client — the same path ``repro-color serve`` + ``loadgen``
+exercise, minus the subprocess.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.loadgen import run_loadgen
+from repro.service.schema import ColorRequest
+from repro.service.server import ServerThread
+
+
+def request_of(seed, *, algorithm="fast5", n=24, max_time=200_000):
+    return ColorRequest.build(
+        algorithm, n, schedule="bernoulli", seed=seed, max_time=max_time
+    )
+
+
+class TestRoutes:
+    def test_color_healthz_metrics_roundtrip(self):
+        with ServerThread(coalesce_window=0.01) as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                health = client.healthz().body
+                assert health["status"] == "ok"
+                assert health["queue_depth"] == 0
+
+                reply = client.color(request_of(1))
+                assert reply.status == 200
+                assert reply.body["verdict"]["ok"] is True
+                assert reply.body["cached"] is False
+                assert reply.body["engine"] in ("fast", "batch")
+                assert reply.body["request_key"] == request_of(1).request_key
+
+                again = client.color(request_of(1))
+                assert again.status == 200
+                assert again.body["cached"] is True
+                # Deterministic sections identical between miss and hit.
+                for key in ("verdict", "activations", "colors_used"):
+                    assert again.body[key] == reply.body[key]
+
+                metrics = client.metrics_text()
+                assert "service_cache_hits_total 1" in metrics
+                assert "service_cache_misses_total 1" in metrics
+                assert 'service_requests_total{route="/v1/color",status="200"} 2' in metrics
+
+    def test_unknown_route_and_wrong_methods(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client._request("GET", "/nope").status == 404
+                assert client._request("GET", "/v1/color").status == 405
+                assert client._request("POST", "/healthz").status == 405
+                assert client._request("POST", "/metrics").status == 405
+
+    def test_validation_and_parse_errors(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color({"algorithm": "nope", "n": 10})
+                assert reply.status == 400
+                assert "unknown algorithm" in reply.body["error"]
+
+                reply = client.color({"algorithm": "fast5"})
+                assert reply.status == 400
+                assert "missing required" in reply.body["error"]
+
+                reply = client.color({"algorithm": "fast5", "n": 8, "typo": 1})
+                assert reply.status == 400
+
+            # Raw non-JSON body, below the client abstraction.
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+            conn.request(
+                "POST", "/v1/color", b"{not json",
+                {"Content-Type": "application/json"},
+            )
+            raw = conn.getresponse()
+            body = json.loads(raw.read())
+            assert raw.status == 400
+            assert "invalid JSON" in body["error"]
+            conn.close()
+
+    def test_oversize_body_gets_413_and_connection_close(self):
+        # The unread body makes the connection unreusable: the server
+        # must answer 413 *and* close, and stay healthy afterwards.
+        with ServerThread() as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+            conn.request(
+                "POST", "/v1/color", b"x" * 70_000,
+                {"Content-Type": "application/json"},
+            )
+            raw = conn.getresponse()
+            assert raw.status == 413
+            assert raw.getheader("Connection") == "close"
+            conn.close()
+            with ServiceClient(port=server.port) as client:
+                assert client.healthz().body["status"] == "ok"
+
+    def test_time_exhausted_diagnostics_are_served(self):
+        # Simulation-time exhaustion is a *successful* exchange (200)
+        # carrying the diagnostics, mirroring TimeExhaustedError.
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(
+                    ColorRequest.build("fast5", 8, schedule="sync", max_time=1)
+                )
+                assert reply.status == 200
+                assert reply.body["verdict"]["ok"] is False
+                diag = reply.body["time_exhausted"]
+                assert diag["final_time"] == 1
+                assert diag["pending"]
+
+
+class TestBackpressure:
+    def test_queue_overflow_sheds_with_429(self):
+        with ServerThread(queue_limit=0) as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(request_of(0))
+                assert reply.status == 429
+                assert reply.retry_after is not None
+                assert reply.retry_after >= 1.0
+                assert "retry-after" in reply.headers
+                metrics = client.metrics_text()
+                assert "service_shed_total 1" in metrics
+                # Health stays green: shedding is load management, not
+                # failure.
+                assert client.healthz().body["status"] == "ok"
+
+
+class TestTimeout:
+    def test_slow_request_times_out_with_504_then_lands_in_cache(self):
+        # Deterministic, not workload-dependent: the coalescing window
+        # alone (500 ms) outlasts the 50 ms request budget, so the
+        # first attempt always times out.  The computation is not
+        # abandoned — it finishes behind the 504 and a retry is served
+        # from cache, exactly as the error message advertises.
+        import time
+
+        with ServerThread(
+            request_timeout=0.05, coalesce_window=0.5, drain_timeout=60.0
+        ) as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(request_of(0, n=16))
+                assert reply.status == 504
+                assert "timeout" in reply.body["error"]
+                assert reply.body["request_key"] == request_of(0, n=16).request_key
+
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    retry = client.color(request_of(0, n=16))
+                    if retry.status == 200:
+                        break
+                    time.sleep(0.1)
+                assert retry.status == 200
+                assert retry.body["cached"] is True
+
+
+class TestCoalescingOverHTTP:
+    def test_concurrent_unique_requests_coalesce(self):
+        with ServerThread(coalesce_window=0.1, max_batch=16) as server:
+            summary = run_loadgen(
+                port=server.port,
+                requests=8,
+                concurrency=8,
+                duplicates=0.0,
+                n=16,
+                max_time=50_000,
+            )
+            assert summary["statuses"] == {"200": 8}
+            assert summary["outcomes"]["errors"] == 0
+            # With all eight posted inside one 100 ms window, at least
+            # one lockstep batch must have formed.
+            assert summary["outcomes"]["coalesced"] >= 2
+            occupancy = server.registry.value("service_batch_occupancy")
+            assert occupancy is not None and occupancy["max"] >= 2
+
+    def test_duplicate_burst_hits_cache(self):
+        with ServerThread() as server:
+            summary = run_loadgen(
+                port=server.port,
+                requests=30,
+                concurrency=4,
+                duplicates=1.0,
+                working_set=2,
+                n=16,
+                max_time=50_000,
+            )
+            assert summary["statuses"] == {"200": 30}
+            # Two unique configurations; everything else was served
+            # from cache or joined in flight.
+            assert summary["outcomes"]["cached"] >= 26
+            hits = server.registry.value("service_cache_hits_total")
+            assert hits is not None and hits >= 20
+
+
+class TestDrain:
+    def test_graceful_shutdown_completes_inflight_work(self):
+        harness = ServerThread(coalesce_window=0.05)
+        server = harness.__enter__()
+        try:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                assert client.color(request_of(3)).status == 200
+        finally:
+            harness.__exit__(None, None, None)
+        # After a clean exit the pipeline is empty and closed.
+        assert server.coalescer.depth == 0
+        assert server.draining is True

@@ -17,6 +17,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro-color {__version__}" in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8731
+        assert args.queue_limit == 64
+        assert args.cache_size == 1024
+        assert args.max_batch == 32
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 100
+        assert args.concurrency == 8
+        assert args.duplicates == 0.0
+        assert args.schedule == "bernoulli"
+
 
 class TestCommands:
     def test_run_ok(self, capsys):
@@ -239,3 +261,41 @@ class TestRunMetricsFlags:
         payload = json.loads(captured.out)
         assert payload["time_exhausted"]["final_time"] == 2
         assert payload["time_exhausted"]["pending"]
+
+
+class TestServiceCommands:
+    def test_loadgen_against_inprocess_server(self, capsys):
+        from repro.service.server import ServerThread
+
+        with ServerThread() as server:
+            status = main([
+                "loadgen", "--port", str(server.port),
+                "--requests", "10", "--concurrency", "2",
+                "--duplicates", "0.5", "--n", "16", "--json",
+            ])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == 10
+        assert payload["outcomes"]["errors"] == 0
+        assert payload["statuses"] == {"200": 10}
+
+    def test_loadgen_text_output(self, capsys):
+        from repro.service.server import ServerThread
+
+        with ServerThread() as server:
+            status = main([
+                "loadgen", "--port", str(server.port),
+                "--requests", "6", "--concurrency", "2", "--n", "16",
+            ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "6 requests @ concurrency 2" in out
+        assert "latency" in out
+
+    def test_loadgen_unreachable_server_fails(self, capsys):
+        # Nothing listens on port 9; every request errors, exit 1.
+        status = main([
+            "loadgen", "--port", "9", "--requests", "2",
+            "--concurrency", "1", "--timeout", "0.5",
+        ])
+        assert status == 1

@@ -1,0 +1,43 @@
+"""The shared canonical-hash helper (repro.util.hashing).
+
+Campaign task hashes, journal resume keys and service request keys all
+derive from this one function — these tests pin the encoding so a
+refactor cannot silently re-key every stored artifact.
+"""
+
+from repro.util.hashing import canonical_hash, canonical_json
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_minimal_separators(self):
+        assert canonical_json({"a": [1, 2], "b": {"c": 3}}) == '{"a":[1,2],"b":{"c":3}}'
+
+
+class TestCanonicalHash:
+    def test_content_identity(self):
+        assert canonical_hash({"x": 1, "y": [2, 3]}) == canonical_hash(
+            {"y": [2, 3], "x": 1}
+        )
+
+    def test_content_sensitivity(self):
+        assert canonical_hash({"x": 1}) != canonical_hash({"x": 2})
+
+    def test_digest_chars(self):
+        assert len(canonical_hash({"x": 1})) == 16
+        assert len(canonical_hash({"x": 1}, digest_chars=40)) == 40
+        assert canonical_hash({"x": 1}, digest_chars=40).startswith(
+            canonical_hash({"x": 1})
+        )
+
+    def test_pinned_digest(self):
+        # Frozen on purpose: changing the encoding re-keys every
+        # journal and cache in existence.  Update only deliberately.
+        assert canonical_hash({"algorithm": "fast5", "n": 24}) == "965b6031de66117d"
+
+    def test_campaign_reexport_is_same_function(self):
+        from repro.campaign.spec import canonical_hash as campaign_hash
+
+        assert campaign_hash is canonical_hash
