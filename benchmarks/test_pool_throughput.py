@@ -1,0 +1,158 @@
+"""Pool-vs-thread serving throughput: the Issue 7 performance anchor.
+
+The point of ``repro.pool`` is that a multi-core box should serve cold
+misses faster than a single core — which the GIL-bound thread executor
+fundamentally cannot do.  This benchmark pins that claim end to end:
+two identically configured :class:`ColorServer` instances, one on the
+thread executor and one on a warm worker-process pool, each driven
+over real sockets with the same unique cold burst, against the same
+in-process sequential baseline.
+
+Both servers run *solo* groups (``max_batch=1``, no coalescing
+window), so the legs measure pure execution parallelism, not batching:
+the thread leg serializes on the GIL while the pool leg spreads the
+same work across worker processes.
+
+The artifact ``BENCH_pool.json`` records all three throughputs.  The
+acceptance bar (Issue 7) — pool ≥ 1.8× the thread-executor leg — only
+binds on runners with ≥ 2 CPUs; a single-CPU box has no parallelism
+to win and records ``"comparable": false`` instead (the legs still
+run, so the pool serving path is exercised either way).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.campaign.registry import resolve_algorithm, resolve_inputs
+from repro.model.execution import run_execution
+from repro.model.topology import Cycle
+from repro.schedulers import BernoulliScheduler
+from repro.service.loadgen import build_mix, run_loadgen
+from repro.service.server import ServerThread
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = REPO_ROOT / "BENCH_pool.json"
+
+#: Fewer, heavier requests than the service bench: each run must be
+#: long enough that process-pool IPC is noise against execution time.
+REQUESTS = 24
+N = 2048
+MAX_TIME = 100_000
+
+CPU_COUNT = os.cpu_count() or 1
+COMPARABLE = CPU_COUNT >= 2
+#: Execution slots per leg — identical for threads and processes so
+#: the comparison isolates the substrate, not the slot count.
+WORKERS = max(2, CPU_COUNT)
+
+
+def pool_mix(seed_base=0):
+    return build_mix(
+        REQUESTS, duplicates=0.0, algorithm="fast5", n=N,
+        schedule="bernoulli", max_time=MAX_TIME, seed_base=seed_base,
+    )
+
+
+def measure_baseline(requests):
+    """Uncached sequential solo runs of the exact same workload."""
+    started = time.perf_counter()
+    for request in requests:
+        result = run_execution(
+            resolve_algorithm(request.algorithm)(),
+            Cycle(request.n),
+            resolve_inputs(request.inputs, request.n, request.seed),
+            BernoulliScheduler(p=0.4, seed=request.seed),
+            max_time=request.max_time,
+            engine="fast",
+        )
+        assert result.all_terminated
+    return time.perf_counter() - started
+
+
+def run_cold_leg(**server_kwargs):
+    """One cold unique burst against a fresh server; returns the
+    loadgen summary plus the server's registry for metric asserts."""
+    with ServerThread(
+        coalesce_window=0.0, max_batch=1, **server_kwargs
+    ) as server:
+        summary = run_loadgen(
+            port=server.port, requests=REQUESTS, concurrency=WORKERS,
+            duplicates=0.0, n=N, max_time=MAX_TIME,
+        )
+        registry = server.registry
+    assert summary["statuses"] == {"200": REQUESTS}
+    assert summary["outcomes"]["errors"] == 0
+    return summary, registry
+
+
+@pytest.mark.slow
+def test_pool_vs_thread_executor_throughput():
+    baseline_wall = measure_baseline(pool_mix())
+    baseline_rate = REQUESTS / baseline_wall
+
+    thread, _ = run_cold_leg(executor_workers=WORKERS)
+    pool, pool_registry = run_cold_leg(pool_workers=WORKERS)
+
+    # Every pool-leg request actually went through worker processes.
+    pool_tasks = pool_registry.value(
+        "pool_tasks_total", kind="group", status="ok"
+    )
+    assert pool_tasks is not None and pool_tasks == REQUESTS
+    assert pool_registry.value("pool_worker_restarts_total") is None
+
+    thread_ratio = thread["requests_per_sec"] / baseline_rate
+    pool_ratio = pool["requests_per_sec"] / baseline_rate
+    pool_vs_thread = pool["requests_per_sec"] / thread["requests_per_sec"]
+
+    payload = {
+        "workload": {
+            "algorithm": "fast5", "topology": f"cycle({N})",
+            "inputs": "random", "schedule": "bernoulli(p=0.4)",
+            "requests": REQUESTS, "max_time": MAX_TIME,
+        },
+        "comparable": COMPARABLE,
+        "cpu_count": CPU_COUNT,
+        "workers": WORKERS,
+        "baseline_sequential": {
+            "requests_per_sec": baseline_rate, "wall_time": baseline_wall,
+        },
+        "thread_executor": {
+            "requests_per_sec": thread["requests_per_sec"],
+            "wall_time": thread["wall_seconds"],
+            "speedup_vs_baseline": thread_ratio,
+        },
+        "pool": {
+            "requests_per_sec": pool["requests_per_sec"],
+            "wall_time": pool["wall_seconds"],
+            "speedup_vs_baseline": pool_ratio,
+            "speedup_vs_thread": pool_vs_thread,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        "pool vs thread serving (BENCH_pool.json)",
+        [
+            {"leg": "baseline (in-process)",
+             "req/sec": round(baseline_rate, 1),
+             "speedup": 1.0},
+            {"leg": f"thread executor x{WORKERS} (HTTP)",
+             "req/sec": round(thread["requests_per_sec"], 1),
+             "speedup": round(thread_ratio, 2)},
+            {"leg": f"process pool x{WORKERS} (HTTP)",
+             "req/sec": round(pool["requests_per_sec"], 1),
+             "speedup": round(pool_ratio, 2)},
+        ],
+    )
+
+    # The bar only binds where there are cores to win: the pool must
+    # beat the GIL-bound thread executor by 1.8x on >= 2 CPUs.
+    if COMPARABLE:
+        assert pool_vs_thread >= 1.8, (
+            f"pool leg {pool_vs_thread:.2f}x < 1.8x over thread executor"
+        )

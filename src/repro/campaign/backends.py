@@ -12,11 +12,11 @@ retries raising tasks but cannot enforce wall-clock timeouts or
 survive a task that kills the interpreter — it exists for tests,
 small grids, and as the semantics reference.
 
-:class:`PoolBackend` is the production path: a supervisor owning N
-worker processes.  Each worker has a private task queue; the
-supervisor assigns one task at a time to an idle worker, so it always
-knows exactly which task every worker holds.  That makes the three
-failure modes recoverable without losing or duplicating tasks:
+:class:`PoolBackend` is the production path, built on the shared warm
+worker pool (:class:`repro.pool.WorkerPool`).  Each worker has a
+private task queue and holds at most one task, so the supervisor
+always knows exactly which task every worker holds.  That makes the
+three failure modes recoverable without losing or duplicating tasks:
 
 * a task **raises** — the worker reports the error and lives on; the
   supervisor requeues the task (bounded by ``max_retries``);
@@ -27,22 +27,19 @@ failure modes recoverable without losing or duplicating tasks:
   (counted as a crash).
 
 A task that exhausts ``max_retries`` is recorded as ``"failed"`` with
-its last error; the campaign always completes.
+its last error; the campaign always completes.  The pool persists
+across :meth:`~PoolBackend.execute` calls, so sharded campaigns and
+``--resume`` reuse the same warm workers instead of respawning.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-import queue as queue_mod
 import time
-from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.spec import TaskSpec
 from repro.campaign.worker import execute_task
-from repro.errors import CampaignError
+from repro.errors import CampaignError, PoolTaskError
 from repro.obs.metrics import active_registry
 
 __all__ = [
@@ -273,50 +270,19 @@ class BatchBackend(CampaignBackend):
             registry.set_gauge("campaign_queue_depth", 0, backend=self.name)
 
 
-def _pool_worker(wid: int, task_q, result_q) -> None:
-    """Worker loop: pull a task description, run it, report back.
-
-    Runs in a child process.  Only plain dicts/strings cross the
-    queues; all live objects are rebuilt inside :func:`execute_task`
-    from the registries.
-    """
-    while True:
-        item = task_q.get()
-        if item is None:
-            return
-        task_hash = item.get("__hash__")
-        task = {k: v for k, v in item.items() if k != "__hash__"}
-        try:
-            result = execute_task(task)
-        except Exception as exc:
-            result_q.put(
-                ("error", wid, task_hash, f"{type(exc).__name__}: {exc}")
-            )
-        else:
-            result_q.put(("ok", wid, task_hash, result.to_dict()))
-
-
-@dataclass
-class _TaskState:
-    task: TaskSpec
-    attempts: int = 0
-    timeouts: int = 0
-    crashes: int = 0
-    status: Optional[str] = None
-    last_error: Optional[str] = None
-    assigned_at: float = 0.0
-
-
-@dataclass
-class _Worker:
-    process: Any
-    task_q: Any
-    current: Optional[str] = None  # task hash in flight
-    deadline: float = field(default=0.0)
-
-
 class PoolBackend(CampaignBackend):
-    """Supervised ``multiprocessing`` pool with crash/hang recovery."""
+    """Campaign execution on the supervised warm worker pool.
+
+    A thin adapter: task specs are submitted to a
+    :class:`repro.pool.WorkerPool` (crash/hang supervision, bounded
+    retry and warm-worker reuse all live there) and the resulting
+    :class:`~repro.pool.PoolOutcome` / :class:`PoolTaskError` are
+    translated into the campaign's terminal record vocabulary.  The
+    pool is created lazily on the first :meth:`execute` and kept warm
+    for subsequent calls (shards, ``--resume``); pass ``pool=`` to
+    share one across backends, or call :meth:`close` to reap workers
+    eagerly instead of at interpreter exit.
+    """
 
     name = "pool"
 
@@ -326,14 +292,33 @@ class PoolBackend(CampaignBackend):
         *,
         mp_context: Optional[str] = None,
         poll_interval: float = 0.05,
+        pool: Optional[Any] = None,
     ):
+        import os
+
         self.workers = max(1, workers or os.cpu_count() or 1)
-        if mp_context is None:
-            mp_context = (
-                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-            )
-        self._ctx = mp.get_context(mp_context)
+        self._mp_context = mp_context
         self._poll = poll_interval
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    def _ensure_pool(self) -> Any:
+        from repro.pool import WorkerPool
+
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(
+                self.workers,
+                mp_context=self._mp_context,
+                poll_interval=self._poll,
+            )
+            self._owns_pool = True
+        return self._pool
+
+    def close(self) -> None:
+        """Reap this backend's workers now (idempotent)."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=False)
+        self._pool = None
 
     def execute(
         self,
@@ -343,181 +328,83 @@ class PoolBackend(CampaignBackend):
         max_retries: int = 2,
         on_record: RecordSink,
     ) -> None:
+        import concurrent.futures
+
         if not tasks:
             return
         if task_timeout <= 0:
             raise CampaignError(f"task_timeout must be > 0, got {task_timeout}")
-
-        result_q = self._ctx.Queue()
-        state: Dict[str, _TaskState] = {}
-        ready: deque = deque()
+        seen = set()
         for task in tasks:
-            if task.task_hash in state:
+            if task.task_hash in seen:
                 raise CampaignError(
                     f"duplicate task hash {task.task_hash} in campaign grid"
                 )
-            state[task.task_hash] = _TaskState(task=task)
-            ready.append(task)
+            seen.add(task.task_hash)
 
-        workers: Dict[int, _Worker] = {}
-        next_wid = 0
-        done = 0
+        pool = self._ensure_pool()
+        registry = active_registry()
         total = len(tasks)
-
-        def spawn() -> None:
-            nonlocal next_wid
-            wid = next_wid
-            next_wid += 1
-            task_q = self._ctx.SimpleQueue()
-            process = self._ctx.Process(
-                target=_pool_worker, args=(wid, task_q, result_q), daemon=True
+        done = 0
+        if registry is not None:
+            registry.set_gauge(
+                "campaign_queue_depth", total, backend=self.name
             )
-            process.start()
-            workers[wid] = _Worker(process=process, task_q=task_q)
-
-        def finish(st: _TaskState, status: str, **kw) -> None:
-            nonlocal done
-            st.status = status
-            done += 1
-            on_record(
-                _record(
-                    st.task,
-                    status,
-                    attempts=st.attempts,
-                    timeouts=st.timeouts,
-                    crashes=st.crashes,
-                    **kw,
-                )
-            )
-
-        def retry_or_fail(st: _TaskState, error: str, worker: Optional[int]) -> None:
-            """After a failed attempt: requeue, or record terminal failure."""
-            st.last_error = error
-            if st.attempts > max_retries:
-                finish(
-                    st,
+        futures = {
+            pool.submit_task(
+                task.to_dict(),
+                timeout=task_timeout,
+                max_retries=max_retries,
+                label=task.task_hash,
+            ): task
+            for task in tasks
+        }
+        for future in concurrent.futures.as_completed(futures):
+            task = futures[future]
+            try:
+                outcome = future.result()
+            except PoolTaskError as exc:
+                record = _record(
+                    task,
                     "failed",
                     result=None,
-                    error=error,
-                    elapsed=time.monotonic() - st.assigned_at,
-                    worker=worker,
+                    error=str(exc),
+                    attempts=exc.attempts,
+                    elapsed=exc.elapsed,
+                    worker=exc.worker,
+                    timeouts=exc.timeouts,
+                    crashes=exc.crashes,
+                )
+            except Exception as exc:  # pool shut down underneath us
+                record = _record(
+                    task,
+                    "failed",
+                    result=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=1,
+                    elapsed=0.0,
+                    worker=None,
                 )
             else:
-                ready.append(st.task)
-
-        for _ in range(min(self.workers, total)):
-            spawn()
-
-        registry = active_registry()
-        try:
-            while done < total:
-                if registry is not None:
-                    registry.set_gauge(
-                        "campaign_queue_depth", len(ready), backend=self.name
-                    )
-                # 1. hand tasks to idle workers (one in flight each, so
-                #    the supervisor always knows what a dead worker held)
-                if ready:
-                    for wid, w in workers.items():
-                        if not ready:
-                            break
-                        if w.current is None and w.process.is_alive():
-                            task = ready.popleft()
-                            st = state[task.task_hash]
-                            st.assigned_at = time.monotonic()
-                            payload = task.to_dict()
-                            payload["__hash__"] = task.task_hash
-                            w.task_q.put(payload)
-                            w.current = task.task_hash
-                            w.deadline = st.assigned_at + task_timeout
-
-                # 2. drain one result
-                try:
-                    kind, wid, task_hash, payload = result_q.get(
-                        timeout=self._poll
-                    )
-                except queue_mod.Empty:
-                    kind = None
-                if kind is not None:
-                    w = workers.get(wid)
-                    if w is not None and w.current == task_hash:
-                        w.current = None
-                    st = state.get(task_hash)
-                    # Ignore stragglers for tasks already terminal (a
-                    # worker can report just as its deadline fires).
-                    if st is not None and st.status is None:
-                        st.attempts += 1
-                        if kind == "ok":
-                            finish(
-                                st,
-                                "ok",
-                                result=payload,
-                                error=None,
-                                elapsed=payload.get(
-                                    "elapsed",
-                                    time.monotonic() - st.assigned_at,
-                                ),
-                                worker=wid,
-                            )
-                        else:
-                            retry_or_fail(st, payload, wid)
-
-                now = time.monotonic()
-
-                # 3. deadline enforcement: kill and replace hung workers
-                for wid, w in list(workers.items()):
-                    if w.current is not None and now > w.deadline:
-                        task_hash = w.current
-                        w.process.terminate()
-                        w.process.join(timeout=5)
-                        del workers[wid]
-                        st = state[task_hash]
-                        if st.status is None:
-                            st.attempts += 1
-                            st.timeouts += 1
-                            retry_or_fail(
-                                st, f"timeout after {task_timeout:g}s", wid
-                            )
-                        if done < total:
-                            spawn()
-
-                # 4. liveness: a worker died on its own — recover its task
-                for wid, w in list(workers.items()):
-                    if not w.process.is_alive():
-                        task_hash = w.current
-                        w.process.join(timeout=5)
-                        exitcode = w.process.exitcode
-                        del workers[wid]
-                        if task_hash is not None:
-                            st = state[task_hash]
-                            if st.status is None:
-                                st.attempts += 1
-                                st.crashes += 1
-                                retry_or_fail(
-                                    st,
-                                    f"worker crashed (exit {exitcode})",
-                                    wid,
-                                )
-                        if done < total:
-                            spawn()
-        finally:
-            for w in workers.values():
-                try:
-                    w.task_q.put(None)
-                except Exception:
-                    pass
-            deadline = time.monotonic() + 2.0
-            for w in workers.values():
-                w.process.join(timeout=max(0.0, deadline - time.monotonic()))
-                if w.process.is_alive():
-                    w.process.terminate()
-                    w.process.join(timeout=1)
-            result_q.close()
-            result_q.join_thread()
+                record = _record(
+                    task,
+                    "ok",
+                    result=outcome.value,
+                    error=None,
+                    attempts=outcome.attempts,
+                    # Prefer the task's own measured run time (what the
+                    # journal has always carried) over queue-to-finish.
+                    elapsed=outcome.value.get("elapsed", outcome.elapsed),
+                    worker=outcome.worker,
+                    timeouts=outcome.timeouts,
+                    crashes=outcome.crashes,
+                )
+            done += 1
             if registry is not None:
                 registry.set_gauge(
-                    "campaign_queue_depth", len(ready), backend=self.name
+                    "campaign_queue_depth", total - done, backend=self.name
                 )
+            on_record(record)
 
 
 def make_backend(

@@ -237,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default="pool")
     campaign.add_argument("--workers", type=int, default=None,
                           help="pool size (default: cpu count)")
+    campaign.add_argument("--pool-workers", dest="workers", type=int,
+                          help="alias for --workers: warm worker processes "
+                               "of the pool backend (see docs/POOL.md)")
     campaign.add_argument("--timeout", type=float, default=60.0,
                           help="per-task timeout in seconds (pool backend)")
     campaign.add_argument("--retries", type=int, default=2,
@@ -271,7 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-request wall-clock timeout → 504")
     serve.add_argument("--workers", type=int, default=2,
-                       help="executor threads running simulations")
+                       help="executor threads running simulations "
+                            "(ignored when --pool-workers is set)")
+    serve.add_argument("--pool-workers", type=int, default=0,
+                       help="warm worker processes executing simulations; "
+                            "0 (default) keeps the in-process thread "
+                            "executor — use the CPU count for multi-core "
+                            "serving (see docs/POOL.md)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="graceful-shutdown drain budget on SIGTERM")
     serve.add_argument("--quiet", action="store_true",
@@ -679,6 +688,7 @@ def _cmd_serve(args) -> int:
         coalesce_window=args.coalesce_window,
         request_timeout=args.request_timeout,
         executor_workers=args.workers,
+        pool_workers=args.pool_workers,
         drain_timeout=args.drain_timeout,
         quiet=args.quiet,
     )

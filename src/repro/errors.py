@@ -21,6 +21,8 @@ __all__ = [
     "WaitFreedomViolation",
     "TaskSpecError",
     "CampaignError",
+    "PoolError",
+    "PoolTaskError",
     "ServiceError",
     "RequestValidationError",
     "BackpressureError",
@@ -99,6 +101,41 @@ class TaskSpecError(ReproError):
 
 class CampaignError(ReproError):
     """Raised for malformed campaign specs, journals or backend misuse."""
+
+
+class PoolError(ReproError):
+    """Raised on misuse of the shared worker pool (e.g. submitting to a
+    pool that has been shut down)."""
+
+
+class PoolTaskError(PoolError):
+    """A pool task exhausted its retry budget without producing a result.
+
+    Carries the supervision metadata of the failed item so callers can
+    journal it exactly as the campaign backends always have:
+
+    Attributes
+    ----------
+    attempts:
+        Completed attempts (first try plus retries).
+    timeouts:
+        Attempts cut short by the per-task deadline (worker killed).
+    crashes:
+        Attempts ended by a dying worker (segfault, ``os._exit``, OOM).
+    elapsed:
+        Wall-clock seconds from first assignment to terminal failure.
+    worker:
+        Id of the worker that held the task last, when known.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1, timeouts: int = 0,
+                 crashes: int = 0, elapsed: float = 0.0, worker=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.timeouts = timeouts
+        self.crashes = crashes
+        self.elapsed = elapsed
+        self.worker = worker
 
 
 class ServiceError(ReproError):

@@ -65,6 +65,15 @@ NONDETERMINISTIC_METRICS = frozenset(
         # differently across backends and fallback paths.
         "batch_replicas",
         "batch_occupancy",
+        # Worker-pool supervision metrics are pure operational state:
+        # live occupancy, scheduling races and fault-recovery counts
+        # vary run to run on identical workloads.
+        "pool_workers",
+        "pool_workers_busy",
+        "pool_queue_depth",
+        "pool_tasks_total",
+        "pool_task_retries_total",
+        "pool_worker_restarts_total",
     }
 )
 

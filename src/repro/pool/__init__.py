@@ -1,0 +1,62 @@
+"""repro.pool — the warm multi-core execution substrate.
+
+One supervised process pool shared by every layer that needs true
+multi-core execution: the HTTP service routes cold misses and
+coalesced groups here instead of its GIL-bound thread executor, and
+the campaign ``PoolBackend`` runs its grids here with spawn-once
+worker reuse across shards and ``--resume``.
+
+Workers spawn once, pre-import the kernel/fast-path/batch modules so
+compiled-kernel and topology caches stay warm across tasks, and speak
+a pickle-light protocol of plain dicts.  Supervision (crash/hang
+detection, bounded retry, graceful drain) lives in
+:class:`~repro.pool.pool.WorkerPool`; the per-process worker loop in
+:mod:`repro.pool.worker`.  See ``docs/POOL.md`` for the architecture
+and tuning guide.
+
+:func:`shared_pool` hands out one process-wide pool for callers that
+want to share warm workers (campaigns across shards); components with
+their own lifecycle (the HTTP server) construct private pools.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.pool.pool import PoolOutcome, WorkerPool
+
+__all__ = [
+    "PoolOutcome",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pool",
+]
+
+_SHARED: Optional[WorkerPool] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The process-wide pool, created on first use.
+
+    ``workers`` grows (never shrinks) the shared pool; omit it to
+    accept whatever size the first caller chose (CPU count by
+    default).  A previously shut-down shared pool is replaced.
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None or _SHARED.closed:
+            _SHARED = WorkerPool(workers)
+        elif workers:
+            _SHARED.ensure_workers(workers)
+        return _SHARED
+
+
+def shutdown_shared_pool(wait: bool = True, timeout: float = 10.0) -> None:
+    """Tear down the shared pool (tests, end of CLI commands)."""
+    global _SHARED
+    with _SHARED_LOCK:
+        pool, _SHARED = _SHARED, None
+    if pool is not None:
+        pool.shutdown(wait=wait, timeout=timeout)

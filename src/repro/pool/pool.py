@@ -1,0 +1,559 @@
+"""The supervised warm worker pool: one substrate for every layer.
+
+:class:`WorkerPool` owns N persistent child processes (fork-preferred)
+that warm the kernel/fast-path/batch import graph once and then serve
+tasks forever.  The parent side is a tiny supervisor thread plus a
+lock-guarded assignment table; callers get a
+:class:`concurrent.futures.Future` back from :meth:`submit` and never
+touch multiprocessing primitives.
+
+The supervision semantics are lifted from the campaign
+``PoolBackend`` that proved them (see ``repro/campaign/backends.py``):
+each worker has a private task queue and holds **at most one task**,
+so the supervisor always knows exactly what a dead worker was doing.
+The three failure modes recover without losing or duplicating work:
+
+* a task **raises** — the worker reports the error and lives on; the
+  task is requeued (bounded by its ``max_retries``);
+* a task **hangs** — its deadline fires, the worker is killed and a
+  fresh warm worker spawned, the task requeued (a *timeout*);
+* a worker **dies** (segfault, ``os._exit``, OOM-kill) — liveness
+  monitoring spots the corpse, respawns, requeues (a *crash*).
+
+A task that exhausts its retry budget fails its future with
+:class:`~repro.errors.PoolTaskError` carrying the full supervision
+metadata; the pool itself always stays serviceable.
+
+Latency notes: :meth:`submit` assigns directly to an idle worker under
+the lock — the dispatch path does not wait for a supervisor poll tick.
+The supervisor only arbitrates results, deadlines, liveness and the
+overflow queue.  All ``pool_*`` metrics are emitted into the pool's
+pinned registry when one was given, else whatever
+:func:`~repro.obs.metrics.active_registry` says at emission time.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PoolError, PoolTaskError
+from repro.obs.metrics import MetricsRegistry, active_registry
+from repro.pool.worker import pool_worker_main
+
+__all__ = ["PoolOutcome", "WorkerPool"]
+
+#: (future, result, exception) triples resolved outside the pool lock.
+_Resolution = Tuple[Future, Any, Optional[BaseException]]
+
+
+@dataclass(frozen=True)
+class PoolOutcome:
+    """What a successful pool future resolves to.
+
+    ``value`` is the task's JSON-shaped payload; the rest is the
+    supervision record (how hard the pool had to work for it), in the
+    exact vocabulary the campaign journal has always used.
+    """
+
+    value: Any
+    attempts: int
+    timeouts: int
+    crashes: int
+    elapsed: float
+    worker: Optional[int]
+
+
+@dataclass
+class _Item:
+    id: int
+    kind: str
+    payload: Any
+    future: Future
+    timeout: Optional[float]
+    max_retries: int
+    label: str
+    created: float
+    attempts: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    current_wid: Optional[int] = None
+
+
+@dataclass
+class _Worker:
+    wid: int
+    process: Any
+    task_q: Any
+    current: Optional[int] = None  # item id in flight
+    deadline: float = math.inf
+
+
+class WorkerPool:
+    """Persistent supervised process pool with warm workers.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (defaults to the CPU count).  Workers spawn lazily on
+        the first :meth:`submit` (or eagerly via :meth:`ensure_workers`)
+        and persist until :meth:`shutdown`.
+    mp_context:
+        ``multiprocessing`` start method; ``fork`` when available so
+        workers inherit already-imported modules for free, ``spawn``
+        otherwise (workers then warm themselves on startup).
+    poll_interval:
+        Supervisor result-poll cadence in seconds.  Only failure
+        detection rides on it — dispatch is direct.
+    registry:
+        Pin metrics to this registry; ``None`` defers to
+        :func:`active_registry` per emission.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        mp_context: Optional[str] = None,
+        poll_interval: float = 0.02,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.workers = max(1, workers or os.cpu_count() or 1)
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(mp_context)
+        self._poll = poll_interval
+        self._registry = registry
+        self._lock = threading.RLock()
+        self._result_q = self._ctx.Queue()
+        self._workers: Dict[int, _Worker] = {}
+        self._items: Dict[int, _Item] = {}
+        self._ready: deque = deque()
+        self._next_wid = 0
+        self._next_item = 0
+        self._supervisor: Optional[threading.Thread] = None
+        self._closing = False
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._restarts = 0
+        _LIVE_POOLS.add(self)
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ensure_workers(self, count: int) -> None:
+        """Grow the pool to at least ``count`` warm workers, eagerly.
+
+        Used to pre-warm before serving traffic so the first request
+        never pays a worker spawn.
+        """
+        with self._lock:
+            if self._closed or self._closing:
+                raise PoolError("cannot grow a pool that is shut down")
+            self.workers = max(self.workers, count)
+            while len(self._workers) < count:
+                self._spawn_locked()
+            self._start_supervisor_locked()
+
+    def submit(
+        self,
+        kind: str,
+        payload: Any,
+        *,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        label: str = "",
+    ) -> Future:
+        """Submit one task; resolves to a :class:`PoolOutcome`.
+
+        ``timeout`` is the per-attempt hang deadline (``None`` = no
+        deadline); ``max_retries`` bounds total attempts at
+        ``max_retries + 1``.  The future fails with
+        :class:`~repro.errors.PoolTaskError` on retry exhaustion.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed or self._closing:
+                raise PoolError("cannot submit to a pool that is shut down")
+            item = _Item(
+                id=self._next_item,
+                kind=kind,
+                payload=payload,
+                future=future,
+                timeout=timeout,
+                max_retries=max_retries,
+                label=label,
+                created=time.monotonic(),
+            )
+            self._next_item += 1
+            self._items[item.id] = item
+            self._submitted += 1
+            while len(self._workers) < self.workers:
+                self._spawn_locked()
+            self._start_supervisor_locked()
+            if not self._assign_locked(item):
+                self._ready.append(item)
+            self._set_gauges_locked()
+        return future
+
+    def submit_task(self, task: Dict[str, Any], **kwargs: Any) -> Future:
+        """Submit one campaign task description (``execute_task``)."""
+        return self.submit("task", task, **kwargs)
+
+    def submit_group(
+        self, configs: List[Dict[str, Any]], **kwargs: Any
+    ) -> Future:
+        """Submit one coalesced service group (request config dicts)."""
+        return self.submit("group", configs, **kwargs)
+
+    def stats(self) -> Dict[str, int]:
+        """Live pool accounting, for ``/healthz`` and tests."""
+        with self._lock:
+            busy = sum(
+                1 for w in self._workers.values() if w.current is not None
+            )
+            return {
+                "workers": len(self._workers),
+                "busy": busy,
+                "queue_depth": len(self._ready),
+                "pending": len(self._items),
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "restarts": self._restarts,
+            }
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for every pending task to reach a terminal state.
+
+        Returns ``True`` when the pool emptied within ``timeout``.
+        Does not reject new submissions — pair with :meth:`shutdown`
+        for a terminal drain.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._items:
+                    return True
+            time.sleep(min(0.05, self._poll))
+        with self._lock:
+            return not self._items
+
+    def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop the pool: optionally drain, then fail leftovers and
+        reap every worker.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True  # rejects new submissions immediately
+        if wait:
+            self.drain(timeout)
+        resolutions: List[_Resolution] = []
+        with self._lock:
+            self._closed = True
+            for item in self._items.values():
+                resolutions.append(
+                    (
+                        item.future,
+                        None,
+                        PoolError("pool shut down with task still pending"),
+                    )
+                )
+            self._items.clear()
+            self._ready.clear()
+            workers = list(self._workers.values())
+            self._workers.clear()
+            supervisor = self._supervisor
+        self._resolve(resolutions)
+        for w in workers:
+            try:
+                w.task_q.put(None)
+            except Exception:
+                pass
+        if supervisor is not None and supervisor.is_alive():
+            supervisor.join(timeout=2.0)
+        join_deadline = time.monotonic() + 2.0
+        for w in workers:
+            w.process.join(
+                timeout=max(0.0, join_deadline - time.monotonic())
+            )
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=1.0)
+        try:
+            self._result_q.close()
+            self._result_q.join_thread()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True)
+
+    # -- internals (all *_locked methods require self._lock) -----------
+
+    def _metrics(self) -> Optional[MetricsRegistry]:
+        return self._registry if self._registry is not None else active_registry()
+
+    def _spawn_locked(self) -> int:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_q = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=pool_worker_main,
+            args=(wid, task_q, self._result_q),
+            daemon=True,
+        )
+        process.start()
+        self._workers[wid] = _Worker(wid=wid, process=process, task_q=task_q)
+        return wid
+
+    def _start_supervisor_locked(self) -> None:
+        if self._supervisor is None or not self._supervisor.is_alive():
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                name="repro-pool-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    def _assign_locked(self, item: _Item) -> bool:
+        """Hand ``item`` to an idle worker; False when all are busy."""
+        for w in self._workers.values():
+            if w.current is None and w.process.is_alive():
+                item.current_wid = w.wid
+                w.current = item.id
+                w.deadline = (
+                    time.monotonic() + item.timeout
+                    if item.timeout
+                    else math.inf
+                )
+                w.task_q.put(
+                    {"id": item.id, "kind": item.kind, "payload": item.payload}
+                )
+                return True
+        return False
+
+    def _assign_ready_locked(self) -> None:
+        while self._ready:
+            item = self._ready[0]
+            if item.future.cancelled():
+                self._ready.popleft()
+                self._items.pop(item.id, None)
+                continue
+            if not self._assign_locked(item):
+                break
+            self._ready.popleft()
+
+    def _set_gauges_locked(self) -> None:
+        registry = self._metrics()
+        if registry is None:
+            return
+        busy = sum(1 for w in self._workers.values() if w.current is not None)
+        registry.set_gauge("pool_workers", len(self._workers))
+        registry.set_gauge("pool_workers_busy", busy)
+        registry.set_gauge("pool_queue_depth", len(self._ready))
+
+    def _retry_or_fail_locked(
+        self,
+        item: _Item,
+        error: str,
+        wid: Optional[int],
+        resolutions: List[_Resolution],
+    ) -> None:
+        """After a failed attempt: requeue, or fail the future."""
+        if item.attempts > item.max_retries:
+            self._items.pop(item.id, None)
+            self._completed += 1
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_tasks_total", kind=item.kind, status="failed")
+            resolutions.append(
+                (
+                    item.future,
+                    None,
+                    PoolTaskError(
+                        error,
+                        attempts=item.attempts,
+                        timeouts=item.timeouts,
+                        crashes=item.crashes,
+                        elapsed=time.monotonic() - item.created,
+                        worker=wid,
+                    ),
+                )
+            )
+        else:
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_task_retries_total", kind=item.kind)
+            self._ready.append(item)
+
+    def _on_result_locked(
+        self,
+        item_id: int,
+        wid: int,
+        status: str,
+        payload: Any,
+        resolutions: List[_Resolution],
+    ) -> None:
+        w = self._workers.get(wid)
+        if w is not None and w.current == item_id:
+            w.current = None
+            w.deadline = math.inf
+        item = self._items.get(item_id)
+        # Stragglers: the item already reached a terminal state, or was
+        # reassigned after its worker got deadline-killed mid-report.
+        if item is None or item.current_wid != wid:
+            return
+        item.attempts += 1
+        item.current_wid = None
+        if status == "ok":
+            self._items.pop(item_id, None)
+            self._completed += 1
+            elapsed = time.monotonic() - item.created
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_tasks_total", kind=item.kind, status="ok")
+                registry.observe("pool_task_seconds", elapsed, kind=item.kind)
+            resolutions.append(
+                (
+                    item.future,
+                    PoolOutcome(
+                        value=payload,
+                        attempts=item.attempts,
+                        timeouts=item.timeouts,
+                        crashes=item.crashes,
+                        elapsed=elapsed,
+                        worker=wid,
+                    ),
+                    None,
+                )
+            )
+        else:
+            self._retry_or_fail_locked(item, str(payload), wid, resolutions)
+
+    def _check_deadlines_locked(
+        self, resolutions: List[_Resolution]
+    ) -> None:
+        now = time.monotonic()
+        for wid, w in list(self._workers.items()):
+            if w.current is None or now <= w.deadline:
+                continue
+            item = self._items.get(w.current)
+            w.process.terminate()
+            w.process.join(timeout=5)
+            del self._workers[wid]
+            self._restarts += 1
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_worker_restarts_total", reason="timeout")
+            if item is not None:
+                item.attempts += 1
+                item.timeouts += 1
+                item.current_wid = None
+                self._retry_or_fail_locked(
+                    item, f"timeout after {item.timeout:g}s", wid, resolutions
+                )
+            if not self._closing:
+                self._spawn_locked()
+
+    def _check_liveness_locked(self, resolutions: List[_Resolution]) -> None:
+        if self._closing:
+            return
+        for wid, w in list(self._workers.items()):
+            if w.process.is_alive():
+                continue
+            item = (
+                self._items.get(w.current) if w.current is not None else None
+            )
+            w.process.join(timeout=5)
+            exitcode = w.process.exitcode
+            del self._workers[wid]
+            self._restarts += 1
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_worker_restarts_total", reason="crash")
+            if item is not None:
+                item.attempts += 1
+                item.crashes += 1
+                item.current_wid = None
+                self._retry_or_fail_locked(
+                    item, f"worker crashed (exit {exitcode})", wid, resolutions
+                )
+            self._spawn_locked()
+
+    @staticmethod
+    def _resolve(resolutions: List[_Resolution]) -> None:
+        for future, value, exc in resolutions:
+            try:
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(value)
+            except Exception:
+                # The caller cancelled mid-flight; the result is simply
+                # discarded (the computation itself stays cached by any
+                # layer above that wants it).
+                pass
+
+    def _supervise(self) -> None:
+        while True:
+            try:
+                message = self._result_q.get(timeout=self._poll)
+            except queue_mod.Empty:
+                message = None
+            except (OSError, EOFError, ValueError):
+                # The queue was closed underneath us (shutdown racing
+                # interpreter teardown); fall through to the stop check.
+                message = None
+            resolutions: List[_Resolution] = []
+            with self._lock:
+                if message is not None:
+                    self._on_result_locked(*message, resolutions)
+                    while True:
+                        try:
+                            extra = self._result_q.get_nowait()
+                        except (queue_mod.Empty, OSError, EOFError, ValueError):
+                            break
+                        self._on_result_locked(*extra, resolutions)
+                self._check_deadlines_locked(resolutions)
+                self._check_liveness_locked(resolutions)
+                self._assign_ready_locked()
+                self._set_gauges_locked()
+                stop = self._closing and not self._items
+            self._resolve(resolutions)
+            if stop:
+                return
+
+
+#: Every live pool, reaped at interpreter exit so stray worker
+#: processes never outlive the parent.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def _shutdown_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.shutdown(wait=False, timeout=0.0)
+        except Exception:
+            pass
+
+
+atexit.register(_shutdown_live_pools)

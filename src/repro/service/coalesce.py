@@ -21,9 +21,21 @@ The service's execution pipeline, between the cache and the engines:
    bit-identical to what a solo run would produce — the equivalence
    tests pin this against the reference engine.
 
-Executions are CPU-bound, so groups run on a thread-pool executor;
-the event loop stays free to serve cache hits, health checks and
-metric scrapes while a batch computes.
+The coalescing window is *adaptive*: the batcher only holds a batch
+open while other admitted requests are actually pending.  The moment
+the pipeline is otherwise idle the batch flushes immediately, so
+coalescing never costs latency when there is nothing to coalesce —
+a lone cold request pays execution time, not execution time plus the
+window.
+
+Executions are CPU-bound, so groups run on a thread-pool executor by
+default; when a :class:`~repro.pool.WorkerPool` is attached they run
+in warm worker *processes* instead, which is what lets a multi-core
+box serve cold misses faster than a single core (the thread executor
+is GIL-bound).  Either way the event loop stays free to serve cache
+hits, health checks and metric scrapes while a batch computes, and
+the per-request responses are bit-identical — the pool path is pinned
+against the in-process reference by the same equivalence tests.
 """
 
 from __future__ import annotations
@@ -32,12 +44,15 @@ import asyncio
 import concurrent.futures
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import BackpressureError
 from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import LRUCache, SingleFlight
 from repro.service.schema import ColorRequest, ColorResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.pool import WorkerPool
 
 __all__ = ["Coalescer", "execute_requests"]
 
@@ -124,6 +139,7 @@ class Coalescer:
         max_batch: int = 32,
         coalesce_window: float = 0.002,
         executor: Optional[concurrent.futures.Executor] = None,
+        pool: Optional["WorkerPool"] = None,
         registry: Optional[MetricsRegistry] = None,
     ):
         if queue_limit < 0:
@@ -138,11 +154,13 @@ class Coalescer:
         self.registry = registry
         self._executor = executor
         self._owns_executor = executor is None
+        self.pool = pool
         # Loop-bound primitives are created in start(), on the serving
         # loop: on Python 3.9 a Queue constructed off-loop would bind
         # whatever loop the constructing thread had.
         self._queue: Optional["asyncio.Queue[_WorkItem]"] = None
         self._admitted = 0
+        self._executing = 0
         self._idle: Optional[asyncio.Event] = None
         self._batcher: Optional[asyncio.Task] = None
         self._group_tasks: set = set()
@@ -154,7 +172,7 @@ class Coalescer:
         self._queue = asyncio.Queue()
         self._idle = asyncio.Event()
         self._idle.set()
-        if self._executor is None:
+        if self._executor is None and self.pool is None:
             self._executor = concurrent.futures.ThreadPoolExecutor(
                 max_workers=2, thread_name_prefix="repro-service"
             )
@@ -212,9 +230,12 @@ class Coalescer:
 
     def _retire(self, count: int) -> None:
         self._admitted -= count
+        self._executing -= count
         if self._admitted <= 0:
             self._admitted = 0
             self._idle.set()
+        if self._executing < 0:
+            self._executing = 0
         if self.registry is not None:
             self.registry.set_gauge("service_queue_depth", self._admitted)
 
@@ -265,6 +286,13 @@ class Coalescer:
         return max(1.0, self.queue_limit / max(1, self.max_batch))
 
     # -- batcher -------------------------------------------------------
+    def _pending_elsewhere(self, batch_size: int) -> int:
+        """Admitted requests neither executing nor already in this
+        batch — i.e. still waiting in the queue.  Submissions enqueue
+        synchronously with admission, so zero here means the pipeline
+        is idle apart from this batch and the window can flush."""
+        return self._admitted - self._executing - batch_size
+
     async def _run(self) -> None:
         while True:
             item = await self._queue.get()
@@ -273,6 +301,16 @@ class Coalescer:
                 loop = asyncio.get_event_loop()
                 deadline = loop.time() + self.coalesce_window
                 while len(batch) < self.max_batch:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        pass
+                    # Idle-flush: hold the window open only while other
+                    # admitted requests are on their way; a lone
+                    # request never waits for company that cannot come.
+                    if self._pending_elsewhere(len(batch)) <= 0:
+                        break
                     remaining = deadline - loop.time()
                     if remaining <= 0:
                         break
@@ -294,6 +332,7 @@ class Coalescer:
             for group in groups.values():
                 # Groups execute as independent tasks so the batcher
                 # keeps coalescing the next wave while they run.
+                self._executing += len(group)
                 task = asyncio.ensure_future(self._execute_group(group))
                 self._group_tasks.add(task)
                 task.add_done_callback(self._group_tasks.discard)
@@ -302,10 +341,24 @@ class Coalescer:
         requests = [w.request for w in group]
         started = perf_counter()
         try:
-            loop = asyncio.get_event_loop()
-            results, engine = await loop.run_in_executor(
-                self._executor, execute_requests, requests
-            )
+            if self.pool is not None:
+                # Warm-process path: the worker executes, verifies and
+                # serializes; only JSON-shaped dicts cross the process
+                # boundary and the event loop never burns engine CPU.
+                outcome = await asyncio.wrap_future(
+                    self.pool.submit_group([r.config() for r in requests])
+                )
+                engine = outcome.value["engine"]
+                responses = [
+                    ColorResponse.from_dict(d)
+                    for d in outcome.value["responses"]
+                ]
+            else:
+                loop = asyncio.get_event_loop()
+                results, engine = await loop.run_in_executor(
+                    self._executor, execute_requests, requests
+                )
+                responses = None
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             for work in group:
                 self.flight.reject(work.key, exc)
@@ -318,15 +371,19 @@ class Coalescer:
             self.registry.observe("service_exec_seconds", elapsed)
         if len(group) > 1:
             self._inc("service_coalesced_requests_total", len(group))
-        share = elapsed / len(group)
-        for work, result in zip(group, results):
-            response = ColorResponse.from_execution(
-                work.request,
-                result,
-                engine=engine,
-                batch_size=len(group),
-                elapsed=share,
-            )
+        if responses is None:
+            share = elapsed / len(group)
+            responses = [
+                ColorResponse.from_execution(
+                    work.request,
+                    result,
+                    engine=engine,
+                    batch_size=len(group),
+                    elapsed=share,
+                )
+                for work, result in zip(group, results)
+            ]
+        for work, response in zip(group, responses):
             self.cache.put(work.key, response)
             self.flight.resolve(work.key, response)
         self._retire(len(group))

@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import BackpressureError, RequestValidationError
 from repro.obs.exposition import render_prometheus
 from repro.obs.metrics import MetricsRegistry, collecting
+from repro.pool import WorkerPool
 from repro.service.coalesce import Coalescer
 from repro.service.schema import ColorRequest
 
@@ -72,6 +73,7 @@ class ColorServer:
         coalesce_window: float = 0.002,
         request_timeout: float = 30.0,
         executor_workers: int = 2,
+        pool_workers: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ):
         self.host = host
@@ -79,7 +81,9 @@ class ColorServer:
         self.request_timeout = request_timeout
         self.registry = registry if registry is not None else MetricsRegistry()
         self.executor_workers = executor_workers
+        self.pool_workers = pool_workers
         self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._pool: Optional[WorkerPool] = None
         self.coalescer = Coalescer(
             cache_size=cache_size,
             queue_limit=queue_limit,
@@ -93,13 +97,26 @@ class ColorServer:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Bind the socket and start the pipeline."""
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=self.executor_workers,
-            thread_name_prefix="repro-service",
-        )
-        self.coalescer._executor = self._executor
-        self.coalescer._owns_executor = False
+        """Bind the socket and start the pipeline.
+
+        With ``pool_workers > 0`` the execution substrate is a private
+        :class:`WorkerPool` of warm processes, pre-spawned here so the
+        first request never pays a worker start; otherwise a GIL-bound
+        thread executor (the single-core-adequate default).
+        """
+        if self.pool_workers > 0:
+            self._pool = WorkerPool(
+                self.pool_workers, registry=self.registry
+            )
+            self._pool.ensure_workers(self.pool_workers)
+            self.coalescer.pool = self._pool
+        else:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.executor_workers,
+                thread_name_prefix="repro-service",
+            )
+            self.coalescer._executor = self._executor
+            self.coalescer._owns_executor = False
         await self.coalescer.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -110,7 +127,11 @@ class ColorServer:
         """Graceful stop: refuse new work, drain, tear down.
 
         Returns whether the pipeline drained fully within the timeout.
+        The executor is shut down with ``cancel_futures=True`` so a
+        task that outlived the drain deadline (hung or just slow)
+        cannot stall SIGTERM shutdown by holding queued work.
         """
+        drain_started = asyncio.get_event_loop().time()
         self.draining = True
         if self._server is not None:
             self._server.close()
@@ -125,8 +146,18 @@ class ColorServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         if self._executor is not None:
-            self._executor.shutdown(wait=False)
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._pool is not None:
+            # The drain already waited for in-flight groups; anything
+            # left is abandoned work the pool fails fast.
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        if self.registry is not None:
+            self.registry.observe(
+                "service_drain_seconds",
+                asyncio.get_event_loop().time() - drain_started,
+            )
         return drained
 
     # -- connection handling -------------------------------------------
@@ -319,13 +350,16 @@ class ColorServer:
 
     # -- helpers -------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "status": "draining" if self.draining else "ok",
             "queue_depth": self.coalescer.depth,
             "queue_limit": self.coalescer.queue_limit,
             "cache": self.coalescer.cache.stats(),
             "inflight_keys": len(self.coalescer.flight),
         }
+        if self._pool is not None:
+            payload["pool"] = self._pool.stats()
+        return payload
 
     @staticmethod
     def _json(payload: Dict[str, Any]) -> bytes:
@@ -412,6 +446,7 @@ def serve(
     coalesce_window: float = 0.002,
     request_timeout: float = 30.0,
     executor_workers: int = 2,
+    pool_workers: int = 0,
     drain_timeout: float = 10.0,
     quiet: bool = False,
 ) -> int:
@@ -419,7 +454,8 @@ def serve(
 
     Runs until SIGTERM/SIGINT, then drains gracefully.  Exit status 0
     on a clean drain, 1 when the drain timed out with work still in
-    flight.
+    flight.  ``pool_workers > 0`` serves executions from that many
+    warm worker processes instead of the in-process thread executor.
     """
     server = ColorServer(
         host=host,
@@ -430,6 +466,7 @@ def serve(
         coalesce_window=coalesce_window,
         request_timeout=request_timeout,
         executor_workers=executor_workers,
+        pool_workers=pool_workers,
     )
     loop = asyncio.new_event_loop()
     asyncio.set_event_loop(loop)
@@ -450,7 +487,7 @@ def serve(
                     f"repro-color serve: listening on "
                     f"http://{server.host}:{server.port} "
                     f"(queue_limit={queue_limit}, cache_size={cache_size}, "
-                    f"max_batch={max_batch})",
+                    f"max_batch={max_batch}, pool_workers={pool_workers})",
                     file=sys.stderr,
                     flush=True,
                 )

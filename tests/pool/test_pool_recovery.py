@@ -1,0 +1,123 @@
+"""Crash/hang recovery of pool workers (Issue 7 satellite).
+
+The pool must survive the same three failure modes the campaign
+``PoolBackend`` always has — and because tasks are deterministic, a
+retried task must produce a result bit-identical to an undisturbed
+run.  The faulty workloads from ``tests.campaign.faulty`` are reused:
+they trip exactly once per fault dir, so the first attempt fails and
+the retry (on a fresh warm worker) runs the real algorithm.
+
+Pools are created *inside* the tests, after the fault-dir env var is
+set, so forked workers inherit it.
+"""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import execute_task
+from repro.errors import PoolTaskError
+from repro.obs.metrics import MetricsRegistry
+from repro.pool import WorkerPool
+
+
+def task_dict(algorithm):
+    spec = CampaignSpec.build(
+        algorithms=[algorithm],
+        ns=[8],
+        input_families=["random"],
+        schedules=["sync"],
+        seeds=[0],
+    )
+    [task] = spec.expand()
+    return task.to_dict()
+
+
+def strip_elapsed(result):
+    return {k: v for k, v in result.items() if k != "elapsed"}
+
+
+@pytest.fixture
+def fault_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FAULT_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_task_retried(self, fault_dir):
+        """A worker dying mid-task (os._exit) must cost one restart and
+        zero correctness: the retry lands on a fresh warm worker and
+        returns the bit-identical result."""
+        registry = MetricsRegistry()
+        task = task_dict("tests.campaign.faulty:crash_once")
+        with WorkerPool(2, registry=registry) as pool:
+            outcome = pool.submit_task(
+                task, timeout=30.0, max_retries=2
+            ).result(timeout=120)
+            assert outcome.crashes == 1
+            assert outcome.attempts == 2
+            stats = pool.stats()
+            assert stats["restarts"] == 1
+            assert stats["workers"] == 2  # corpse replaced, pool whole
+        # The crash marker is tripped, so an in-process run of the same
+        # task now takes the healthy path: the oracle for bit-identity.
+        want = execute_task(task).to_dict()
+        assert strip_elapsed(outcome.value) == strip_elapsed(want)
+        assert (
+            registry.value("pool_worker_restarts_total", reason="crash") == 1
+        )
+        assert (
+            registry.value("pool_tasks_total", kind="task", status="ok") == 1
+        )
+
+    def test_crash_does_not_disturb_other_tasks(self, fault_dir):
+        crash = task_dict("tests.campaign.faulty:crash_once")
+        healthy = task_dict("fast5")
+        with WorkerPool(2) as pool:
+            futures = [
+                pool.submit_task(crash, timeout=30.0, max_retries=2),
+                pool.submit_task(healthy, timeout=30.0, max_retries=2),
+            ]
+            outcomes = [f.result(timeout=120) for f in futures]
+        assert outcomes[0].crashes == 1
+        assert outcomes[1].crashes == 0
+        want = execute_task(healthy).to_dict()
+        assert strip_elapsed(outcomes[1].value) == strip_elapsed(want)
+
+
+class TestHangRecovery:
+    def test_hung_worker_is_killed_at_deadline_and_task_retried(
+        self, fault_dir
+    ):
+        registry = MetricsRegistry()
+        task = task_dict("tests.campaign.faulty:hang_once")
+        with WorkerPool(2, registry=registry) as pool:
+            outcome = pool.submit_task(
+                task, timeout=1.0, max_retries=2
+            ).result(timeout=120)
+            assert outcome.timeouts == 1
+            assert outcome.attempts == 2
+            assert pool.stats()["restarts"] == 1
+        want = execute_task(task).to_dict()
+        assert strip_elapsed(outcome.value) == strip_elapsed(want)
+        assert (
+            registry.value("pool_worker_restarts_total", reason="timeout")
+            == 1
+        )
+
+
+class TestRetryExhaustion:
+    def test_raise_always_fails_with_supervision_metadata(self, fault_dir):
+        registry = MetricsRegistry()
+        task = task_dict("tests.campaign.faulty:raise_always")
+        with WorkerPool(1, registry=registry) as pool:
+            future = pool.submit_task(task, timeout=30.0, max_retries=1)
+            with pytest.raises(PoolTaskError) as excinfo:
+                future.result(timeout=120)
+        assert excinfo.value.attempts == 2  # 1 try + 1 retry
+        assert "injected failure" in str(excinfo.value)
+        assert (
+            registry.value("pool_tasks_total", kind="task", status="failed")
+            == 1
+        )
+        # A raising task never kills its worker: no restart.
+        assert registry.value("pool_worker_restarts_total", reason="crash") is None

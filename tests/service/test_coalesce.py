@@ -94,6 +94,128 @@ class TestBatchEquivalence:
         assert [r.batch_size for r in responses] == [3, 3, 3, 2, 2]
 
 
+@pytest.fixture(scope="module")
+def warm_pool():
+    """One warm 2-worker pool shared by the pool-path tests."""
+    from repro.pool import WorkerPool
+
+    pool = WorkerPool(2)
+    yield pool
+    pool.shutdown(wait=False)
+
+
+class TestPoolPathEquivalence:
+    """Issue 7 acceptance: routing execution to warm worker processes
+    must be invisible in the payload — pool-executed responses are
+    bit-identical to the solo reference-engine oracle for every
+    registered algorithm, exactly like the thread-executor path."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_pool_responses_match_reference_engine(
+        self, algorithm, warm_pool
+    ):
+        requests = [bernoulli_request(algorithm, seed) for seed in SEEDS]
+
+        async def scenario():
+            async with Coalescer(
+                queue_limit=32,
+                max_batch=32,
+                coalesce_window=0.2,
+                pool=warm_pool,
+            ) as coalescer:
+                return await asyncio.gather(
+                    *(coalescer.submit(r) for r in requests)
+                )
+
+        responses = asyncio.run(scenario())
+        assert all(r.batch_size == len(requests) for r in responses)
+        for request, response in zip(requests, responses):
+            want = reference_response(request)
+            assert response.deterministic_dict() == want.deterministic_dict()
+
+    def test_pool_solo_request_matches_reference(self, warm_pool):
+        """A singleton group through the pool (fast-path fallback)."""
+        request = bernoulli_request("fast5", 7)
+
+        async def scenario():
+            async with Coalescer(
+                queue_limit=8, coalesce_window=0.0, pool=warm_pool
+            ) as coalescer:
+                return await coalescer.submit(request)
+
+        response = asyncio.run(scenario())
+        assert response.batch_size == 1
+        assert response.cached is False
+        want = reference_response(request)
+        assert response.deterministic_dict() == want.deterministic_dict()
+
+    def test_pool_result_lands_in_cache(self, warm_pool):
+        request = bernoulli_request("fast6", 1)
+
+        async def scenario():
+            async with Coalescer(
+                queue_limit=8, coalesce_window=0.0, pool=warm_pool
+            ) as coalescer:
+                first = await coalescer.submit(request)
+                second = await coalescer.submit(request)
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.cached is False
+        assert second.cached is True
+        assert first.deterministic_dict() == second.deterministic_dict()
+
+
+class TestIdleFlush:
+    def test_lone_request_does_not_wait_for_the_window(self):
+        """Issue 7 satellite: with nothing else admitted, the batch
+        flushes immediately — a 5 s window must not cost 5 s.  The
+        2 s wait_for is the proof: the pre-fix pipeline always held
+        the full window and would blow it."""
+
+        async def scenario():
+            async with Coalescer(queue_limit=8, coalesce_window=5.0) as co:
+                return await asyncio.wait_for(
+                    co.submit(bernoulli_request("fast5", 0)), 2.0
+                )
+
+        response = asyncio.run(scenario())
+        assert response.verdict["ok"] is True
+        assert response.batch_size == 1
+
+    def test_sequential_requests_each_flush_immediately(self):
+        async def scenario():
+            async with Coalescer(queue_limit=8, coalesce_window=5.0) as co:
+                responses = []
+                for seed in range(3):
+                    responses.append(
+                        await asyncio.wait_for(
+                            co.submit(bernoulli_request("fast5", seed)), 2.0
+                        )
+                    )
+                return responses
+
+        responses = asyncio.run(scenario())
+        assert [r.batch_size for r in responses] == [1, 1, 1]
+        assert all(r.verdict["ok"] for r in responses)
+
+    def test_concurrent_burst_still_coalesces(self):
+        """Idle-flush must not break coalescing when company exists:
+        a synchronous burst still forms one full batch."""
+        requests = [bernoulli_request("fast5", seed) for seed in SEEDS]
+
+        async def scenario():
+            async with Coalescer(
+                queue_limit=32, max_batch=32, coalesce_window=0.2
+            ) as co:
+                return await asyncio.gather(
+                    *(co.submit(r) for r in requests)
+                )
+
+        responses = asyncio.run(scenario())
+        assert all(r.batch_size == len(requests) for r in responses)
+
+
 class TestSingleFlightDedup:
     def test_concurrent_identical_requests_compute_once(self, monkeypatch):
         calls = []

@@ -134,25 +134,27 @@ class TestBackpressure:
 
 class TestTimeout:
     def test_slow_request_times_out_with_504_then_lands_in_cache(self):
-        # Deterministic, not workload-dependent: the coalescing window
-        # alone (500 ms) outlasts the 50 ms request budget, so the
-        # first attempt always times out.  The computation is not
-        # abandoned — it finishes behind the 504 and a retry is served
-        # from cache, exactly as the error message advertises.
+        # The coalescing window no longer delays a lone request (it
+        # idle-flushes), so the timeout must come from the simulation
+        # itself: a 32768-process run takes hundreds of milliseconds
+        # on any hardware, far past the 10 ms budget.  The computation
+        # is not abandoned — it finishes behind the 504 and a retry is
+        # served from cache, exactly as the error message advertises.
         import time
 
+        slow = request_of(0, n=32_768, max_time=200_000)
         with ServerThread(
-            request_timeout=0.05, coalesce_window=0.5, drain_timeout=60.0
+            request_timeout=0.01, drain_timeout=60.0
         ) as server:
             with ServiceClient(port=server.port) as client:
-                reply = client.color(request_of(0, n=16))
+                reply = client.color(slow)
                 assert reply.status == 504
                 assert "timeout" in reply.body["error"]
-                assert reply.body["request_key"] == request_of(0, n=16).request_key
+                assert reply.body["request_key"] == slow.request_key
 
                 deadline = time.monotonic() + 30.0
                 while time.monotonic() < deadline:
-                    retry = client.color(request_of(0, n=16))
+                    retry = client.color(slow)
                     if retry.status == 200:
                         break
                     time.sleep(0.1)
@@ -211,3 +213,57 @@ class TestDrain:
         # After a clean exit the pipeline is empty and closed.
         assert server.coalescer.depth == 0
         assert server.draining is True
+
+    def test_drain_records_duration_histogram(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.color(request_of(5)).status == 200
+        drain = server.registry.value("service_drain_seconds")
+        assert drain is not None and drain["count"] == 1
+        assert drain["max"] < 30.0
+
+
+class TestPoolMode:
+    """The server on warm worker processes (--pool-workers)."""
+
+    def test_pool_server_roundtrip_and_metrics(self):
+        harness = ServerThread(pool_workers=2, coalesce_window=0.01)
+        server = harness.__enter__()
+        try:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(15)
+                health = client.healthz().body
+                # Workers are pre-spawned before the socket opens.
+                assert health["pool"]["workers"] == 2
+                reply = client.color(request_of(9))
+                assert reply.status == 200
+                assert reply.body["verdict"]["ok"] is True
+                again = client.color(request_of(9))
+                assert again.body["cached"] is True
+                metrics = client.metrics_text()
+                assert "pool_tasks_total" in metrics
+                assert "pool_workers 2" in metrics
+        finally:
+            harness.__exit__(None, None, None)
+        assert server.coalescer.depth == 0
+        # The pool was reaped with the server.
+        assert server._pool is None
+
+    def test_pool_server_coalesces_bursts(self):
+        with ServerThread(
+            pool_workers=2, coalesce_window=0.1, max_batch=16
+        ) as server:
+            summary = run_loadgen(
+                port=server.port,
+                requests=8,
+                concurrency=8,
+                duplicates=0.0,
+                n=16,
+                max_time=50_000,
+            )
+            assert summary["statuses"] == {"200": 8}
+            assert summary["outcomes"]["errors"] == 0
+            tasks_ok = server.registry.value(
+                "pool_tasks_total", kind="group", status="ok"
+            )
+            assert tasks_ok is not None and tasks_ok >= 1
