@@ -41,6 +41,12 @@ from repro.campaign.spec import TaskSpec
 from repro.campaign.worker import execute_task
 from repro.errors import CampaignError, PoolTaskError
 from repro.obs.metrics import active_registry
+from repro.obs.trace import (
+    active_recorder,
+    deterministic_context,
+    record_complete,
+    use_context,
+)
 
 __all__ = [
     "CampaignBackend",
@@ -116,44 +122,61 @@ class SequentialBackend(CampaignBackend):
         on_record: RecordSink,
     ) -> None:
         registry = active_registry()
+        traced = active_recorder() is not None
         for i, task in enumerate(tasks):
             if registry is not None:
                 registry.set_gauge(
                     "campaign_queue_depth", len(tasks) - i, backend=self.name
                 )
+            # Deterministic per-task root span: the same task hash
+            # yields the same trace/span ids on every run, so the
+            # timelines of a --resume'd campaign join up instead of
+            # fragmenting across sessions.
+            root = deterministic_context(task.task_hash) if traced else None
             attempts = 0
+            status = "ok"
             started = time.perf_counter()
-            while True:
-                attempts += 1
-                try:
-                    result = execute_task(task.to_dict())
-                except Exception as exc:
-                    if attempts > max_retries:
-                        on_record(
-                            _record(
-                                task,
-                                "failed",
-                                result=None,
-                                error=f"{type(exc).__name__}: {exc}",
-                                attempts=attempts,
-                                elapsed=time.perf_counter() - started,
-                                worker=None,
+            wall = time.time()
+            with use_context(root):
+                while True:
+                    attempts += 1
+                    try:
+                        result = execute_task(task.to_dict())
+                    except Exception as exc:
+                        if attempts > max_retries:
+                            status = "failed"
+                            on_record(
+                                _record(
+                                    task,
+                                    "failed",
+                                    result=None,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                    attempts=attempts,
+                                    elapsed=time.perf_counter() - started,
+                                    worker=None,
+                                )
                             )
+                            break
+                        continue
+                    on_record(
+                        _record(
+                            task,
+                            "ok",
+                            result=result.to_dict(),
+                            error=None,
+                            attempts=attempts,
+                            elapsed=result.elapsed,
+                            worker=None,
                         )
-                        break
-                    continue
-                on_record(
-                    _record(
-                        task,
-                        "ok",
-                        result=result.to_dict(),
-                        error=None,
-                        attempts=attempts,
-                        elapsed=result.elapsed,
-                        worker=None,
                     )
+                    break
+            if root is not None:
+                record_complete(
+                    "campaign.task", root, wall,
+                    time.perf_counter() - started,
+                    task_hash=task.task_hash, status=status,
+                    attempts=attempts, backend=self.name,
                 )
-                break
         if registry is not None:
             registry.set_gauge("campaign_queue_depth", 0, backend=self.name)
 
@@ -242,10 +265,23 @@ class BatchBackend(CampaignBackend):
                 fallback.extend(group)
                 continue
             share = (time.perf_counter() - started) / max(1, len(group))
+            traced = active_recorder() is not None
             for task, result in zip(group, results):
                 task_result = task_result_from_execution(
                     task, topology, result, palette, elapsed=share
                 )
+                if traced:
+                    # Each packed task keeps its own deterministic
+                    # root; the shared lockstep run is attributed
+                    # evenly, mirroring the journal's elapsed split.
+                    record_complete(
+                        "campaign.task",
+                        deterministic_context(task.task_hash),
+                        time.time() - share, share,
+                        task_hash=task.task_hash, status="ok",
+                        attempts=1, backend=self.name,
+                        group_size=len(group),
+                    )
                 on_record(
                     _record(
                         task,
@@ -350,12 +386,28 @@ class PoolBackend(CampaignBackend):
             registry.set_gauge(
                 "campaign_queue_depth", total, backend=self.name
             )
+        # Deterministic per-task roots (same ids on every run of the
+        # same grid) so pool-worker spans from a --resume'd campaign
+        # land in the same timelines as the original run's.
+        roots = (
+            {task.task_hash: deterministic_context(task.task_hash)
+             for task in tasks}
+            if active_recorder() is not None
+            else {}
+        )
+        wall_started = time.time()
+        perf_started = time.perf_counter()
         futures = {
             pool.submit_task(
                 task.to_dict(),
                 timeout=task_timeout,
                 max_retries=max_retries,
                 label=task.task_hash,
+                trace=(
+                    roots[task.task_hash].to_dict()
+                    if task.task_hash in roots
+                    else None
+                ),
             ): task
             for task in tasks
         }
@@ -403,6 +455,16 @@ class PoolBackend(CampaignBackend):
             if registry is not None:
                 registry.set_gauge(
                     "campaign_queue_depth", total - done, backend=self.name
+                )
+            root = roots.get(task.task_hash)
+            if root is not None:
+                # Queue-to-finish envelope over the worker-side
+                # pool.task span (which rode back with the result).
+                record_complete(
+                    "campaign.task", root, wall_started,
+                    time.perf_counter() - perf_started,
+                    task_hash=task.task_hash, status=record["status"],
+                    attempts=record["attempts"], backend=self.name,
                 )
             on_record(record)
 

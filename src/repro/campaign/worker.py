@@ -26,6 +26,7 @@ from repro.campaign.registry import (
 )
 from repro.campaign.spec import TaskSpec
 from repro.model.execution import run_execution
+from repro.obs.trace import start_span
 
 __all__ = ["TaskResult", "execute_task", "task_result_from_execution"]
 
@@ -149,18 +150,24 @@ def execute_task(task: Mapping[str, Any]) -> TaskResult:
     spec = TaskSpec.from_dict(task)
     started = time.perf_counter()
 
-    algorithm = resolve_algorithm(spec.algorithm)()
-    topology = resolve_topology(spec.topology, spec.n)
-    inputs = resolve_inputs(spec.inputs, spec.n, spec.seed)
-    schedule = resolve_schedule(
-        spec.schedule, seed=spec.seed, **dict(spec.schedule_params)
-    )
-    palette = resolve_palette(spec.algorithm)
+    with start_span(
+        "campaign.execute",
+        task_hash=spec.task_hash,
+        algorithm=spec.algorithm,
+        engine=spec.engine,
+    ):
+        algorithm = resolve_algorithm(spec.algorithm)()
+        topology = resolve_topology(spec.topology, spec.n)
+        inputs = resolve_inputs(spec.inputs, spec.n, spec.seed)
+        schedule = resolve_schedule(
+            spec.schedule, seed=spec.seed, **dict(spec.schedule_params)
+        )
+        palette = resolve_palette(spec.algorithm)
 
-    result = run_execution(
-        algorithm, topology, inputs, schedule,
-        max_time=spec.max_time, engine=spec.engine,
-    )
+        result = run_execution(
+            algorithm, topology, inputs, schedule,
+            max_time=spec.max_time, engine=spec.engine,
+        )
     return task_result_from_execution(
         spec, topology, result, palette,
         elapsed=time.perf_counter() - started,

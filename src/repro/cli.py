@@ -80,6 +80,30 @@ def _add_metrics_flags(subparser) -> None:
     )
 
 
+def _add_trace_flags(subparser) -> None:
+    subparser.add_argument(
+        "--trace-output", metavar="PATH",
+        help="record spans end to end and write the trace artifact "
+             "here: Chrome trace-event JSON loadable in Perfetto / "
+             "chrome://tracing, or one-span-per-line JSONL when PATH "
+             "ends in .jsonl (see docs/OBSERVABILITY.md)",
+    )
+
+
+def _write_trace(output, recorder, **metadata) -> None:
+    """Write one flight recorder as the requested trace artifact."""
+    from repro.obs.trace import write_trace_artifact
+
+    fmt = "jsonl" if str(output).endswith(".jsonl") else "chrome"
+    write_trace_artifact(
+        output,
+        recorder.snapshot(),
+        fmt=fmt,
+        metadata={**recorder.stats(), **metadata},
+    )
+    print(f"wrote {output}", file=sys.stderr)
+
+
 def _emit_metrics(registry, fmt: str, output, *, extra=None) -> None:
     """Print or write one collected registry in the chosen format."""
     from repro.obs.exposition import (
@@ -146,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output: JSON verdict + activation stats",
     )
     _add_metrics_flags(run)
+    _add_trace_flags(run)
 
     metrics = sub.add_parser(
         "metrics",
@@ -253,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of text")
     _add_metrics_flags(campaign)
+    _add_trace_flags(campaign)
 
     serve = sub.add_parser(
         "serve",
@@ -283,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "serving (see docs/POOL.md)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="graceful-shutdown drain budget on SIGTERM")
+    serve.add_argument("--trace", default="off", metavar="MODE",
+                       help="tracing mode: off (default), on (trace every "
+                            "request), or sample=K (every Kth request); "
+                            "serves the flight recorder at /debug/trace "
+                            "and echoes X-Repro-Trace-Id on responses "
+                            "(see docs/OBSERVABILITY.md)")
+    serve.add_argument("--trace-buffer", type=int, default=4096,
+                       help="flight-recorder capacity in spans (bounded "
+                            "ring: oldest spans are evicted first)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the startup/shutdown notices")
 
@@ -327,10 +362,36 @@ def _cmd_run(args) -> int:
             from repro.obs.metrics import collecting
 
             registry = stack.enter_context(collecting())
+        recorder = None
+        if args.trace_output:
+            from repro.obs.trace import (
+                FlightRecorder,
+                TraceContext,
+                start_span,
+                tracing,
+                use_context,
+            )
+
+            recorder = FlightRecorder()
+            stack.enter_context(tracing(recorder))
+            stack.enter_context(use_context(TraceContext.new_root()))
+            stack.enter_context(
+                start_span(
+                    "run",
+                    algorithm=args.algorithm, n=args.n,
+                    inputs=args.inputs, schedule=args.schedule,
+                    seed=args.seed, engine=args.engine,
+                )
+            )
         result = run_execution(
             algorithm, Cycle(args.n), inputs, schedule,
             max_time=args.max_time, record_trace=args.timeline,
             engine=args.engine,
+        )
+    if recorder is not None:
+        _write_trace(
+            args.trace_output, recorder,
+            command="run", algorithm=args.algorithm, engine=args.engine,
         )
     verdict = verify_execution(Cycle(args.n), result, palette=_PALETTES[args.algorithm])
     ok = verdict.ok and result.all_terminated
@@ -638,6 +699,15 @@ def _cmd_campaign(args) -> int:
             from repro.obs.metrics import collecting
 
             registry = stack.enter_context(collecting())
+        recorder = None
+        if args.trace_output:
+            from repro.obs.trace import FlightRecorder, tracing
+
+            # Campaigns get a deep buffer: every task contributes a
+            # handful of spans, and a truncated timeline defeats the
+            # point of a campaign-wide artifact.
+            recorder = FlightRecorder(max(65536, 8 * spec.size))
+            stack.enter_context(tracing(recorder))
         outcome = run_campaign(
             spec,
             backend=backend,
@@ -645,6 +715,12 @@ def _cmd_campaign(args) -> int:
             resume=args.resume,
             task_timeout=args.timeout,
             max_retries=args.retries,
+        )
+    if recorder is not None:
+        _write_trace(
+            args.trace_output, recorder,
+            command="campaign", spec_hash=spec.spec_hash,
+            backend=args.backend, tasks=spec.size,
         )
     if args.summary:
         outcome.summary.write(args.summary)
@@ -691,6 +767,8 @@ def _cmd_serve(args) -> int:
         pool_workers=args.pool_workers,
         drain_timeout=args.drain_timeout,
         quiet=args.quiet,
+        trace=args.trace,
+        trace_buffer=args.trace_buffer,
     )
 
 
@@ -733,6 +811,16 @@ def _cmd_loadgen(args) -> int:
             f"p95={latency['p95']:.1f}ms p99={latency['p99']:.1f}ms "
             f"max={latency['max']:.1f}ms"
         )
+        failures = summary.get("failures") or []
+        for failure in failures[:5]:
+            trace_id = failure.get("trace_id", "")
+            suffix = f" trace={trace_id}" if trace_id else ""
+            print(
+                f"failure   : request #{failure['index']} "
+                f"status={failure['status']}{suffix}"
+            )
+        if len(failures) > 5:
+            print(f"            ... and {len(failures) - 5} more")
     # A burst that only produced errors/sheds is a failed smoke check.
     return 0 if summary["ok"] > 0 and summary["outcomes"]["errors"] == 0 else 1
 

@@ -64,15 +64,19 @@ class TimeExhaustedError(ExecutionError):
     partial_result:
         The full partial :class:`ExecutionResult` (``time_exhausted``
         set), for replaying or white-box inspection.
+    trace_id:
+        The trace id active when the run was cut off, when tracing was
+        on — joinable against the flight recorder (empty otherwise).
     """
 
     def __init__(self, message: str, *, activations=None, final_time=0,
-                 pending=None, partial_result=None):
+                 pending=None, partial_result=None, trace_id=""):
         super().__init__(message)
         self.activations = dict(activations or {})
         self.final_time = final_time
         self.pending = sorted(pending or [])
         self.partial_result = partial_result
+        self.trace_id = trace_id
 
 
 class RegisterError(ReproError):
@@ -126,16 +130,21 @@ class PoolTaskError(PoolError):
         Wall-clock seconds from first assignment to terminal failure.
     worker:
         Id of the worker that held the task last, when known.
+    trace_id:
+        The trace id the task was submitted under, when tracing was on
+        — joinable against the flight recorder (empty otherwise).
     """
 
     def __init__(self, message: str, *, attempts: int = 1, timeouts: int = 0,
-                 crashes: int = 0, elapsed: float = 0.0, worker=None):
+                 crashes: int = 0, elapsed: float = 0.0, worker=None,
+                 trace_id: str = ""):
         super().__init__(message)
         self.attempts = attempts
         self.timeouts = timeouts
         self.crashes = crashes
         self.elapsed = elapsed
         self.worker = worker
+        self.trace_id = trace_id
 
 
 class ServiceError(ReproError):

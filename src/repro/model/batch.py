@@ -46,6 +46,7 @@ from collections.abc import Mapping as _MappingABC
 from functools import lru_cache
 from itertools import repeat
 from time import perf_counter
+from time import time as wall_clock
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import ExecutionError
@@ -57,6 +58,7 @@ from repro.model.kernels import _degree2_arrays
 from repro.model.schedule import Schedule
 from repro.model.topology import Topology
 from repro.obs.metrics import active_registry, record_execution
+from repro.obs.trace import is_recording, record_timed
 
 __all__ = [
     "NUMPY_ENV_FLAG",
@@ -1400,22 +1402,29 @@ def run_batch(
     if kernel is None:
         return None
     registry = active_registry()
-    if registry is None:
+    if registry is None and not is_recording():
         results, _stats = kernel(schedules, max_time, idle_limit)
         return results
     started = perf_counter()
+    wall = wall_clock()
     results, stats = kernel(schedules, max_time, idle_limit)
     elapsed = perf_counter() - started
     locksteps = stats["locksteps"]
     occupancy = stats["live_sum"] / (locksteps * B) if locksteps else 0.0
-    registry.observe("batch_replicas", B)
-    registry.observe("batch_occupancy", occupancy)
-    registry.observe("batch_run_seconds", elapsed)
-    for algorithm, result in zip(algorithms, results):
-        record_execution(
-            registry, "batch", type(algorithm).__name__, result,
-            elapsed=elapsed / B,
-        )
+    if registry is not None:
+        registry.observe("batch_replicas", B)
+        registry.observe("batch_occupancy", occupancy)
+        registry.observe("batch_run_seconds", elapsed)
+        for algorithm, result in zip(algorithms, results):
+            record_execution(
+                registry, "batch", type(algorithm).__name__, result,
+                elapsed=elapsed / B,
+            )
+    record_timed(
+        "engine_run", wall, elapsed,
+        {"engine": "batch", "replicas": B,
+         "occupancy": round(occupancy, 4)},
+    )
     return results
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
+from time import time as wall_clock
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ExecutionError, TimeExhaustedError
@@ -36,6 +37,7 @@ from repro.model.topology import Topology
 from repro.model.trace import StepEvent, Trace
 from repro.obs.metrics import active_registry, record_execution
 from repro.obs.spans import Stopwatch
+from repro.obs.trace import current_context, is_recording, record_timed
 from repro.types import ProcessId
 
 __all__ = [
@@ -132,6 +134,7 @@ def time_exhausted_error(result: ExecutionResult) -> TimeExhaustedError:
         for p in pending[:8]
     )
     more = "" if len(pending) <= 8 else f", … +{len(pending) - 8} more"
+    ctx = current_context()
     return TimeExhaustedError(
         f"max_time exhausted at t={result.final_time} with "
         f"{len(pending)}/{result.n} processes unreturned: {sample}{more}",
@@ -139,6 +142,7 @@ def time_exhausted_error(result: ExecutionResult) -> TimeExhaustedError:
         final_time=result.final_time,
         pending=pending,
         partial_result=result,
+        trace_id=ctx.trace_id if ctx is not None else "",
     )
 
 
@@ -218,13 +222,15 @@ class Executor:
         n = topo.n
 
         registry = active_registry()
+        observing = registry is not None or is_recording()
         mons = list(monitors) if monitors else None
         if mons is not None:
             for m in mons:
                 m.on_run_start(topo, alg, self.inputs)
-        write_watch = Stopwatch() if registry is not None else None
-        update_watch = Stopwatch() if registry is not None else None
-        started = perf_counter() if registry is not None else 0.0
+        write_watch = Stopwatch() if observing else None
+        update_watch = Stopwatch() if observing else None
+        started = perf_counter() if observing else 0.0
+        wall_started = wall_clock() if observing else 0.0
 
         states: Dict[ProcessId, Any] = {
             p: alg.initial_state(self.inputs[p]) for p in topo.processes()
@@ -319,11 +325,17 @@ class Executor:
             trace=trace,
             final_states=states,
         )
-        if registry is not None:
+        if observing:
             alg_name = type(alg).__name__
-            record_execution(
-                registry, "reference", alg_name, result,
-                elapsed=perf_counter() - started,
+            elapsed = perf_counter() - started
+            if registry is not None:
+                record_execution(
+                    registry, "reference", alg_name, result, elapsed=elapsed
+                )
+            record_timed(
+                "engine_run", wall_started, elapsed,
+                {"engine": "reference", "algorithm": alg_name,
+                 "final_time": result.final_time},
             )
             write_watch.flush(
                 "engine_phase", registry, engine="reference", phase="write"

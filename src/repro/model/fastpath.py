@@ -51,6 +51,7 @@ are not maintained by this engine.
 from __future__ import annotations
 
 from time import perf_counter
+from time import time as wall_clock
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ExecutionError
@@ -64,6 +65,7 @@ from repro.model.schedule import Schedule
 from repro.model.topology import Topology
 from repro.model.trace import StepEvent, Trace
 from repro.obs.metrics import active_registry, record_execution
+from repro.obs.trace import is_recording, record_timed
 
 __all__ = ["FastExecutor"]
 
@@ -125,15 +127,21 @@ class FastExecutor:
         """
         if self._kernel is not None and not monitors:
             registry = active_registry()
-            started = perf_counter() if registry is not None else 0.0
+            observing = registry is not None or is_recording()
+            started = perf_counter() if observing else 0.0
+            wall = wall_clock() if observing else 0.0
             result = self._kernel(schedule, max_time, idle_limit)
-            if registry is not None:
-                record_execution(
-                    registry,
-                    "fast",
-                    type(self.algorithm).__name__,
-                    result,
-                    elapsed=perf_counter() - started,
+            if observing:
+                elapsed = perf_counter() - started
+                alg_name = type(self.algorithm).__name__
+                if registry is not None:
+                    record_execution(
+                        registry, "fast", alg_name, result, elapsed=elapsed
+                    )
+                record_timed(
+                    "engine_run", wall, elapsed,
+                    {"engine": "fast", "algorithm": alg_name, "path": "kernel",
+                     "final_time": result.final_time},
                 )
             if raise_on_exhaustion and result.time_exhausted:
                 raise time_exhausted_error(result)
@@ -187,7 +195,9 @@ class FastExecutor:
         trace = Trace() if record_trace else None
 
         registry = active_registry()
-        started = perf_counter() if registry is not None else 0.0
+        observing = registry is not None or is_recording()
+        started = perf_counter() if observing else 0.0
+        wall = wall_clock() if observing else 0.0
         mons = list(monitors) if monitors else None
         if mons is not None:
             for m in mons:
@@ -286,13 +296,17 @@ class FastExecutor:
             trace=trace,
             final_states={p: states[p] for p in range(n)},
         )
-        if registry is not None:
-            record_execution(
-                registry,
-                "fast",
-                type(alg).__name__,
-                result,
-                elapsed=perf_counter() - started,
+        if observing:
+            elapsed = perf_counter() - started
+            alg_name = type(alg).__name__
+            if registry is not None:
+                record_execution(
+                    registry, "fast", alg_name, result, elapsed=elapsed
+                )
+            record_timed(
+                "engine_run", wall, elapsed,
+                {"engine": "fast", "algorithm": alg_name, "path": "generic",
+                 "final_time": result.final_time},
             )
         if mons is not None:
             for m in mons:

@@ -11,7 +11,10 @@ Zero-overhead-when-disabled observability for the whole stack:
   paper's activation budgets, palettes and proper-coloring promise
   *live* during execution and flag the first violating step;
 * :mod:`repro.obs.exposition` — JSON artifacts and Prometheus text
-  exposition of a collected snapshot.
+  exposition of a collected snapshot;
+* :mod:`repro.obs.trace` — end-to-end tracing: trace-context
+  propagation (HTTP header, threads, worker processes), the bounded
+  flight recorder, and Chrome-trace/JSONL exporters for Perfetto.
 
 Quickstart::
 
@@ -51,26 +54,67 @@ from repro.obs.monitors import (
     default_monitors,
 )
 from repro.obs.spans import Span, Stopwatch, span
+from repro.obs.trace import (
+    TRACE_HEADER,
+    FlightRecorder,
+    SpanRecord,
+    TraceContext,
+    active_recorder,
+    current_context,
+    deterministic_context,
+    disable_tracing,
+    enable_tracing,
+    is_recording,
+    record_event,
+    record_remote_spans,
+    record_timed,
+    render_chrome_json,
+    render_jsonl,
+    start_span,
+    to_chrome_trace,
+    tracing,
+    use_context,
+    write_trace_artifact,
+)
 
 __all__ = [
     "ActivationBudgetMonitor",
     "BOUND_CATALOG",
     "BoundMonitor",
     "BoundViolation",
+    "FlightRecorder",
     "MetricsRegistry",
     "PaletteGaugeMonitor",
     "ProperColoringMonitor",
     "Span",
+    "SpanRecord",
     "Stopwatch",
+    "TRACE_HEADER",
+    "TraceContext",
+    "active_recorder",
     "active_registry",
     "budget_for",
     "collecting",
+    "current_context",
     "default_monitors",
+    "deterministic_context",
     "disable_metrics",
+    "disable_tracing",
     "enable_metrics",
+    "enable_tracing",
+    "is_recording",
+    "record_event",
     "record_execution",
+    "record_remote_spans",
+    "record_timed",
+    "render_chrome_json",
     "render_json",
+    "render_jsonl",
     "render_prometheus",
     "span",
-    "write_json_artifact",
+    "start_span",
+    "to_chrome_trace",
+    "tracing",
+    "use_context",
+    "write_trace_artifact",
 ]

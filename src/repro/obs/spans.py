@@ -2,10 +2,14 @@
 
 A *span* times one phase of work — a kernel build, a journal fsync, a
 whole execution — and records the duration into the histogram
-``<name>_seconds`` of the active registry.  When collection is
-disabled the span resolves to a shared no-op object whose enter/exit
-do nothing, so wrapping hot paths costs one
-:func:`~repro.obs.metrics.active_registry` check and nothing else.
+``<name>_seconds`` of the active registry.  When tracing
+(:mod:`repro.obs.trace`) is also on, the same measurement additionally
+lands in the flight recorder as a leaf span under the current trace
+context — one instrumentation point, both signals.  When both
+collection and tracing are disabled the span resolves to a shared
+no-op object whose enter/exit do nothing, so wrapping hot paths costs
+one :func:`~repro.obs.metrics.active_registry` check plus one
+:func:`~repro.obs.trace.active_recorder` check and nothing else.
 
 Usage::
 
@@ -23,31 +27,39 @@ import time
 from typing import Any, Optional
 
 from repro.obs.metrics import MetricsRegistry, active_registry
+from repro.obs.trace import active_recorder, record_timed
 
 __all__ = ["span", "Span", "Stopwatch"]
 
 
 class Span:
-    """Context manager timing one block into ``<name>_seconds``."""
+    """Context manager timing one block into ``<name>_seconds`` and,
+    when tracing is on, into the flight recorder."""
 
-    __slots__ = ("name", "labels", "registry", "started", "elapsed")
+    __slots__ = ("name", "labels", "registry", "started", "elapsed", "_wall")
 
-    def __init__(self, name: str, registry: MetricsRegistry, labels: dict):
+    def __init__(
+        self, name: str, registry: Optional[MetricsRegistry], labels: dict
+    ):
         self.name = name
         self.labels = labels
         self.registry = registry
         self.started = 0.0
         self.elapsed: Optional[float] = None
+        self._wall = 0.0
 
     def __enter__(self) -> "Span":
+        self._wall = time.time()
         self.started = time.perf_counter()
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.elapsed = time.perf_counter() - self.started
-        self.registry.observe(
-            f"{self.name}_seconds", self.elapsed, **self.labels
-        )
+        if self.registry is not None:
+            self.registry.observe(
+                f"{self.name}_seconds", self.elapsed, **self.labels
+            )
+        record_timed(self.name, self._wall, self.elapsed, self.labels)
 
 
 class _NoopSpan:
@@ -67,10 +79,11 @@ _NOOP = _NoopSpan()
 
 
 def span(name: str, **labels: Any):
-    """A timing context for ``<name>_seconds``, or a no-op when
-    collection is disabled (the single flag check)."""
+    """A timing context for ``<name>_seconds`` (and a trace leaf span
+    when tracing is on), or a no-op when both collection and tracing
+    are disabled — two module-global checks, nothing else."""
     registry = active_registry()
-    if registry is None:
+    if registry is None and active_recorder() is None:
         return _NOOP
     return Span(name, registry, labels)
 
@@ -96,5 +109,14 @@ class Stopwatch:
     def tock(self) -> None:
         self.total += time.perf_counter() - self._started
 
-    def flush(self, name: str, registry: MetricsRegistry, **labels: Any) -> None:
-        registry.observe(f"{name}_seconds", self.total, **labels)
+    def flush(
+        self,
+        name: str,
+        registry: Optional[MetricsRegistry],
+        **labels: Any,
+    ) -> None:
+        if registry is not None:
+            registry.observe(f"{name}_seconds", self.total, **labels)
+        # Trace leaf span for the accumulated phase; slices are not
+        # contiguous, so anchor the span to end at flush time.
+        record_timed(name, time.time() - self.total, self.total, labels)

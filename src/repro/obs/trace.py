@@ -1,0 +1,675 @@
+"""End-to-end tracing: trace contexts, the flight recorder, exporters.
+
+The metrics layer (:mod:`repro.obs.metrics`) answers *how much* —
+counts and histograms with no notion of causality.  This module
+answers *where did this particular request's time go*: every unit of
+work carries a :class:`TraceContext` (128-bit ``trace_id``, 64-bit
+``span_id``, parent link, sampled flag), completed spans land in a
+lock-protected bounded ring buffer (:class:`FlightRecorder`), and the
+buffer exports as Chrome trace-event JSON — loadable directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` — or as
+JSONL for programmatic analysis.
+
+Propagation follows the repo's pickle-light discipline end to end:
+
+* **HTTP** — the ``X-Repro-Trace-Id`` header
+  (``<32 hex trace_id>-<16 hex span_id>-<2 hex flags>``) crosses the
+  wire in both directions; :meth:`TraceContext.from_header` /
+  :meth:`TraceContext.to_header` are the codec.
+* **Threads and asyncio tasks** — a :mod:`contextvars` variable holds
+  the current context; :func:`use_context` pins it for a block (an
+  executor thread, a batcher task).
+* **Worker processes** — :meth:`TraceContext.to_dict` rides the pool's
+  JSON-dict protocol into the worker, which records spans into a local
+  recorder and ships them back as dicts;
+  :func:`record_remote_spans` merges them into the parent's recorder,
+  re-parented exactly as sent (the worker's parent ids point at spans
+  minted in the serving process, so the tree joins up).
+
+**Zero overhead when disabled.**  Tracing is off by default:
+:func:`active_recorder` returns ``None`` and every hook —
+:func:`start_span`, :func:`record_timed`, :func:`record_event` — is a
+no-op behind that one module-global check, the same contract the
+metrics registry keeps.  The shared timing hooks in
+:mod:`repro.obs.spans` check both switches; the combined disabled cost
+is two module-global ``None`` comparisons, enforced by
+``benchmarks/test_obs_overhead.py``.
+
+Usage::
+
+    with tracing() as recorder:
+        with use_context(TraceContext.new_root()):
+            with start_span("campaign", grid=120):
+                run_campaign(...)
+    write_trace_artifact("trace.json", recorder.snapshot())
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "SpanRecord",
+    "FlightRecorder",
+    "active_recorder",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "is_recording",
+    "current_context",
+    "use_context",
+    "start_span",
+    "record_timed",
+    "record_event",
+    "record_complete",
+    "record_remote_spans",
+    "deterministic_context",
+    "to_chrome_trace",
+    "render_chrome_json",
+    "render_jsonl",
+    "write_trace_artifact",
+]
+
+#: The HTTP header carrying a trace context in either direction:
+#: ``<32 hex trace_id>-<16 hex span_id>-<2 hex flags>`` (flags bit 0 =
+#: sampled, mirroring W3C traceparent's flag byte).
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Default ring-buffer capacity of a :class:`FlightRecorder`.
+DEFAULT_CAPACITY = 4096
+
+_HEX = frozenset("0123456789abcdef")
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def _is_hex(value: str, length: int) -> bool:
+    return len(value) == length and set(value) <= _HEX
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in one trace: *where new spans attach*.
+
+    ``span_id`` is the id of the span that is the current parent — new
+    child spans set ``parent_id = span_id``.  A root context (no spans
+    yet) has an empty ``span_id``; its children become trace roots.
+    Contexts are immutable values: propagation is always by copy, never
+    by mutation, so a context captured at admission time stays valid
+    however late the work actually runs.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    parent_id: Optional[str] = None
+    sampled: bool = True
+
+    @classmethod
+    def new_root(
+        cls, *, sampled: bool = True, trace_id: Optional[str] = None
+    ) -> "TraceContext":
+        """A fresh trace with no spans recorded yet."""
+        return cls(trace_id=trace_id or _new_trace_id(), sampled=sampled)
+
+    def child(self) -> "TraceContext":
+        """The context a new child span runs under."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_span_id(),
+            parent_id=self.span_id or None,
+            sampled=self.sampled,
+        )
+
+    # -- wire codecs ---------------------------------------------------
+    def to_header(self) -> str:
+        """The ``X-Repro-Trace-Id`` header value of this context."""
+        span = self.span_id if _is_hex(self.span_id, 16) else "0" * 16
+        return f"{self.trace_id}-{span}-{'01' if self.sampled else '00'}"
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a header value; ``None`` on anything malformed (a bad
+        client header must never fail a request — it is just ignored
+        and a fresh context minted instead)."""
+        if not value or not isinstance(value, str):
+            return None
+        parts = value.strip().lower().split("-")
+        if len(parts) != 3:
+            return None
+        trace_id, span_id, flags = parts
+        if not (_is_hex(trace_id, 32) and _is_hex(span_id, 16) and _is_hex(flags, 2)):
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(int(flags, 16) & 1),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-dict shape for the pool's worker protocol."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(d["trace_id"]),
+            span_id=str(d.get("span_id") or ""),
+            parent_id=d.get("parent_id") or None,
+            sampled=bool(d.get("sampled", True)),
+        )
+
+
+def deterministic_context(key: str) -> "TraceContext":
+    """A root context derived from a content hash, stable across runs.
+
+    Campaign tasks use their ``task_hash`` here so that a ``--resume``
+    re-run (or a re-journal of the same grid) produces the *same*
+    trace and root-span ids — timelines from different sessions of one
+    campaign join up instead of fragmenting.
+    """
+    clean = "".join(c for c in key.lower() if c in _HEX) or "0"
+    repeats = (32 // len(clean)) + 1
+    stretched = clean * repeats
+    return TraceContext(trace_id=stretched[:32], span_id=stretched[:16])
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (or instant event, ``duration == 0``).
+
+    ``start`` is wall-clock epoch seconds (``time.time()``) — the only
+    clock that lines up across the serving process and pool workers —
+    and ``duration`` is measured with ``perf_counter`` where the code
+    can afford two timestamps.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    duration: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(d["name"]),
+            trace_id=str(d["trace_id"]),
+            span_id=str(d["span_id"]),
+            parent_id=d.get("parent_id") or None,
+            start=float(d["start"]),
+            duration=float(d["duration"]),
+            attributes=dict(d.get("attributes") or {}),
+            pid=int(d.get("pid", 0)),
+            tid=int(d.get("tid", 0)),
+        )
+
+
+class FlightRecorder:
+    """Lock-protected bounded ring buffer of the last N spans.
+
+    The recorder never grows past ``capacity``: when full, the oldest
+    span is dropped and counted, so a long-running server keeps a
+    recent flight window at fixed memory instead of an unbounded log.
+    Thread-safe — spans arrive from the event loop, executor threads
+    and the pool supervisor concurrently.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: "deque[SpanRecord]" = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, span: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    def extend(self, spans: Iterable[SpanRecord]) -> None:
+        with self._lock:
+            for span in spans:
+                self._spans.append(span)
+                self._recorded += 1
+
+    def snapshot(self) -> List[SpanRecord]:
+        """The retained spans, oldest first (a copy; safe to iterate)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (including since-dropped ones)."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound."""
+        with self._lock:
+            return self._recorded - len(self._spans)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "spans": len(self._spans),
+                "recorded": self._recorded,
+                "dropped": self._recorded - len(self._spans),
+            }
+
+
+# ----------------------------------------------------------------------
+# The module-level tracing switch and the current-context variable
+# ----------------------------------------------------------------------
+
+_RECORDER: Optional[FlightRecorder] = None
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def active_recorder() -> Optional[FlightRecorder]:
+    """The recorder collecting right now, or ``None`` when tracing is
+    disabled — the single check every tracing hook performs."""
+    return _RECORDER
+
+
+def enable_tracing(
+    recorder: Optional[FlightRecorder] = None,
+) -> FlightRecorder:
+    """Start recording into ``recorder`` (a fresh one by default)."""
+    global _RECORDER
+    _RECORDER = recorder if recorder is not None else FlightRecorder()
+    return _RECORDER
+
+
+def disable_tracing() -> None:
+    """Stop recording; every tracing hook becomes a no-op again."""
+    global _RECORDER
+    _RECORDER = None
+
+
+@contextmanager
+def tracing(
+    recorder: Optional[FlightRecorder] = None,
+) -> Iterator[FlightRecorder]:
+    """Enable tracing for a ``with`` block, restoring the previous
+    recorder (or disabled state) on exit — mirrors
+    :func:`repro.obs.metrics.collecting`."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder if recorder is not None else FlightRecorder()
+    try:
+        yield _RECORDER
+    finally:
+        _RECORDER = previous
+
+
+def current_context() -> Optional[TraceContext]:
+    """The trace context of the running task/thread, if any."""
+    return _CURRENT.get()
+
+
+def is_recording() -> bool:
+    """True iff a recorder is active *and* the current context exists
+    and is sampled — i.e. a span recorded right now would be kept."""
+    if _RECORDER is None:
+        return False
+    ctx = _CURRENT.get()
+    return ctx is not None and ctx.sampled
+
+
+@contextmanager
+def use_context(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Pin ``ctx`` as the current context for a block.
+
+    Works across ``await`` points (contextvars follow asyncio tasks)
+    and is the explicit hand-off for executor threads, which do not
+    inherit the submitting task's context."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+class _NoopSpan:
+    """The disabled-mode span: enter/exit/set_attribute do nothing."""
+
+    __slots__ = ()
+    context: Optional[TraceContext] = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class ActiveSpan:
+    """A live span: context manager that records itself on exit.
+
+    While entered, :attr:`context` (the span's own position in the
+    trace) is the current context, so nested spans and
+    :func:`record_timed` leaves parent under it automatically.
+    """
+
+    __slots__ = (
+        "name", "context", "attributes", "recorder",
+        "_wall", "_perf", "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        context: TraceContext,
+        attributes: Dict[str, Any],
+        recorder: FlightRecorder,
+    ):
+        self.name = name
+        self.context = context
+        self.attributes = attributes
+        self.recorder = recorder
+        self._wall = 0.0
+        self._perf = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "ActiveSpan":
+        self._token = _CURRENT.set(self.context)
+        self._wall = time.time()
+        self._perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        duration = time.perf_counter() - self._perf
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.recorder.record(
+            SpanRecord(
+                name=self.name,
+                trace_id=self.context.trace_id,
+                span_id=self.context.span_id,
+                parent_id=self.context.parent_id,
+                start=self._wall,
+                duration=duration,
+                attributes=self.attributes,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+            )
+        )
+
+
+def start_span(
+    name: str,
+    *,
+    context: Optional[TraceContext] = None,
+    **attributes: Any,
+):
+    """Open a span under ``context`` (default: the current context).
+
+    Returns a context manager; a shared no-op when tracing is disabled,
+    no context is available, or the trace is unsampled — the disabled
+    path is one module-global check plus at most one contextvar read.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return _NOOP_SPAN
+    ctx = context if context is not None else _CURRENT.get()
+    if ctx is None or not ctx.sampled:
+        return _NOOP_SPAN
+    return ActiveSpan(name, ctx.child(), dict(attributes), recorder)
+
+
+def record_timed(
+    name: str,
+    start: float,
+    duration: float,
+    attributes: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Record an already-measured leaf span under the current context.
+
+    The hook for code that timed itself (``Span``/``Stopwatch``): no
+    context push, no child minting beyond the span's own id.  No-op
+    unless :func:`is_recording`.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return
+    ctx = _CURRENT.get()
+    if ctx is None or not ctx.sampled:
+        return
+    recorder.record(
+        SpanRecord(
+            name=name,
+            trace_id=ctx.trace_id,
+            span_id=_new_span_id(),
+            parent_id=ctx.span_id or None,
+            start=start,
+            duration=duration,
+            attributes=dict(attributes or {}),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+    )
+
+
+def record_event(
+    name: str,
+    *,
+    context: Optional[TraceContext] = None,
+    **attributes: Any,
+) -> None:
+    """Record an instant (zero-duration) event under ``context``
+    (default: current).  Used for linkage marks — cache hits,
+    single-flight joins, coalesce followers."""
+    recorder = _RECORDER
+    if recorder is None:
+        return
+    ctx = context if context is not None else _CURRENT.get()
+    if ctx is None or not ctx.sampled:
+        return
+    recorder.record(
+        SpanRecord(
+            name=name,
+            trace_id=ctx.trace_id,
+            span_id=_new_span_id(),
+            parent_id=ctx.span_id or None,
+            start=time.time(),
+            duration=0.0,
+            attributes=dict(attributes),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+    )
+
+
+def record_complete(
+    name: str,
+    context: Optional[TraceContext],
+    start: float,
+    duration: float,
+    *,
+    recorder: Optional[FlightRecorder] = None,
+    **attributes: Any,
+) -> None:
+    """Record a span whose identity *is* ``context`` (span_id and
+    parent taken verbatim) — for spans whose ids were minted up front
+    so children could be created before the span completes (the
+    campaign per-task root spans)."""
+    rec = recorder if recorder is not None else _RECORDER
+    if rec is None or context is None or not context.sampled:
+        return
+    rec.record(
+        SpanRecord(
+            name=name,
+            trace_id=context.trace_id,
+            span_id=context.span_id or _new_span_id(),
+            parent_id=context.parent_id,
+            start=start,
+            duration=duration,
+            attributes=dict(attributes),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+    )
+
+
+def record_remote_spans(records: Iterable[Mapping[str, Any]]) -> int:
+    """Merge span dicts shipped back from a worker process into the
+    active recorder; returns how many were kept.  Malformed entries
+    are skipped — a worker bug must not poison the parent."""
+    recorder = _RECORDER
+    if recorder is None:
+        return 0
+    kept = []
+    for raw in records:
+        try:
+            kept.append(SpanRecord.from_dict(raw))
+        except (KeyError, TypeError, ValueError):
+            continue
+    recorder.extend(kept)
+    return len(kept)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def to_chrome_trace(
+    records: Iterable[SpanRecord],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The Chrome trace-event (JSON object) form of a span list.
+
+    Every span renders as one complete event (``"ph": "X"``) with
+    microsecond timestamps; the trace/span/parent ids ride in ``args``
+    so Perfetto's flow/search UI can join the tree.  The result is
+    loadable as-is in https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        events.append(
+            {
+                "ph": "X",
+                "cat": "repro",
+                "name": record.name,
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": {
+                    "trace_id": record.trace_id,
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    **record.attributes,
+                },
+            }
+        )
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["otherData"] = metadata
+    return payload
+
+
+def render_chrome_json(
+    records: Iterable[SpanRecord],
+    *,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(
+        to_chrome_trace(records, metadata=metadata), sort_keys=True
+    )
+
+
+def render_jsonl(records: Iterable[SpanRecord]) -> str:
+    """One JSON object per line — the programmatic-analysis format."""
+    lines = [json.dumps(r.to_dict(), sort_keys=True) for r in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_artifact(
+    path: Union[str, Path],
+    records: Iterable[SpanRecord],
+    *,
+    fmt: str = "chrome",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a trace artifact: ``fmt="chrome"`` (Perfetto-loadable
+    JSON, the default) or ``fmt="jsonl"``."""
+    if fmt not in ("chrome", "jsonl"):
+        raise ValueError(f"unknown trace format {fmt!r} (chrome, jsonl)")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "chrome":
+        path.write_text(render_chrome_json(records, metadata=metadata) + "\n")
+    else:
+        path.write_text(render_jsonl(records))
+    return path

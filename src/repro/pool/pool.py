@@ -49,6 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import PoolError, PoolTaskError
 from repro.obs.metrics import MetricsRegistry, active_registry
+from repro.obs.trace import record_remote_spans
 from repro.pool.worker import pool_worker_main
 
 __all__ = ["PoolOutcome", "WorkerPool"]
@@ -88,6 +89,9 @@ class _Item:
     timeouts: int = 0
     crashes: int = 0
     current_wid: Optional[int] = None
+    # Trace-context dict to carry into the worker (JSON-shaped, rides
+    # the task message); None when the submission was untraced.
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -179,6 +183,7 @@ class WorkerPool:
         timeout: Optional[float] = None,
         max_retries: int = 2,
         label: str = "",
+        trace: Optional[Dict[str, Any]] = None,
     ) -> Future:
         """Submit one task; resolves to a :class:`PoolOutcome`.
 
@@ -186,6 +191,11 @@ class WorkerPool:
         deadline); ``max_retries`` bounds total attempts at
         ``max_retries + 1``.  The future fails with
         :class:`~repro.errors.PoolTaskError` on retry exhaustion.
+        ``trace`` is an optional trace-context dict
+        (:meth:`~repro.obs.trace.TraceContext.to_dict`): the worker
+        records its spans under it — re-parented beneath the submitting
+        span, attempt-numbered across retries — and ships them back
+        with the result.
         """
         future: Future = Future()
         with self._lock:
@@ -200,6 +210,7 @@ class WorkerPool:
                 max_retries=max_retries,
                 label=label,
                 created=time.monotonic(),
+                trace=trace,
             )
             self._next_item += 1
             self._items[item.id] = item
@@ -345,9 +356,16 @@ class WorkerPool:
                     if item.timeout
                     else math.inf
                 )
-                w.task_q.put(
-                    {"id": item.id, "kind": item.kind, "payload": item.payload}
-                )
+                message = {
+                    "id": item.id, "kind": item.kind, "payload": item.payload
+                }
+                if item.trace is not None:
+                    # Attempt-numbered so retried work shows up as
+                    # distinct, countable spans in the timeline.
+                    message["trace"] = {
+                        **item.trace, "attempt": item.attempts + 1
+                    }
+                w.task_q.put(message)
                 return True
         return False
 
@@ -396,6 +414,11 @@ class WorkerPool:
                         crashes=item.crashes,
                         elapsed=time.monotonic() - item.created,
                         worker=wid,
+                        trace_id=(
+                            str(item.trace.get("trace_id", ""))
+                            if item.trace is not None
+                            else ""
+                        ),
                     ),
                 )
             )
@@ -425,6 +448,17 @@ class WorkerPool:
         item.attempts += 1
         item.current_wid = None
         if status == "ok":
+            # Traced results arrive wrapped; merge the worker-side
+            # spans into the parent recorder and unwrap the value.
+            # (Stale traced results were filtered by the guard above —
+            # their spans are dropped with them.)
+            if (
+                item.trace is not None
+                and isinstance(payload, dict)
+                and "__trace__" in payload
+            ):
+                record_remote_spans(payload.get("__trace__") or [])
+                payload = payload.get("value")
             self._items.pop(item_id, None)
             self._completed += 1
             elapsed = time.monotonic() - item.created

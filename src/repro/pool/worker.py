@@ -41,6 +41,7 @@ __all__ = [
     "pool_worker_main",
     "request_from_config",
     "run_item",
+    "run_item_traced",
 ]
 
 
@@ -52,6 +53,7 @@ def warm_imports() -> None:
     import repro.model.batch  # noqa: F401
     import repro.model.fastpath  # noqa: F401
     import repro.model.kernels  # noqa: F401
+    import repro.obs.trace  # noqa: F401
     import repro.service.coalesce  # noqa: F401
     import repro.service.schema  # noqa: F401
 
@@ -118,6 +120,44 @@ def run_item(kind: str, payload: Any) -> Any:
     raise ValueError(f"unknown pool task kind {kind!r}")
 
 
+def run_item_traced(
+    wid: int, kind: str, payload: Any, trace: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """:func:`run_item` under the submitted trace context.
+
+    The worker records into its own short-lived
+    :class:`~repro.obs.trace.FlightRecorder` and ships the span dicts
+    back wrapped around the value — ``{"__trace__": [...], "value":
+    ...}`` — so the parent's supervisor can merge them into the serving
+    process's recorder.  The ``pool.task`` span's parent is the
+    submitting span in the *parent* process, which is exactly what
+    joins the cross-process tree back up.
+    """
+    from repro.obs.trace import (
+        FlightRecorder,
+        TraceContext,
+        start_span,
+        tracing,
+        use_context,
+    )
+
+    ctx = TraceContext.from_dict(trace)
+    recorder = FlightRecorder()
+    with tracing(recorder):
+        with use_context(ctx):
+            with start_span(
+                "pool.task",
+                worker=wid,
+                attempt=int(trace.get("attempt", 1)),
+                kind=kind,
+            ):
+                value = run_item(kind, payload)
+    return {
+        "__trace__": [record.to_dict() for record in recorder.snapshot()],
+        "value": value,
+    }
+
+
 def pool_worker_main(wid: int, task_q, result_q) -> None:
     """Worker loop: warm up once, then serve tasks until the sentinel.
 
@@ -132,8 +172,14 @@ def pool_worker_main(wid: int, task_q, result_q) -> None:
         if message is None:
             return
         item_id = message["id"]
+        trace = message.get("trace")
         try:
-            value = run_item(message["kind"], message["payload"])
+            if trace is not None:
+                value = run_item_traced(
+                    wid, message["kind"], message["payload"], trace
+                )
+            else:
+                value = run_item(message["kind"], message["payload"])
         except Exception as exc:  # noqa: BLE001 - reported to supervisor
             result_q.put(
                 (item_id, wid, "error", f"{type(exc).__name__}: {exc}")

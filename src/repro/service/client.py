@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from repro.errors import ServiceError
+from repro.obs.trace import TRACE_HEADER
 from repro.service.schema import ColorRequest
 
 __all__ = ["ServiceReply", "ServiceClient"]
@@ -44,6 +45,18 @@ class ServiceReply:
             return float(value) if value is not None else None
         except (TypeError, ValueError):
             return None
+
+    @property
+    def trace_id(self) -> str:
+        """The server-side trace id of this exchange, when the server
+        ran with tracing on — joinable against ``/debug/trace``.
+        Empty string otherwise."""
+        header = self.headers.get(TRACE_HEADER.lower(), "")
+        if header:
+            return header.split("-", 1)[0]
+        if isinstance(self.body, dict):
+            return str(self.body.get("trace_id", ""))
+        return ""
 
 
 class ServiceClient:
@@ -85,9 +98,15 @@ class ServiceClient:
         self.close()
 
     def _request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> ServiceReply:
         headers = {"Content-Type": "application/json"} if body else {}
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -123,20 +142,37 @@ class ServiceClient:
 
     # -- API -----------------------------------------------------------
     def color(
-        self, request: Union[ColorRequest, Dict[str, Any]]
+        self,
+        request: Union[ColorRequest, Dict[str, Any]],
+        *,
+        trace_header: Optional[str] = None,
     ) -> ServiceReply:
         """POST one coloring request (a :class:`ColorRequest` or a raw
-        JSON-shaped dict, sent as-is so tests can probe validation)."""
+        JSON-shaped dict, sent as-is so tests can probe validation).
+        ``trace_header`` sends an ``X-Repro-Trace-Id`` value so the
+        server joins this request to a caller-owned trace."""
         if isinstance(request, ColorRequest):
             payload = request.config()
         else:
             payload = dict(request)
+        extra = {TRACE_HEADER: trace_header} if trace_header else None
         return self._request(
-            "POST", "/v1/color", json.dumps(payload).encode("utf-8")
+            "POST",
+            "/v1/color",
+            json.dumps(payload).encode("utf-8"),
+            extra_headers=extra,
         )
 
     def healthz(self) -> ServiceReply:
         return self._request("GET", "/healthz")
+
+    def debug_trace(self) -> Dict[str, Any]:
+        """The flight recorder as Chrome trace-event JSON
+        (``GET /debug/trace``); raises when tracing is off."""
+        reply = self._request("GET", "/debug/trace")
+        if not reply.ok:
+            raise ServiceError(f"GET /debug/trace returned {reply.status}")
+        return reply.body
 
     def metrics_text(self) -> str:
         """The Prometheus exposition body of ``GET /metrics``."""

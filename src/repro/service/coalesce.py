@@ -48,6 +48,14 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import BackpressureError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TraceContext,
+    active_recorder,
+    current_context,
+    record_event,
+    start_span,
+    use_context,
+)
 from repro.service.cache import LRUCache, SingleFlight
 from repro.service.schema import ColorRequest, ColorResponse
 
@@ -117,10 +125,31 @@ def execute_requests(
     return results, "fast"
 
 
+def _execute_traced(
+    requests: List[ColorRequest], ctx: Optional[TraceContext]
+) -> Tuple[List[Any], str]:
+    """:func:`execute_requests` on an executor thread, under ``ctx``.
+
+    Executor threads do not inherit the submitting task's contextvars,
+    so the trace context crosses the thread boundary explicitly here.
+    """
+    if ctx is None:
+        return execute_requests(requests)
+    with use_context(ctx):
+        with start_span("service.execute") as sp:
+            results, engine = execute_requests(requests)
+            sp.set_attribute("engine", engine)
+        return results, engine
+
+
 @dataclass
 class _WorkItem:
     request: ColorRequest
     key: str
+    # Trace context captured at submit() time — the batcher task runs
+    # under its own (empty) contextvar context, so causality must ride
+    # the work item, not the ambient context.
+    ctx: Optional[TraceContext] = None
 
 
 class Coalescer:
@@ -254,15 +283,18 @@ class Coalescer:
         if self._queue is None:
             raise RuntimeError("Coalescer.submit before start()")
         key = request.request_key
+        ctx = current_context() if active_recorder() is not None else None
         hit = self.cache.get(key)
         if hit is not None:
             self._inc("service_cache_hits_total")
+            record_event("cache.hit", context=ctx, request_key=key)
             return replace(hit, cached=True)
         self._inc("service_cache_misses_total")
 
         future, leader = self.flight.claim(key)
         if not leader:
             self._inc("service_singleflight_joins_total")
+            record_event("singleflight.join", context=ctx, request_key=key)
             return replace(await self.flight.wait(future), cached=True)
 
         if self._admitted >= self.queue_limit:
@@ -277,7 +309,7 @@ class Coalescer:
             raise error
 
         self._admit()
-        self._queue.put_nowait(_WorkItem(request=request, key=key))
+        self._queue.put_nowait(_WorkItem(request=request, key=key, ctx=ctx))
         return await self.flight.wait(future)
 
     def _retry_after_hint(self) -> float:
@@ -339,26 +371,61 @@ class Coalescer:
 
     async def _execute_group(self, group: List[_WorkItem]) -> None:
         requests = [w.request for w in group]
+        # The first sampled submitter leads the batch: the batch span
+        # hangs under its request span, and every other traced member
+        # records a follower link event pointing at the leader's batch
+        # so a coalesced wait is attributable from either side.
+        leader_ctx = next(
+            (w.ctx for w in group if w.ctx is not None and w.ctx.sampled),
+            None,
+        )
+        batch_span = start_span(
+            "coalesce.batch", context=leader_ctx, batch_size=len(group)
+        )
         started = perf_counter()
         try:
-            if self.pool is not None:
-                # Warm-process path: the worker executes, verifies and
-                # serializes; only JSON-shaped dicts cross the process
-                # boundary and the event loop never burns engine CPU.
-                outcome = await asyncio.wrap_future(
-                    self.pool.submit_group([r.config() for r in requests])
-                )
-                engine = outcome.value["engine"]
-                responses = [
-                    ColorResponse.from_dict(d)
-                    for d in outcome.value["responses"]
-                ]
-            else:
-                loop = asyncio.get_event_loop()
-                results, engine = await loop.run_in_executor(
-                    self._executor, execute_requests, requests
-                )
-                responses = None
+            with batch_span:
+                batch_ctx = batch_span.context
+                if batch_ctx is not None:
+                    for work in group:
+                        if (
+                            work.ctx is not None
+                            and work.ctx.sampled
+                            and work.ctx is not leader_ctx
+                        ):
+                            record_event(
+                                "coalesce.follower",
+                                context=work.ctx,
+                                leader_trace_id=batch_ctx.trace_id,
+                                leader_span_id=batch_ctx.span_id,
+                            )
+                if self.pool is not None:
+                    # Warm-process path: the worker executes, verifies
+                    # and serializes; only JSON-shaped dicts cross the
+                    # process boundary (the trace context included) and
+                    # the event loop never burns engine CPU.
+                    outcome = await asyncio.wrap_future(
+                        self.pool.submit_group(
+                            [r.config() for r in requests],
+                            trace=(
+                                batch_ctx.to_dict()
+                                if batch_ctx is not None
+                                else None
+                            ),
+                        )
+                    )
+                    engine = outcome.value["engine"]
+                    responses = [
+                        ColorResponse.from_dict(d)
+                        for d in outcome.value["responses"]
+                    ]
+                else:
+                    loop = asyncio.get_event_loop()
+                    results, engine = await loop.run_in_executor(
+                        self._executor, _execute_traced, requests, batch_ctx
+                    )
+                    responses = None
+                batch_span.set_attribute("engine", engine)
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             for work in group:
                 self.flight.reject(work.key, exc)

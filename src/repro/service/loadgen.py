@@ -122,6 +122,11 @@ def run_loadgen(
     latencies: List[float] = []
     statuses: Dict[str, int] = {}
     outcomes = {"computed": 0, "cached": 0, "coalesced": 0, "errors": 0}
+    # Non-2xx replies, with the server trace id when tracing is on —
+    # the handle that joins a failed request to /debug/trace.  Bounded:
+    # a fully-shed burst must not balloon the summary.
+    failures: List[Dict[str, Any]] = []
+    max_failures = 32
 
     def worker() -> None:
         with ServiceClient(host, port, timeout=timeout) as client:
@@ -152,6 +157,15 @@ def run_loadgen(
                             outcomes["coalesced"] += 1
                         else:
                             outcomes["computed"] += 1
+                    elif len(failures) < max_failures:
+                        failure = {
+                            "index": i,
+                            "status": reply.status,
+                            "request_key": request.request_key,
+                        }
+                        if reply.trace_id:
+                            failure["trace_id"] = reply.trace_id
+                        failures.append(failure)
 
     threads = [
         threading.Thread(target=worker, name=f"loadgen-{k}", daemon=True)
@@ -177,6 +191,7 @@ def run_loadgen(
         "ok": ok,
         "shed": shed,
         "outcomes": outcomes,
+        "failures": failures,
         "latency_ms": {
             "p50": percentile(latencies, 0.50) * 1000.0,
             "p95": percentile(latencies, 0.95) * 1000.0,

@@ -18,6 +18,17 @@ pipeline.  Routes:
 * ``GET /metrics`` — Prometheus text exposition of the service
   registry (``service_*`` series plus the engines' ``engine_*``
   series), rendered by :func:`repro.obs.exposition.render_prometheus`.
+* ``GET /debug/trace`` — the flight recorder (last N completed spans)
+  as Chrome trace-event JSON, loadable directly in Perfetto; 404 when
+  the server runs with tracing off.  Read-only and bounded: the
+  recorder is a fixed-capacity ring, so the response size is capped.
+
+Tracing (``trace="on"`` / ``"sample=K"``): every ``/v1/color``
+exchange carries the ``X-Repro-Trace-Id`` header in both directions —
+a client-sent context is honored verbatim, otherwise the server mints
+one (sampling every Kth request) — and the request's span tree
+(request → coalesce.batch → pool.task/service.execute → engine_run)
+lands in the flight recorder, pool-worker spans included.
 
 Graceful shutdown (:func:`serve` installs SIGTERM/SIGINT handlers):
 stop accepting, answer in-flight work, drain the pipeline up to
@@ -38,9 +49,24 @@ import signal
 import sys
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import BackpressureError, RequestValidationError
+from repro.errors import (
+    BackpressureError,
+    RequestValidationError,
+    ServiceError,
+)
 from repro.obs.exposition import render_prometheus
 from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.trace import (
+    TRACE_HEADER,
+    FlightRecorder,
+    TraceContext,
+    current_context,
+    disable_tracing,
+    enable_tracing,
+    render_chrome_json,
+    start_span,
+    use_context,
+)
 from repro.pool import WorkerPool
 from repro.service.coalesce import Coalescer
 from repro.service.schema import ColorRequest
@@ -52,6 +78,25 @@ __all__ = ["ColorServer", "ServerThread", "serve"]
 MAX_BODY_BYTES = 64 * 1024
 
 _JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+def _parse_trace_mode(mode: Any) -> int:
+    """``--trace`` mode → sampling period: 0 = off, 1 = every request
+    (``on``), K = every Kth request (``sample=K``)."""
+    if mode in (None, False, "", "off"):
+        return 0
+    if mode in (True, "on"):
+        return 1
+    if isinstance(mode, str) and mode.startswith("sample="):
+        try:
+            k = int(mode.split("=", 1)[1])
+        except ValueError:
+            k = 0
+        if k >= 1:
+            return k
+    raise ServiceError(
+        f"invalid trace mode {mode!r} (expected off, on, or sample=K)"
+    )
 
 
 class ColorServer:
@@ -75,11 +120,22 @@ class ColorServer:
         executor_workers: int = 2,
         pool_workers: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        trace: Any = "off",
+        trace_buffer: int = 4096,
     ):
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Tracing: 0 = off, 1 = every request, K = every Kth request.
+        # The recorder exists iff tracing is on; it becomes the
+        # process-global active recorder for the server's lifetime
+        # (enabled in start(), disabled in shutdown()).
+        self._trace_every = _parse_trace_mode(trace)
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(trace_buffer) if self._trace_every else None
+        )
+        self._trace_counter = 0
         self.executor_workers = executor_workers
         self.pool_workers = pool_workers
         self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
@@ -104,6 +160,8 @@ class ColorServer:
         first request never pays a worker start; otherwise a GIL-bound
         thread executor (the single-core-adequate default).
         """
+        if self.recorder is not None:
+            enable_tracing(self.recorder)
         if self.pool_workers > 0:
             self._pool = WorkerPool(
                 self.pool_workers, registry=self.registry
@@ -158,6 +216,8 @@ class ColorServer:
                 "service_drain_seconds",
                 asyncio.get_event_loop().time() - drain_started,
             )
+        if self.recorder is not None:
+            disable_tracing()
         return drained
 
     # -- connection handling -------------------------------------------
@@ -173,7 +233,9 @@ class ColorServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload, extra = await self._route(method, path, body)
+                status, payload, extra = await self._route(
+                    method, path, body, headers
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
@@ -261,12 +323,47 @@ class ColorServer:
         await writer.drain()
 
     # -- routing -------------------------------------------------------
+    def _request_context(
+        self, headers: Optional[Dict[str, str]]
+    ) -> TraceContext:
+        """The trace context of one ``/v1/color`` request: the client's
+        (header) context verbatim when one was sent, else a freshly
+        minted root whose sampled flag follows the server's ``--trace``
+        period."""
+        incoming = TraceContext.from_header(
+            (headers or {}).get(TRACE_HEADER.lower())
+        )
+        if incoming is not None:
+            return incoming
+        self._trace_counter += 1
+        sampled = self._trace_counter % self._trace_every == 0
+        return TraceContext.new_root(sampled=sampled)
+
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, bytes, Dict[str, str]]:
         path = path.split("?", 1)[0]
         started = asyncio.get_event_loop().time()
-        status, payload, extra = await self._dispatch(method, path, body)
+        if self.recorder is not None and path == "/v1/color":
+            ctx = self._request_context(headers)
+            with use_context(ctx):
+                with start_span(
+                    "request", route=path, method=method
+                ) as rspan:
+                    status, payload, extra = await self._dispatch(
+                        method, path, body
+                    )
+                    rspan.set_attribute("status", status)
+            # Echo the id on every outcome — 200, 429, 504, 500 alike —
+            # so any response is joinable against the flight recorder.
+            echo = rspan.context if rspan.context is not None else ctx
+            extra = {**extra, TRACE_HEADER: echo.to_header()}
+        else:
+            status, payload, extra = await self._dispatch(method, path, body)
         if self.registry is not None:
             self.registry.inc(
                 "service_requests_total", 1, route=path, status=str(status)
@@ -290,6 +387,17 @@ class ColorServer:
                 return self._error(405, "use GET")
             text = render_prometheus(self.registry).encode("utf-8")
             return 200, text, {"Content-Type": "text/plain; version=0.0.4"}
+        if path == "/debug/trace":
+            if method != "GET":
+                return self._error(405, "use GET")
+            if self.recorder is None:
+                return self._error(
+                    404, "tracing is disabled (serve --trace on)"
+                )
+            text = render_chrome_json(
+                self.recorder.snapshot(), metadata=self.recorder.stats()
+            )
+            return 200, (text + "\n").encode("utf-8"), dict(_JSON_HEADERS)
         if path == "/v1/color":
             if method != "POST":
                 return self._error(405, "use POST")
@@ -316,9 +424,14 @@ class ColorServer:
                 self.coalescer.submit(request), self.request_timeout
             )
         except BackpressureError as exc:
+            body_dict: Dict[str, Any] = {
+                "error": str(exc), "retry_after": exc.retry_after,
+            }
+            if self._trace_id():
+                body_dict["trace_id"] = self._trace_id()
             return (
                 429,
-                self._json({"error": str(exc), "retry_after": exc.retry_after}),
+                self._json(body_dict),
                 {**_JSON_HEADERS, "Retry-After": str(int(exc.retry_after + 0.5) or 1)},
             )
         except asyncio.TimeoutError:
@@ -327,21 +440,20 @@ class ColorServer:
             # lands in the cache, so a retry is cheap.  This mirrors
             # TimeExhaustedError's diagnosability contract one level
             # up: say who timed out and what to do next.
-            return (
-                504,
-                self._json(
-                    {
-                        "error": (
-                            f"request {request.request_key} exceeded the "
-                            f"{self.request_timeout:.1f}s service timeout; "
-                            "the result will be cached for a retry"
-                        ),
-                        "request_key": request.request_key,
-                        "retry_after": self.request_timeout,
-                    }
+            timeout_body: Dict[str, Any] = {
+                "error": (
+                    f"request {request.request_key} exceeded the "
+                    f"{self.request_timeout:.1f}s service timeout; "
+                    "the result will be cached for a retry"
                 ),
-                dict(_JSON_HEADERS),
-            )
+                "request_key": request.request_key,
+                "retry_after": self.request_timeout,
+            }
+            if self._trace_id():
+                # Joinable against /debug/trace: the partial spans of
+                # the timed-out request carry this id.
+                timeout_body["trace_id"] = self._trace_id()
+            return 504, self._json(timeout_body), dict(_JSON_HEADERS)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced as HTTP 500
@@ -349,6 +461,11 @@ class ColorServer:
         return 200, self._json(response.to_dict()), dict(_JSON_HEADERS)
 
     # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _trace_id() -> str:
+        ctx = current_context()
+        return ctx.trace_id if ctx is not None else ""
+
     def health(self) -> Dict[str, Any]:
         payload = {
             "status": "draining" if self.draining else "ok",
@@ -359,6 +476,8 @@ class ColorServer:
         }
         if self._pool is not None:
             payload["pool"] = self._pool.stats()
+        if self.recorder is not None:
+            payload["trace"] = self.recorder.stats()
         return payload
 
     @staticmethod
@@ -370,6 +489,8 @@ class ColorServer:
     ) -> Tuple[int, bytes, Dict[str, str]]:
         body: Dict[str, Any] = {"error": message}
         body.update({k: v for k, v in extra.items() if v})
+        if self._trace_id():
+            body.setdefault("trace_id", self._trace_id())
         return status, self._json(body), dict(_JSON_HEADERS)
 
 
@@ -449,6 +570,8 @@ def serve(
     pool_workers: int = 0,
     drain_timeout: float = 10.0,
     quiet: bool = False,
+    trace: str = "off",
+    trace_buffer: int = 4096,
 ) -> int:
     """Blocking entry point of ``repro-color serve``.
 
@@ -456,6 +579,8 @@ def serve(
     on a clean drain, 1 when the drain timed out with work still in
     flight.  ``pool_workers > 0`` serves executions from that many
     warm worker processes instead of the in-process thread executor.
+    ``trace`` enables end-to-end tracing (``on`` or ``sample=K``) into
+    a ``trace_buffer``-span flight recorder served at ``/debug/trace``.
     """
     server = ColorServer(
         host=host,
@@ -467,6 +592,8 @@ def serve(
         request_timeout=request_timeout,
         executor_workers=executor_workers,
         pool_workers=pool_workers,
+        trace=trace,
+        trace_buffer=trace_buffer,
     )
     loop = asyncio.new_event_loop()
     asyncio.set_event_loop(loop)
@@ -487,7 +614,8 @@ def serve(
                     f"repro-color serve: listening on "
                     f"http://{server.host}:{server.port} "
                     f"(queue_limit={queue_limit}, cache_size={cache_size}, "
-                    f"max_batch={max_batch}, pool_workers={pool_workers})",
+                    f"max_batch={max_batch}, pool_workers={pool_workers}, "
+                    f"trace={trace})",
                     file=sys.stderr,
                     flush=True,
                 )

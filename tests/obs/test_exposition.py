@@ -1,0 +1,127 @@
+"""Exposition-format edge cases: label escaping and snapshot stability.
+
+The Prometheus text format requires ``\\``, ``"`` and newline inside a
+label value to be escaped (backslash first — escaping in the other
+order would corrupt pre-existing backslashes), and the JSON artifact's
+``deterministic_snapshot`` must be insensitive to the *order* in which
+series were touched, since the differential harness compares artifacts
+produced by engines that interleave their updates differently.
+"""
+
+from repro.obs.exposition import render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def line_for(text, needle):
+    matches = [
+        line
+        for line in text.splitlines()
+        if needle in line and not line.startswith("#")
+    ]
+    assert matches, f"no exposition sample line contains {needle!r}"
+    return matches[0]
+
+
+class TestLabelEscaping:
+    def test_backslash_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("paths_total", path="C:\\temp\\run")
+        line = line_for(render_prometheus(registry), "paths_total")
+        assert 'path="C:\\\\temp\\\\run"' in line
+
+    def test_double_quote_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("queries_total", q='say "hi"')
+        line = line_for(render_prometheus(registry), "queries_total")
+        assert 'q="say \\"hi\\""' in line
+
+    def test_newline_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("notes_total", note="line1\nline2")
+        text = render_prometheus(registry)
+        line = line_for(text, "notes_total")
+        assert 'note="line1\\nline2"' in line
+        # The rendered document must stay one-sample-per-line: a raw
+        # newline inside a label value would split the series line.
+        sample_lines = [
+            ln for ln in text.splitlines() if ln.startswith("notes_total")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # A value that already contains the two-character sequences
+        # \" and \n: escaping must not double-process its own output.
+        registry = MetricsRegistry()
+        registry.inc("tricky_total", v='a\\"b\\nc')
+        line = line_for(render_prometheus(registry), "tricky_total")
+        assert 'v="a\\\\\\"b\\\\nc"' in line
+
+    def test_all_specials_combined(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1, label='\\ then " then \n end')
+        line = line_for(render_prometheus(registry), "g{")
+        assert 'label="\\\\ then \\" then \\n end"' in line
+        # Escaped value must survive a reverse mapping back to the
+        # original (the decode Prometheus scrapers apply).
+        inner = line.split('label="', 1)[1].rsplit('"', 1)[0]
+        decoded = (
+            inner.replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert decoded == '\\ then " then \n end'
+
+
+class TestDeterministicSnapshotStability:
+    def interleave_a(self, registry):
+        registry.inc("runs_total", engine="fast")
+        registry.inc("steps_total", engine="fast", phase="scan")
+        registry.inc("runs_total", engine="reference")
+        registry.inc("steps_total", 2, engine="fast", phase="scan")
+        registry.inc("runs_total", engine="fast")
+
+    def interleave_b(self, registry):
+        # Same terminal values, different update order and grouping.
+        registry.inc("steps_total", 3, engine="fast", phase="scan")
+        registry.inc("runs_total", engine="reference")
+        registry.inc("runs_total", 2, engine="fast")
+
+    def test_update_order_is_invisible(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self.interleave_a(a)
+        self.interleave_b(b)
+        assert a.deterministic_snapshot() == b.deterministic_snapshot()
+
+    def test_rendered_artifacts_are_byte_identical(self):
+        import json
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self.interleave_a(a)
+        self.interleave_b(b)
+        dump_a = json.dumps(
+            render_json(a.deterministic_snapshot()), sort_keys=True
+        )
+        dump_b = json.dumps(
+            render_json(b.deterministic_snapshot()), sort_keys=True
+        )
+        assert dump_a == dump_b
+        assert render_prometheus(a.deterministic_snapshot()) == (
+            render_prometheus(b.deterministic_snapshot())
+        )
+
+    def test_nondeterministic_metrics_are_dropped(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total")
+        registry.set_gauge("campaign_queue_depth", 7, backend="pool")
+        registry.observe("engine_run_seconds", 0.5, engine="fast")
+        snapshot = registry.deterministic_snapshot()
+        assert "runs_total" in snapshot
+        assert "campaign_queue_depth" not in snapshot
+        assert "engine_run_seconds" not in snapshot
+
+    def test_ignore_labels_merges_engines(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", engine="fast")
+        snapshot = registry.deterministic_snapshot(ignore_labels=("engine",))
+        (sample,) = snapshot["runs_total"]["samples"]
+        assert sample["labels"] == {}

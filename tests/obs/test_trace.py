@@ -1,0 +1,315 @@
+"""Unit tests of the tracing layer: contexts, recorder, hooks, exporters.
+
+The end-to-end propagation paths (HTTP header → coalescer → pool
+worker) live in ``tests/service/test_trace_e2e.py``; this file pins
+down the building blocks in isolation — the header codec's strictness,
+the ring bound, parent/child linkage of nested spans, remote-span
+merging, and the two export formats.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_HEADER,
+    FlightRecorder,
+    SpanRecord,
+    TraceContext,
+    active_recorder,
+    current_context,
+    deterministic_context,
+    is_recording,
+    record_complete,
+    record_event,
+    record_remote_spans,
+    record_timed,
+    render_chrome_json,
+    render_jsonl,
+    start_span,
+    to_chrome_trace,
+    tracing,
+    use_context,
+    write_trace_artifact,
+)
+
+
+class TestTraceContext:
+    def test_new_root_ids_are_well_formed(self):
+        ctx = TraceContext.new_root()
+        assert len(ctx.trace_id) == 32
+        assert int(ctx.trace_id, 16) >= 0
+        assert ctx.span_id == ""
+        assert ctx.parent_id is None
+        assert ctx.sampled
+
+    def test_child_keeps_trace_and_links_parent(self):
+        root = TraceContext.new_root()
+        first = root.child()
+        second = first.child()
+        assert first.trace_id == root.trace_id == second.trace_id
+        assert first.parent_id is None  # root had no span yet
+        assert second.parent_id == first.span_id
+        assert first.span_id != second.span_id
+
+    def test_header_roundtrip(self):
+        ctx = TraceContext.new_root().child()
+        parsed = TraceContext.from_header(ctx.to_header())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled
+
+    def test_unsampled_flag_roundtrip(self):
+        ctx = TraceContext.new_root(sampled=False).child()
+        header = ctx.to_header()
+        assert header.endswith("-00")
+        parsed = TraceContext.from_header(header)
+        assert parsed is not None and not parsed.sampled
+
+    def test_header_is_case_insensitive(self):
+        ctx = TraceContext.new_root().child()
+        parsed = TraceContext.from_header(ctx.to_header().upper())
+        assert parsed is not None and parsed.trace_id == ctx.trace_id
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "not-a-trace",
+            "xyz",
+            "00" * 16,  # no separators
+            f"{'0' * 31}-{'1' * 16}-01",  # short trace id
+            f"{'0' * 32}-{'1' * 15}-01",  # short span id
+            f"{'0' * 32}-{'1' * 16}-0g",  # non-hex flags
+            f"{'g' * 32}-{'1' * 16}-01",  # non-hex trace id
+            f"{'0' * 32}-{'1' * 16}",  # missing flags
+            f"{'0' * 32}-{'1' * 16}-01-extra",
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, bad):
+        assert TraceContext.from_header(bad) is None
+
+    def test_dict_roundtrip(self):
+        ctx = TraceContext.new_root().child().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_header_name_is_stable(self):
+        # The wire contract of the service layer; changing it breaks
+        # deployed clients.
+        assert TRACE_HEADER == "X-Repro-Trace-Id"
+
+
+class TestDeterministicContext:
+    def test_same_key_same_ids(self):
+        a = deterministic_context("3f2a9bc04d17e658")
+        b = deterministic_context("3f2a9bc04d17e658")
+        assert a == b
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+
+    def test_different_keys_differ(self):
+        a = deterministic_context("3f2a9bc04d17e658")
+        b = deterministic_context("3f2a9bc04d17e659")
+        assert a.trace_id != b.trace_id
+
+    def test_degenerate_keys_still_yield_valid_ids(self):
+        for key in ("", "zzz", "A"):
+            ctx = deterministic_context(key)
+            assert len(ctx.trace_id) == 32
+            assert len(ctx.span_id) == 16
+
+
+class TestFlightRecorder:
+    def span(self, i):
+        return SpanRecord(
+            name=f"s{i}", trace_id="t", span_id=str(i),
+            parent_id=None, start=float(i), duration=0.1,
+        )
+
+    def test_ring_bound_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(self.span(i))
+        names = [s.name for s in recorder.snapshot()]
+        assert names == ["s2", "s3", "s4"]
+        assert recorder.recorded == 5
+        assert recorder.dropped == 2
+        assert recorder.stats() == {
+            "capacity": 3, "spans": 3, "recorded": 5, "dropped": 2,
+        }
+
+    def test_clear_resets_counters(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.extend(self.span(i) for i in range(4))
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.recorded == 0 and recorder.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestSpanHooks:
+    def test_disabled_hooks_are_noops(self):
+        assert active_recorder() is None
+        assert not is_recording()
+        span = start_span("nothing", attr=1)
+        with span as s:
+            s.set_attribute("still", "nothing")
+        record_timed("nothing", 0.0, 1.0)
+        record_event("nothing")
+        assert active_recorder() is None
+
+    def test_no_context_means_no_recording(self):
+        with tracing() as recorder:
+            assert current_context() is None
+            assert not is_recording()
+            with start_span("orphan"):
+                pass
+            record_timed("orphan", 0.0, 1.0)
+        assert recorder.snapshot() == []
+
+    def test_nested_spans_link_parents(self):
+        with tracing() as recorder:
+            with use_context(TraceContext.new_root()):
+                with start_span("outer", layer=1) as outer:
+                    with start_span("inner") as inner:
+                        pass
+        spans = {s.name: s for s in recorder.snapshot()}
+        assert set(spans) == {"outer", "inner"}
+        assert spans["inner"].parent_id == outer.context.span_id
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+        assert spans["outer"].attributes == {"layer": 1}
+        assert inner.context.parent_id == outer.context.span_id
+
+    def test_record_timed_leaf_parents_under_current_span(self):
+        with tracing() as recorder:
+            with use_context(TraceContext.new_root()):
+                with start_span("parent") as parent:
+                    record_timed("leaf", 12.0, 0.25, {"k": "v"})
+        leaf = next(s for s in recorder.snapshot() if s.name == "leaf")
+        assert leaf.parent_id == parent.context.span_id
+        assert leaf.start == 12.0 and leaf.duration == 0.25
+        assert leaf.attributes == {"k": "v"}
+
+    def test_exception_marks_error_attribute(self):
+        with tracing() as recorder:
+            with use_context(TraceContext.new_root()):
+                with pytest.raises(RuntimeError):
+                    with start_span("doomed"):
+                        raise RuntimeError("boom")
+        (span,) = recorder.snapshot()
+        assert span.attributes["error"] == "RuntimeError"
+
+    def test_unsampled_context_records_nothing(self):
+        with tracing() as recorder:
+            with use_context(TraceContext.new_root(sampled=False)):
+                assert not is_recording()
+                with start_span("invisible"):
+                    record_timed("invisible", 0.0, 1.0)
+                    record_event("invisible")
+        assert recorder.snapshot() == []
+
+    def test_use_context_restores_previous(self):
+        a = TraceContext.new_root()
+        b = TraceContext.new_root()
+        with use_context(a):
+            with use_context(b):
+                assert current_context() is b
+            assert current_context() is a
+        assert current_context() is None
+
+    def test_record_complete_uses_identity_verbatim(self):
+        root = deterministic_context("abcdef0123456789")
+        with tracing() as recorder:
+            record_complete(
+                "campaign.task", root, 5.0, 2.0, status="ok"
+            )
+        (span,) = recorder.snapshot()
+        assert span.span_id == root.span_id
+        assert span.trace_id == root.trace_id
+        assert span.parent_id is None
+        assert span.attributes == {"status": "ok"}
+
+    def test_record_remote_spans_merges_and_skips_malformed(self):
+        good = SpanRecord(
+            name="pool.task", trace_id="t" * 32, span_id="s" * 16,
+            parent_id="p" * 16, start=1.0, duration=0.5, pid=999,
+        ).to_dict()
+        with tracing() as recorder:
+            kept = record_remote_spans(
+                [good, {"name": "missing-fields"}, "not-a-dict"]
+            )
+        assert kept == 1
+        (span,) = recorder.snapshot()
+        assert span.name == "pool.task" and span.pid == 999
+        assert span.parent_id == "p" * 16
+
+    def test_record_remote_spans_disabled_returns_zero(self):
+        assert record_remote_spans([{"name": "x"}]) == 0
+
+    def test_tracing_restores_previous_recorder(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+        assert active_recorder() is None
+
+
+class TestExporters:
+    def recorded(self):
+        with tracing() as recorder:
+            with use_context(TraceContext.new_root()):
+                with start_span("request", route="/v1/color"):
+                    with start_span("engine_run"):
+                        pass
+        return recorder.snapshot()
+
+    def test_chrome_trace_shape(self):
+        spans = self.recorded()
+        doc = to_chrome_trace(spans, metadata={"source": "test"})
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"source": "test"}
+        assert len(doc["traceEvents"]) == 2
+        for event, span in zip(doc["traceEvents"], spans):
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["name"] == span.name
+            assert event["ts"] == span.start * 1e6
+            assert event["dur"] == span.duration * 1e6
+            assert event["args"]["trace_id"] == span.trace_id
+            assert event["args"]["span_id"] == span.span_id
+            assert event["args"]["parent_id"] == span.parent_id
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_render_chrome_json_parses(self):
+        doc = json.loads(render_chrome_json(self.recorded()))
+        assert {e["name"] for e in doc["traceEvents"]} == {
+            "request", "engine_run",
+        }
+
+    def test_render_jsonl_roundtrips(self):
+        spans = self.recorded()
+        lines = render_jsonl(spans).splitlines()
+        assert len(lines) == len(spans)
+        parsed = [SpanRecord.from_dict(json.loads(line)) for line in lines]
+        assert [p.span_id for p in parsed] == [s.span_id for s in spans]
+
+    def test_write_trace_artifact_both_formats(self, tmp_path):
+        spans = self.recorded()
+        chrome = write_trace_artifact(tmp_path / "t.json", spans)
+        jsonl = write_trace_artifact(
+            tmp_path / "t.jsonl", spans, fmt="jsonl"
+        )
+        assert json.loads(chrome.read_text())["traceEvents"]
+        assert len(jsonl.read_text().splitlines()) == len(spans)
+        with pytest.raises(ValueError):
+            write_trace_artifact(tmp_path / "t.x", spans, fmt="protobuf")
+
+    def test_empty_exports(self):
+        assert json.loads(render_chrome_json([]))["traceEvents"] == []
+        assert render_jsonl([]) == ""

@@ -1,0 +1,235 @@
+"""End-to-end tracing through the service: server → coalescer → pool.
+
+The acceptance test of the tracing tentpole: a pool-mode request
+traced through a real :class:`ColorServer` must yield a *single* trace
+in ``/debug/trace`` whose parent/child span ids join up across the
+process boundary — request (serving process) → coalesce.batch (event
+loop) → pool.task (worker process) → engine phases — and the exported
+document must be valid Chrome trace-event JSON.
+"""
+
+import os
+
+from repro.obs.trace import TRACE_HEADER, TraceContext, active_recorder
+from repro.service.client import ServiceClient
+from repro.service.schema import ColorRequest
+from repro.service.server import ServerThread
+
+
+def request_of(seed, *, algorithm="fast5", n=24, max_time=200_000):
+    return ColorRequest.build(
+        algorithm, n, schedule="bernoulli", seed=seed, max_time=max_time
+    )
+
+
+def spans_by_name(doc):
+    index = {}
+    for event in doc["traceEvents"]:
+        index.setdefault(event["name"], []).append(event)
+    return index
+
+
+class TestPoolModeEndToEnd:
+    def test_single_trace_spans_server_to_worker(self):
+        with ServerThread(
+            pool_workers=1, trace="on", coalesce_window=0.005
+        ) as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(20)
+                reply = client.color(request_of(1))
+                assert reply.status == 200
+                trace_id = reply.trace_id
+                assert len(trace_id) == 32
+                doc = client.debug_trace()
+
+        # The artifact is valid Chrome trace-event JSON.
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(event)
+
+        # One trace covers the whole path: every span of this request
+        # carries the id the response header advertised.
+        mine = [
+            e for e in doc["traceEvents"]
+            if e["args"]["trace_id"] == trace_id
+        ]
+        names = {e["name"] for e in mine}
+        assert {"request", "coalesce.batch", "pool.task"} <= names
+
+        index = spans_by_name(doc)
+        (request,) = [
+            e for e in index["request"]
+            if e["args"]["trace_id"] == trace_id
+        ]
+        (batch,) = [
+            e for e in index["coalesce.batch"]
+            if e["args"]["trace_id"] == trace_id
+        ]
+        (pool_task,) = [
+            e for e in index["pool.task"]
+            if e["args"]["trace_id"] == trace_id
+        ]
+
+        # Parent/child ids join up across the layers...
+        assert batch["args"]["parent_id"] == request["args"]["span_id"]
+        assert pool_task["args"]["parent_id"] == batch["args"]["span_id"]
+        # ...and across the process boundary: the worker span recorded
+        # its own pid, distinct from the serving process.
+        assert request["pid"] == os.getpid()
+        assert pool_task["pid"] != request["pid"]
+        assert pool_task["args"]["worker"] == 0
+        assert pool_task["args"]["attempt"] == 1
+
+        # The engine spans the worker shipped back are part of the same
+        # trace, beneath the pool.task span.
+        engine_runs = [
+            e for e in mine if e["name"] == "engine_run"
+        ]
+        assert engine_runs
+        assert all(e["pid"] == pool_task["pid"] for e in engine_runs)
+
+        # Every span of the trace reaches the request root by walking
+        # parent links — a single connected tree, no orphans.
+        by_id = {e["args"]["span_id"]: e for e in mine}
+        root_id = request["args"]["span_id"]
+        for event in mine:
+            seen = set()
+            node = event
+            while node["args"]["span_id"] != root_id:
+                parent = node["args"]["parent_id"]
+                assert parent is not None, f"orphan span {node['name']}"
+                assert parent not in seen, "parent cycle"
+                seen.add(parent)
+                node = by_id[parent]
+
+    def test_thread_mode_traces_execute_span(self):
+        # Same tree shape minus the process hop: the executor-thread
+        # path wraps execution in service.execute instead of pool.task.
+        with ServerThread(trace="on", coalesce_window=0.005) as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(request_of(2))
+                assert reply.status == 200
+                doc = client.debug_trace()
+        mine = [
+            e for e in doc["traceEvents"]
+            if e["args"]["trace_id"] == reply.trace_id
+        ]
+        names = {e["name"] for e in mine}
+        assert {"request", "coalesce.batch", "service.execute"} <= names
+        index = {e["name"]: e for e in mine}
+        assert (
+            index["service.execute"]["args"]["parent_id"]
+            == index["coalesce.batch"]["args"]["span_id"]
+        )
+        assert index["service.execute"]["args"]["engine"] in (
+            "fast", "batch"
+        )
+
+
+class TestHeaderPropagation:
+    def test_client_supplied_context_is_honored(self):
+        caller = TraceContext.new_root().child()
+        with ServerThread(trace="on") as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(
+                    request_of(3), trace_header=caller.to_header()
+                )
+                assert reply.status == 200
+                assert reply.trace_id == caller.trace_id
+                doc = client.debug_trace()
+        requests = [
+            e for e in doc["traceEvents"] if e["name"] == "request"
+        ]
+        (mine,) = [
+            e for e in requests
+            if e["args"]["trace_id"] == caller.trace_id
+        ]
+        # The server's request span is a child of the caller's span.
+        assert mine["args"]["parent_id"] == caller.span_id
+
+    def test_malformed_header_never_fails_the_request(self):
+        with ServerThread(trace="on") as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(
+                    request_of(4), trace_header="not-a-trace-id"
+                )
+                assert reply.status == 200
+                # A fresh server-minted id, not the garbage echoed back.
+                assert len(reply.trace_id) == 32
+
+    def test_header_echoed_on_error_responses(self):
+        with ServerThread(trace="on", queue_limit=0) as server:
+            with ServiceClient(port=server.port) as client:
+                shed = client.color(request_of(5))
+                assert shed.status == 429
+                assert len(shed.trace_id) == 32
+                assert shed.body["trace_id"] == shed.trace_id
+
+                bad = client._request(
+                    "POST", "/v1/color", b"{not json",
+                    extra_headers={"Content-Type": "application/json"},
+                )
+                assert bad.status == 400
+                assert TRACE_HEADER.lower() in bad.headers
+
+    def test_timeout_body_carries_trace_id(self):
+        slow = request_of(0, n=32_768, max_time=200_000)
+        with ServerThread(
+            trace="on", request_timeout=0.01, drain_timeout=60.0
+        ) as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(slow)
+                assert reply.status == 504
+                assert reply.body["trace_id"] == reply.trace_id
+                assert len(reply.body["trace_id"]) == 32
+
+
+class TestSamplingAndLifecycle:
+    def test_sample_mode_traces_every_kth_request(self):
+        with ServerThread(trace="sample=2", coalesce_window=0.005) as server:
+            with ServiceClient(port=server.port) as client:
+                first = client.color(request_of(10))
+                second = client.color(request_of(11))
+                assert first.status == second.status == 200
+                # Both echo a header; only the sampled one records.
+                header_1 = first.headers[TRACE_HEADER.lower()]
+                header_2 = second.headers[TRACE_HEADER.lower()]
+                assert header_1.endswith("-00")
+                assert header_2.endswith("-01")
+                doc = client.debug_trace()
+        traced = {
+            e["args"]["trace_id"] for e in doc["traceEvents"]
+            if e["name"] == "request"
+        }
+        assert second.trace_id in traced
+        assert first.trace_id not in traced
+
+    def test_trace_off_by_default(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                reply = client.color(request_of(20))
+                assert reply.status == 200
+                assert TRACE_HEADER.lower() not in reply.headers
+                assert client._request("GET", "/debug/trace").status == 404
+
+    def test_recorder_detached_after_shutdown(self):
+        with ServerThread(trace="on") as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.color(request_of(21)).status == 200
+                assert active_recorder() is server.recorder
+                health = client.healthz().body
+                assert health["trace"]["capacity"] == 4096
+                assert health["trace"]["spans"] >= 1
+        assert active_recorder() is None
+
+    def test_flight_recorder_ring_is_bounded(self):
+        with ServerThread(trace="on", trace_buffer=4) as server:
+            with ServiceClient(port=server.port) as client:
+                for seed in range(30, 34):
+                    assert client.color(request_of(seed)).status == 200
+                doc = client.debug_trace()
+        assert len(doc["traceEvents"]) <= 4
+        assert doc["otherData"]["capacity"] == 4
+        assert doc["otherData"]["dropped"] >= 1
