@@ -19,6 +19,7 @@ violations, and a deliberately tightened budget must be detected.
 """
 
 import json
+import statistics
 import time
 from pathlib import Path
 
@@ -59,6 +60,46 @@ def _best_of(fn, repeats=5):
         out = fn()
         best = min(best, time.perf_counter() - started)
     return out, best
+
+
+def _paired_median_overhead(base_fn, over_fn, rounds=9):
+    """Robust overhead estimate for a cost near the noise floor.
+
+    Timing each side as its own best-of-N batch lets clock drift and
+    CPU-frequency steps land entirely on one batch — enough to report a
+    *negative* overhead for whichever side happened to run second.  And
+    even interleaved, min-of-N picks each side's single luckiest run,
+    so two ~45 ms distributions whose true means differ by microseconds
+    still produce a sign determined by noise.
+
+    Instead: run the pair back-to-back each round (alternating which
+    goes first), take the *per-round difference* — ambient noise within
+    a round is shared, so it largely cancels — and summarize with the
+    median, which one descheduling blip cannot move.  The median
+    absolute deviation of the differences comes back alongside as the
+    noise floor: an estimate smaller than it is statistically
+    indistinguishable from zero.  Returns ``(base_out, over_out,
+    base_median, diff_median, noise_mad)``.
+    """
+    base_out = over_out = None
+    base_times, diffs = [], []
+    for i in range(rounds):
+        order = ("base", "over") if i % 2 == 0 else ("over", "base")
+        elapsed = {}
+        for tag in order:
+            fn = base_fn if tag == "base" else over_fn
+            started = time.perf_counter()
+            out = fn()
+            elapsed[tag] = time.perf_counter() - started
+            if tag == "base":
+                base_out = out
+            else:
+                over_out = out
+        base_times.append(elapsed["base"])
+        diffs.append(elapsed["over"] - elapsed["base"])
+    diff = statistics.median(diffs)
+    noise = statistics.median(abs(d - diff) for d in diffs)
+    return base_out, over_out, statistics.median(base_times), diff, noise
 
 
 def test_disabled_instrumentation_overhead_within_5_percent():
@@ -135,12 +176,12 @@ def test_traced_run_overhead_recorded_in_engine_artifact():
     ids = monotone_ids(n)
     executor = FastExecutor(Cycle(n), FastFiveColoring(), ids)
     scheduler = SynchronousScheduler()
-
-    disabled_result, disabled = _best_of(
-        lambda: executor.run(scheduler, max_time=100_000)
-    )
+    rounds = 9
 
     recorder = FlightRecorder(capacity=256)
+
+    def disabled_run():
+        return executor.run(scheduler, max_time=100_000)
 
     def traced_run():
         with tracing(recorder):
@@ -148,17 +189,33 @@ def test_traced_run_overhead_recorded_in_engine_artifact():
                 with start_span("bench_run"):
                     return executor.run(scheduler, max_time=100_000)
 
-    traced_result, traced = _best_of(traced_run)
+    # Warm up both paths (kernel cache, span machinery) on a throwaway
+    # recorder before any timed round.
+    with tracing(FlightRecorder(capacity=256)):
+        with use_context(TraceContext.new_root()):
+            with start_span("warmup"):
+                disabled_run()
+
+    disabled_result, traced_result, disabled, diff, noise = (
+        _paired_median_overhead(disabled_run, traced_run, rounds=rounds)
+    )
     assert traced_result == disabled_result
     assert recorder.recorded >= 2  # bench_run + engine_run landed
 
-    overhead = (traced - disabled) / disabled
+    # Tracing cannot make a run faster, so a negative estimate means
+    # the true cost — O(1) span records per run — is below this
+    # machine's measurement floor; publish zero rather than a sign
+    # drawn from scheduler noise, and record the raw estimate and the
+    # floor alongside so the clamp is auditable.
+    below_floor = abs(diff) <= noise
+    overhead = max(diff, 0.0) / disabled
     emit(
         "tracing overhead (n=10000 sync fast5)",
         [
-            {"path": "tracing disabled", "wall [s]": round(disabled, 4)},
-            {"path": "tracing enabled", "wall [s]": round(traced, 4)},
-            {"path": "overhead", "wall [s]": round(traced - disabled, 4)},
+            {"path": "tracing disabled (median)", "wall [s]": round(disabled, 4)},
+            {"path": "tracing enabled (median)", "wall [s]": round(disabled + diff, 4)},
+            {"path": "overhead (paired median)", "wall [s]": round(diff, 4)},
+            {"path": "noise floor (MAD of diffs)", "wall [s]": round(noise, 4)},
         ],
     )
 
@@ -171,10 +228,14 @@ def test_traced_run_overhead_recorded_in_engine_artifact():
     )
     payload["tracing"] = {
         "workload": "fast5 cycle(10000) monotone sync",
+        "estimator": f"median of {rounds} paired per-round differences",
         "disabled_wall_time": disabled,
-        "traced_wall_time": traced,
+        "traced_wall_time": disabled + max(diff, 0.0),
         "traced_overhead_ratio": overhead,
-        "spans_per_run": recorder.recorded // 5,  # best-of-5 repeats
+        "raw_diff_seconds": diff,
+        "noise_floor_seconds": noise,
+        "below_noise_floor": below_floor,
+        "spans_per_run": recorder.recorded // rounds,
     }
     ENGINE_ARTIFACT.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -182,7 +243,7 @@ def test_traced_run_overhead_recorded_in_engine_artifact():
 
     # Loose sanity bound: a handful of span records must not come close
     # to doubling an engine run.
-    assert traced <= disabled * 1.5 + ABS_SLACK, (
+    assert diff <= disabled * 0.5 + ABS_SLACK, (
         f"traced-mode overhead {overhead:.1%} is implausibly high"
     )
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.verify import verify_execution
-from repro.model.execution import run_execution
+from repro.model.execution import ensure_engine, run_execution
 from repro.model.schedule import Schedule
 from repro.model.topology import Topology
 
@@ -150,8 +150,12 @@ def run_ensemble(
     the whole grid into one lockstep :func:`repro.model.batch.run_batch`
     call when a batched kernel covers the configuration (same
     aggregates, bit-identical per-run results), falling back to
-    per-run execution otherwise.
+    per-run execution otherwise.  ``engine="auto"`` does the same
+    packing for multi-run grids (an ensemble is exactly the
+    replicas-many workload the batch engine exists for) and otherwise
+    defers to per-run adaptive selection.
     """
+    ensure_engine(engine)
     maxima: List[float] = []
     means: List[float] = []
     colors: Dict[Any, int] = {}
@@ -167,6 +171,8 @@ def run_ensemble(
     ]
 
     results: Optional[Iterable[Any]] = None
+    if engine == "auto" and len(grid) > 1:
+        engine = "batch"
     if engine == "batch" and grid:
         from repro.model.batch import run_batch
 

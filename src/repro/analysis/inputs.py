@@ -51,22 +51,36 @@ def zigzag_ids(n: int) -> List[int]:
     For odd ``n`` a perfect alternation is impossible; one position gets
     an intermediate value, keeping adjacent ids distinct and runs of
     length at most 3.
+
+    Vectorized when numpy is available (the E1–E3 benchmarks generate
+    inputs at ``n = 10⁶⁺``, where the per-node loop dominates setup
+    time); the pure-Python path below is the semantics oracle and the
+    two are bit-identical — same plain ``int`` values, same list.
     """
     if n < 3:
         raise ValueError("need n >= 3 for a ring assignment")
-    ids = [0] * n
-    low, high = 0, n
-    for i in range(n):
-        if i % 2 == 0:
-            ids[i] = low
-            low += 1
-        else:
-            ids[i] = high
-            high += 1
+    from repro.model.batch import load_numpy
+
+    np = load_numpy()
+    if np is not None:
+        ids_arr = np.empty(n, dtype=np.int64)
+        ids_arr[0::2] = np.arange((n + 1) // 2, dtype=np.int64)
+        ids_arr[1::2] = np.arange(n, n + n // 2, dtype=np.int64)
+        ids = ids_arr.tolist()
+    else:
+        ids = [0] * n
+        low, high = 0, n
+        for i in range(n):
+            if i % 2 == 0:
+                ids[i] = low
+                low += 1
+            else:
+                ids[i] = high
+                high += 1
     if n % 2 == 1:
         # positions n-1 and 0 are both "low"; bump the last to a middle
         # value distinct from its neighbors.
-        ids[n - 1] = high + 1
+        ids[n - 1] = n + n // 2 + 1
     return ids
 
 
@@ -76,17 +90,31 @@ def sawtooth_ids(n: int, run: int) -> List[int]:
     ``run = n`` degenerates to :func:`monotone_ids`; ``run = 2`` is a
     zigzag.  Ids are unique; each tooth uses a fresh block of values
     with teeth descending across blocks so drops are strict.
+
+    Vectorized when numpy is available (same discipline as
+    :func:`zigzag_ids`): position ``i`` in tooth ``t`` carries
+    ``(teeth − t)·(run + 1) + (i mod run)·teeth·(run + 2)``, which is
+    two ``arange``-derived planes added elementwise.
     """
     if run < 2:
         raise ValueError("run must be >= 2")
     if n < 3:
         raise ValueError("need n >= 3")
-    ids: List[int] = []
     teeth = (n + run - 1) // run
-    for tooth in range(teeth):
-        base = (teeth - tooth) * (run + 1)
-        length = min(run, n - len(ids))
-        ids.extend(base + j * teeth * (run + 2) for j in range(length))
+    from repro.model.batch import load_numpy
+
+    np = load_numpy()
+    if np is not None:
+        pos = np.arange(n, dtype=np.int64)
+        tooth = pos // run
+        ids_arr = (teeth - tooth) * (run + 1) + (pos % run) * teeth * (run + 2)
+        ids = ids_arr.tolist()
+    else:
+        ids = []
+        for tooth in range(teeth):
+            base = (teeth - tooth) * (run + 1)
+            length = min(run, n - len(ids))
+            ids.extend(base + j * teeth * (run + 2) for j in range(length))
     # Ensure the wrap-around edge (last, first) is not an accidental tie.
     assert len(ids) == n
     if ids[-1] == ids[0]:

@@ -184,7 +184,8 @@ class SequentialBackend(CampaignBackend):
 class BatchBackend(CampaignBackend):
     """Batch-aware task packer: compatible tasks run in lockstep.
 
-    Tasks whose engine is ``"batch"`` are grouped by their batched-
+    Tasks whose engine is ``"batch"`` (or ``"auto"``, for which a
+    packed grid is the adaptive choice) are grouped by their batched-
     kernel signature — ``(algorithm, topology, n, max_time)``; seeds,
     input families and schedule types are free to differ within a
     group (:func:`repro.model.batch.run_batch` merges heterogeneous
@@ -229,7 +230,11 @@ class BatchBackend(CampaignBackend):
         groups: Dict[Any, List[TaskSpec]] = {}
         fallback: List[TaskSpec] = []
         for task in tasks:
-            if task.engine == "batch":
+            # "auto" packs like "batch": a campaign grid is exactly the
+            # replicas-many workload the selection layer routes to the
+            # batch engine, and unpackable groups fall back per-task
+            # (where run_execution applies per-run adaptive selection).
+            if task.engine in ("batch", "auto"):
                 key = (task.algorithm, task.topology, task.n, task.max_time)
                 groups.setdefault(key, []).append(task)
             else:

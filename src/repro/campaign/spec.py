@@ -163,7 +163,10 @@ class CampaignSpec:
     topology: str = "cycle"
     max_time: int = 200_000
     num_shards: int = 8
-    engine: str = "fast"
+    #: ``auto`` lets the selection layer (:mod:`repro.model.select`)
+    #: pick per task; journals written before adaptive selection landed
+    #: rehydrate with their recorded engine (see :meth:`from_dict`).
+    engine: str = "auto"
 
     @classmethod
     def build(
@@ -177,7 +180,7 @@ class CampaignSpec:
         topology: str = "cycle",
         max_time: int = 200_000,
         num_shards: int = 8,
-        engine: str = "fast",
+        engine: str = "auto",
     ) -> "CampaignSpec":
         """Normalizing constructor: accepts lists, schedule names or
         ``(name, params)`` pairs, and validates against the registries."""

@@ -162,8 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-time", type=int, default=1_000_000)
     run.add_argument(
         "--engine", choices=list(ENGINES), default="fast",
-        help="execution engine: compiled fast path or the "
-             "straight-from-the-paper reference loop (see docs/ENGINE.md)",
+        help="execution engine: compiled fast path, lockstep batch, "
+             "node-vectorized wide, the straight-from-the-paper "
+             "reference loop, or 'auto' to pick from the workload "
+             "shape (see docs/ENGINE.md)",
     )
     run.add_argument(
         "--json", action="store_true",
@@ -256,8 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seeds 0..K-1 per grid point")
     campaign.add_argument("--topology", default="cycle")
     campaign.add_argument("--max-time", type=int, default=200_000)
-    campaign.add_argument("--engine", choices=list(ENGINES), default="fast",
-                          help="execution engine for every task of the grid")
+    campaign.add_argument("--engine", choices=list(ENGINES), default="auto",
+                          help="execution engine for every task of the grid; "
+                               "'auto' (default) packs the grid into lockstep "
+                               "batches and adapts per task otherwise")
     campaign.add_argument("--backend", choices=["sequential", "batch", "pool"],
                           default="pool")
     campaign.add_argument("--workers", type=int, default=None,

@@ -44,6 +44,7 @@ __all__ = [
     "Executor",
     "ExecutionResult",
     "ENGINES",
+    "ensure_engine",
     "run_execution",
     "time_exhausted_error",
 ]
@@ -355,10 +356,29 @@ class Executor:
 #: compiled fast path of :mod:`repro.model.fastpath`; ``"batch"`` is
 #: the lockstep ensemble engine of :mod:`repro.model.batch` (for a
 #: single run it executes a batch of one, falling back to ``"fast"``
-#: where batching doesn't apply).  Both are observably identical to
-#: ``"reference"`` (this module's :class:`Executor`), which is
-#: retained everywhere as the semantics oracle.
-ENGINES = ("fast", "batch", "reference")
+#: where batching doesn't apply); ``"wide"`` is the node-vectorized
+#: single-run engine of :mod:`repro.model.wide` (whole activation sets
+#: per step, falling back to ``"fast"`` likewise); ``"auto"`` picks
+#: among them from the workload shape (:mod:`repro.model.select`).
+#: All are observably identical to ``"reference"`` (this module's
+#: :class:`Executor`), which is retained everywhere as the semantics
+#: oracle.
+ENGINES = ("fast", "batch", "wide", "reference", "auto")
+
+
+def ensure_engine(engine: str) -> str:
+    """Validate an engine name eagerly, before any run starts.
+
+    Raises the one-line :class:`ExecutionError` every entry point
+    (CLI, service, campaigns, ensembles) surfaces verbatim, instead of
+    letting an unknown name travel deep into a run loop and come back
+    as a traceback.
+    """
+    if engine not in ENGINES:
+        raise ExecutionError(
+            f"unknown engine {engine!r} (known: {', '.join(ENGINES)})"
+        )
+    return engine
 
 
 def run_execution(
@@ -394,6 +414,32 @@ def run_execution(
     >>> result.all_terminated
     True
     """
+    ensure_engine(engine)
+    if engine == "auto":
+        from repro.model.select import select_engine
+
+        engine = select_engine(
+            algorithm, topology, schedule,
+            record_trace=record_trace,
+            record_registers=record_registers,
+            monitors=monitors,
+        )
+    if engine == "wide":
+        # Same contract gate as batch: the wide kernels produce no
+        # trace/register history and run no monitors, so those requests
+        # fall back to the fast engine (whose own gate falls further
+        # back to the generic loop as needed).
+        if not record_trace and not record_registers and not monitors:
+            from repro.model.wide import run_wide
+
+            result = run_wide(
+                algorithm, topology, inputs, schedule, max_time=max_time
+            )
+            if result is not None:
+                if raise_on_exhaustion and result.time_exhausted:
+                    raise time_exhausted_error(result)
+                return result
+        engine = "fast"
     if engine == "batch":
         # The batch engine covers plain (untraced, unmonitored) runs of
         # kernel-supported configurations; anything else falls back to

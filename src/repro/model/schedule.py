@@ -96,6 +96,28 @@ class Schedule:
         """
         return self.steps(n)
 
+    def steps_wide(self, n: int) -> Iterator[FastStep]:
+        """Yield the same steps as :meth:`steps_fast`, wide-engine form.
+
+        The wide engine (:mod:`repro.model.wide`) executes an entire
+        activation set per vectorized step, so this method may yield
+        either a :data:`FastStep` id sequence *or* a length-``n``
+        numpy boolean mask (``mask[p]`` ⇔ process ``p`` is activated)
+        — whichever the scheduler produces more cheaply.  A yielded
+        mask buffer is only read before the generator is resumed, so
+        overrides may reuse one buffer across steps.
+
+        Contract: identical step sequence, order, and RNG stream
+        consumption as :meth:`steps_fast` (and therefore :meth:`steps`)
+        — the wide engine must be bit-identical to the reference, and
+        switching engines must never perturb seeded adversaries.  This
+        default delegates to :meth:`steps_fast`, which is correct for
+        any subclass including wrappers like crash plans; the built-in
+        synchronous/Bernoulli/uniform-subset families override it with
+        vectorized mask generation when numpy is available.
+        """
+        return self.steps_fast(n)
+
     @classmethod
     def steps_batch(cls, schedules: Sequence["Schedule"], n: int, active):
         """Yield one activation row per schedule, lockstep by lockstep.

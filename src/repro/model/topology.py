@@ -141,7 +141,17 @@ class Topology:
         return isinstance(other, Topology) and self._neighbors == other._neighbors
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted((p, nbrs) for p, nbrs in self._neighbors.items())))
+        # Memoized: topologies are immutable after construction, and the
+        # kernel caches (WeakKeyDictionary keyed on the topology) hash on
+        # every engine run — recomputing over the full edge list would
+        # cost O(n log n) per run at n = 10⁶.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                tuple(sorted((p, nbrs) for p, nbrs in self._neighbors.items()))
+            )
+            self.__dict__["_hash"] = h
+        return h
 
 
 class Cycle(Topology):

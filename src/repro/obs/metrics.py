@@ -65,6 +65,13 @@ NONDETERMINISTIC_METRICS = frozenset(
         # differently across backends and fallback paths.
         "batch_replicas",
         "batch_occupancy",
+        # Wide-engine step-shape metrics describe how activation sets
+        # were routed (dense vs sparse, frontier occupancy), which is
+        # an engine property, not a modeled-system one; the adaptive-
+        # selection counter additionally depends on numpy availability.
+        "wide_steps_total",
+        "wide_frontier_occupancy",
+        "engine_auto_selected_total",
         # Worker-pool supervision metrics are pure operational state:
         # live occupancy, scheduling races and fault-recovery counts
         # vary run to run on identical workloads.

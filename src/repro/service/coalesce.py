@@ -16,10 +16,12 @@ The service's execution pipeline, between the cache and the engines:
    ``(algorithm, topology, n, max_time)``; seeds, input families and
    schedules are free to differ — and runs each group as *one*
    lockstep :func:`repro.model.batch.run_batch` call.  Singleton
-   groups (and groups the batched kernels decline) fall back to the
-   fast-path engine per run.  Either way the per-request results are
-   bit-identical to what a solo run would produce — the equivalence
-   tests pin this against the reference engine.
+   groups route through adaptive engine selection
+   (:mod:`repro.model.select`): a solo large-``n`` cold miss runs on
+   the node-vectorized wide engine, everything else (and whatever the
+   kernels decline) on the fast path.  Either way the per-request
+   results are bit-identical to what a solo run would produce — the
+   equivalence tests pin this against the reference engine.
 
 The coalescing window is *adaptive*: the batcher only holds a batch
 open while other admitted requests are actually pending.  The moment
@@ -111,6 +113,27 @@ def execute_requests(
             resolve_schedule(r.schedule, seed=r.seed, **dict(r.schedule_params))
             for r in requests
         ]
+    else:
+        # Solo cold miss: adaptive selection — a single large-n request
+        # under a dense schedule is exactly the wide engine's workload.
+        # run_wide declines (None) before consuming the schedule stream,
+        # so the fast fallback below can reuse the same instance.
+        from repro.model.select import select_engine
+        from repro.model.wide import run_wide
+
+        choice = select_engine(
+            resolve_algorithm(first.algorithm)(), topology, schedules[0]
+        )
+        if choice == "wide":
+            result = run_wide(
+                resolve_algorithm(first.algorithm)(),
+                topology,
+                inputs_list[0],
+                schedules[0],
+                max_time=first.max_time,
+            )
+            if result is not None:
+                return [result], "wide"
     results = [
         run_execution(
             resolve_algorithm(r.algorithm)(),

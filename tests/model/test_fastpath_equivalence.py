@@ -1,21 +1,29 @@
-"""Differential equivalence harness: fast engine vs reference engine.
+"""Differential equivalence harness: the engine matrix vs reference.
 
-The fast execution engine (:mod:`repro.model.fastpath`, including the
-compiled kernels of :mod:`repro.model.kernels`) claims to be
+Every execution engine — the fast path (:mod:`repro.model.fastpath`
+with the compiled kernels of :mod:`repro.model.kernels`) and the
+node-vectorized wide engine (:mod:`repro.model.wide`) — claims to be
 *observably identical* to the reference :class:`~repro.model.execution.
 Executor`.  This suite is that claim's enforcement: it replays seeded
-random, adversarial and synchronous schedules through both engines
-across every registered algorithm and asserts bit-identical
-:class:`~repro.model.execution.ExecutionResult`\\ s — outputs,
-activation counts, return times, final time, final states, and (where
-recorded) full traces.
+random, adversarial and synchronous schedules (with and without crash
+plans) through every engine across every registered algorithm and
+asserts bit-identical :class:`~repro.model.execution.ExecutionResult`\\ s
+— outputs, activation counts, return times, final time, final states,
+and (where recorded) full traces.
 
-Two dispatch tiers are exercised deliberately:
+Three dispatch tiers are exercised deliberately:
 
-* registered algorithm classes hit their *compiled kernels*;
+* registered algorithm classes hit their *compiled kernels* (scalar
+  for fast, plane-form for wide);
 * subclasses (exact-type dispatch excludes them) and tracing runs hit
-  the *generic fast path* — so both tiers are diffed against the
-  reference oracle here.
+  the *generic fast path*;
+* the ``REPRO_BATCH_DISABLE_NUMPY`` flag forces the wide engine's
+  pure-Python tier — so all tiers are diffed against the reference
+  oracle here.
+
+The ``engine="auto"`` selection layer is covered at the end: whatever
+it picks must preserve the reference contract (traces, registers,
+monitors), and the decision must be auditable in metrics.
 """
 
 import random
@@ -26,8 +34,10 @@ from repro.campaign.registry import ALGORITHMS
 from repro.analysis.inputs import random_distinct_ids
 from repro.core.fast_coloring5 import FastFiveColoring
 from repro.errors import ExecutionError
+from repro.model.batch import NUMPY_ENV_FLAG
 from repro.model.execution import ENGINES, Executor, run_execution
 from repro.model.fastpath import FastExecutor
+from repro.model.faults import CrashPlan
 from repro.model.schedule import FiniteSchedule
 from repro.model.topology import Cycle, Path
 from repro.schedulers import (
@@ -55,17 +65,36 @@ SCHEDULER_FAMILIES = [
     ("adversarial", lambda seed: SlowChainScheduler(slow=[0], slowdown=7)),
 ]
 
+#: The engines diffed against the reference oracle.  ``batch`` has its
+#: own lockstep equivalence suite (tests/model/test_batch_engine.py);
+#: ``auto`` is a selection layer over these and is covered separately
+#: below.
+KERNEL_ENGINES = ("fast", "wide")
+
+#: numpy/no-numpy tier axis: parametrize a test with this to run it in
+#: both the vectorized and the pure-Python tier of the wide engine.
+TIERS = ("numpy", "pure")
+
+
+def set_tier(monkeypatch, tier):
+    if tier == "pure":
+        monkeypatch.setenv(NUMPY_ENV_FLAG, "1")
+    else:
+        monkeypatch.delenv(NUMPY_ENV_FLAG, raising=False)
+
 
 def both_engines(algorithm_factory, topology, inputs, schedule_factory,
-                 *, max_time=20_000, **kwargs):
-    """Run the same configuration through both engines.
+                 *, max_time=20_000, engines=("reference",) + KERNEL_ENGINES,
+                 **kwargs):
+    """Run the same configuration through every engine of the matrix.
 
     Each engine gets its own schedule instance (random schedules are
     seeded, so two instances replay the same stream) and its own
-    algorithm instance, ruling out accidental state sharing.
+    algorithm instance, ruling out accidental state sharing.  Returns
+    results in ``engines`` order (reference first by default).
     """
     results = []
-    for engine in ("reference", "fast"):
+    for engine in engines:
         results.append(
             run_execution(
                 algorithm_factory(), topology, list(inputs),
@@ -76,28 +105,74 @@ def both_engines(algorithm_factory, topology, inputs, schedule_factory,
     return results
 
 
+@pytest.mark.parametrize("tier", TIERS)
 @pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
 @pytest.mark.parametrize("sched_name,sched_factory", SCHEDULER_FAMILIES)
-def test_engines_bit_identical_over_25_seeds(alg_name, sched_name, sched_factory):
+def test_engines_bit_identical_over_25_seeds(
+    alg_name, sched_name, sched_factory, tier, monkeypatch
+):
     """The headline differential sweep (Issue 2 acceptance criterion).
 
-    Every registered algorithm × every scheduler family × 25 seeds:
-    the two engines must produce equal ``ExecutionResult``s — dataclass
-    equality covers outputs, activations, return_times, final_time,
-    time_exhausted and final_states.
+    Every registered algorithm × every scheduler family × 25 seeds ×
+    numpy/pure tiers: every engine must produce equal
+    ``ExecutionResult``s — dataclass equality covers outputs,
+    activations, return_times, final_time, time_exhausted and
+    final_states.
     """
+    set_tier(monkeypatch, tier)
     factory = ALGORITHMS[alg_name]
     for seed in range(25):
         n = 5 + (seed % 7)
         ids = random_distinct_ids(n, seed=seed)
-        reference, fast = both_engines(
+        reference, fast, wide = both_engines(
             factory, Cycle(n), ids, lambda: sched_factory(seed)
         )
         assert reference == fast, (
-            f"{alg_name} under {sched_name} seed {seed}: engines diverged"
+            f"{alg_name} under {sched_name} seed {seed} ({tier}): "
+            f"fast diverged"
+        )
+        assert reference == wide, (
+            f"{alg_name} under {sched_name} seed {seed} ({tier}): "
+            f"wide diverged"
         )
         # The sweep must exercise real executions, not vacuous ones.
         assert reference.all_terminated or reference.final_time > 0
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("sched_name,sched_factory", SCHEDULER_FAMILIES)
+def test_crash_plan_equivalence(
+    alg_name, sched_name, sched_factory, tier, monkeypatch
+):
+    """Crashes = schedule censoring: every engine must agree under
+    ``CrashPlan``-wrapped schedules of every family, in both tiers.
+
+    A wrapped schedule also exercises the generic ``steps_wide``
+    adapter (the wrapper only implements ``steps``), so this doubles
+    as the adapter's equivalence proof.
+    """
+    set_tier(monkeypatch, tier)
+    factory = ALGORITHMS[alg_name]
+    for seed in range(6):
+        n = 6 + (seed % 5)
+        ids = random_distinct_ids(n, seed=seed)
+        plans = [
+            {"crash_times": {0: 2 + seed}},
+            {"crash_times": {0: 3, n // 2: 5}},
+            {"crash_after": {1: 1, n - 1: 2}},
+        ]
+        for plan in plans:
+            reference, fast, wide = both_engines(
+                factory, Cycle(n), ids,
+                lambda: CrashPlan(sched_factory(seed), **plan),
+            )
+            assert reference == fast, (
+                f"{alg_name}/{sched_name}/{plan} ({tier}): fast diverged"
+            )
+            assert reference == wide, (
+                f"{alg_name}/{sched_name}/{plan} ({tier}): wide diverged"
+            )
 
 
 @pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
@@ -117,13 +192,18 @@ def test_trace_and_register_recording_equivalence(alg_name):
             lambda: BernoulliScheduler(p=0.4, seed=seed),
             lambda: RoundRobinScheduler(),
         ):
-            reference, fast = both_engines(
+            reference, fast, wide = both_engines(
                 factory, Cycle(n), ids, sched,
                 max_time=2_000, record_trace=True, record_registers=True,
             )
             assert reference.trace is not None and fast.trace is not None
             assert reference.trace == fast.trace
             assert reference == fast
+            # A recording run through the wide engine falls back to the
+            # generic path — the trace must still be bit-identical.
+            assert wide.trace is not None
+            assert reference.trace == wide.trace
+            assert reference == wide
 
 
 @pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
@@ -145,8 +225,9 @@ def test_adversarial_gallery_equivalence(alg_name):
         ),
     ]
     for sched in adversaries:
-        reference, fast = both_engines(factory, Cycle(n), ids, sched)
+        reference, fast, wide = both_engines(factory, Cycle(n), ids, sched)
         assert reference == fast
+        assert reference == wide
 
 
 @pytest.mark.parametrize("alg_name", sorted(ALGORITHMS))
@@ -159,7 +240,7 @@ def test_engines_emit_identical_metrics(alg_name, sched_name, sched_factory):
 
     factory = ALGORITHMS[alg_name]
     snapshots = {}
-    for engine in ("reference", "fast"):
+    for engine in ("reference",) + KERNEL_ENGINES:
         with collecting() as registry:
             for seed in range(5):
                 n = 5 + (seed % 7)
@@ -170,9 +251,11 @@ def test_engines_emit_identical_metrics(alg_name, sched_name, sched_factory):
         snapshots[engine] = registry.deterministic_snapshot(
             ignore_labels=("engine",)
         )
-    assert snapshots["reference"] == snapshots["fast"], (
-        f"{alg_name} under {sched_name}: metric emissions diverged"
-    )
+    for engine in KERNEL_ENGINES:
+        assert snapshots["reference"] == snapshots[engine], (
+            f"{alg_name} under {sched_name}: {engine} metric emissions "
+            f"diverged"
+        )
     assert snapshots["fast"], "sweep emitted no deterministic metrics"
 
 
@@ -186,11 +269,12 @@ def test_generic_path_via_subclass_matches_reference():
     for seed in range(10):
         n = 8
         ids = random_distinct_ids(n, seed=seed)
-        reference, fast = both_engines(
+        reference, fast, wide = both_engines(
             Subclassed, Cycle(n), ids,
             lambda: BernoulliScheduler(p=0.3, seed=seed),
         )
         assert reference == fast
+        assert reference == wide  # wide declines subclasses too
 
 
 def test_kernel_vs_generic_dispatch():
@@ -211,22 +295,24 @@ def test_path_topology_equivalence(alg_name):
     for seed in range(5):
         n = 6
         ids = random_distinct_ids(n, seed=seed)
-        reference, fast = both_engines(
+        reference, fast, wide = both_engines(
             factory, Path(n), ids,
             lambda: UniformSubsetScheduler(seed=seed),
         )
         assert reference == fast
+        assert reference == wide
 
 
 def test_max_time_exhaustion_equivalence():
     """Both engines cut off at the same time with the same flag."""
     for alg_name, factory in sorted(ALGORITHMS.items()):
-        reference, fast = both_engines(
+        reference, fast, wide = both_engines(
             factory, Cycle(9), random_distinct_ids(9, seed=0),
             lambda: BernoulliScheduler(p=0.2, seed=0),
             max_time=7,
         )
         assert reference == fast
+        assert reference == wide
         assert reference.final_time <= 7
 
 
@@ -293,7 +379,19 @@ def test_unknown_engine_rejected():
             FastFiveColoring(), Cycle(3), [1, 2, 3],
             SynchronousScheduler(), engine="warp",
         )
-    assert set(ENGINES) == {"fast", "batch", "reference"}
+    assert set(ENGINES) == {"fast", "batch", "wide", "reference", "auto"}
+
+
+def test_unknown_engine_rejected_eagerly_by_ensembles():
+    """`run_ensemble` fails fast with the one-line message, before any
+    run executes — not with a traceback from deep inside the grid."""
+    from repro.analysis.ensembles import run_ensemble
+
+    with pytest.raises(ExecutionError, match="unknown engine 'warp'"):
+        run_ensemble(
+            FastFiveColoring, Cycle(3), [[1, 2, 3]],
+            [("sync", SynchronousScheduler())], engine="warp",
+        )
 
 
 def test_fast_executor_input_length_check():
@@ -305,7 +403,115 @@ def test_non_integer_inputs_flow_through_unchanged():
     """Kernels must not coerce identifiers; ``bool`` ids (an int
     subtype that must survive verbatim in outputs/states) prove it."""
     ids = [True, 3, 7]  # True == 1, a distinct-id set with a bool
-    reference, fast = both_engines(
+    reference, fast, wide = both_engines(
         FastFiveColoring, Cycle(3), ids, lambda: SynchronousScheduler()
     )
     assert reference == fast
+    assert reference == wide
+
+
+def test_huge_identifiers_take_the_scalar_tier():
+    """Identifiers ≥ 2⁵³ cannot live in exact int64 lanes; the wide
+    engine must route them through its scalar tier, bit-identically."""
+    from repro.analysis.inputs import huge_ids
+
+    ids = huge_ids(7, seed=4)
+    reference, fast, wide = both_engines(
+        FastFiveColoring, Cycle(7), ids, lambda: SynchronousScheduler()
+    )
+    assert reference == fast
+    assert reference == wide
+
+
+# ----------------------------------------------------------------------
+# engine="auto": contract safety of adaptive selection
+# ----------------------------------------------------------------------
+
+
+def test_auto_never_selects_a_contract_changing_engine():
+    """Whatever ``auto`` picks must preserve the reference contract for
+    the given request: recording and monitored runs land on engines
+    that actually produce traces/registers and run monitors."""
+    from repro.model.select import select_engine
+    from repro.model.wide import WIDE_KERNELS
+    from repro.obs.monitors import ActivationBudgetMonitor
+
+    alg = FastFiveColoring()
+    shapes = [
+        dict(),
+        dict(record_trace=True),
+        dict(record_registers=True),
+        dict(monitors=[ActivationBudgetMonitor(10)]),
+        dict(replicas=16),
+    ]
+    for n in (8, 5000):
+        for sched in (SynchronousScheduler(), BernoulliScheduler(p=0.5)):
+            for shape in shapes:
+                choice = select_engine(alg, Cycle(n), sched, **shape)
+                assert choice in ENGINES and choice != "auto"
+                if shape.get("record_trace") or shape.get("record_registers"):
+                    assert choice == "fast"  # only path producing history
+                if shape.get("monitors"):
+                    assert choice == "fast"  # only path running monitors
+    # Unknown algorithm types and opaque schedules stay on fast.
+    class Custom(FastFiveColoring):
+        pass
+
+    assert type(Custom()) not in WIDE_KERNELS
+    assert select_engine(Custom(), Cycle(5000), SynchronousScheduler()) == "fast"
+    assert select_engine(
+        alg, Cycle(5000), FiniteSchedule([{0, 1, 2}] * 5)
+    ) == "fast"
+
+
+def test_auto_traced_and_monitored_runs_keep_their_artifacts():
+    """End-to-end: ``engine="auto"`` on a traced / register-recording /
+    monitored run produces exactly the reference artifacts."""
+    from repro.obs.monitors import ActivationBudgetMonitor
+
+    n = 16
+    ids = random_distinct_ids(n, seed=11)
+    reference = run_execution(
+        FastFiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+        record_trace=True, record_registers=True, engine="reference",
+    )
+    auto = run_execution(
+        FastFiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+        record_trace=True, record_registers=True, engine="auto",
+    )
+    assert auto.trace is not None
+    assert auto.trace == reference.trace
+    assert auto == reference
+
+    monitor = ActivationBudgetMonitor(1)
+    run_execution(
+        FastFiveColoring(), Cycle(n), ids, SynchronousScheduler(),
+        monitors=[monitor], engine="auto",
+    )
+    assert not monitor.ok  # the monitor actually observed the run
+
+
+def test_auto_results_bit_identical_and_selection_recorded():
+    """``auto`` results equal the reference, and each decision lands in
+    the ``engine_auto_selected_total`` counter with its reason."""
+    from repro.obs.metrics import collecting
+
+    n = 12
+    ids = random_distinct_ids(n, seed=5)
+    with collecting() as registry:
+        auto = run_execution(
+            FastFiveColoring(), Cycle(n), ids, BernoulliScheduler(p=0.5, seed=2),
+            engine="auto",
+        )
+    reference = run_execution(
+        FastFiveColoring(), Cycle(n), ids, BernoulliScheduler(p=0.5, seed=2),
+        engine="reference",
+    )
+    assert auto == reference
+    entry = registry.snapshot().get("engine_auto_selected_total")
+    assert entry is not None and len(entry["samples"]) == 1
+    sample = entry["samples"][0]
+    assert sample["value"] == 1
+    assert sample["labels"]["engine"] in ENGINES
+    assert sample["labels"]["engine"] != "auto"
+    assert "reason" in sample["labels"]
