@@ -31,6 +31,7 @@ from repro.core.fast_coloring5 import FastFiveColoring
 from repro.model.execution import run_execution
 from repro.model.fastpath import FastExecutor
 from repro.model.topology import Cycle
+from repro.chaos.injector import active_plan
 from repro.obs.metrics import active_registry
 from repro.obs.monitors import ActivationBudgetMonitor, default_monitors
 from repro.obs.trace import (
@@ -110,6 +111,7 @@ def test_disabled_instrumentation_overhead_within_5_percent():
     5% budget binds on their sum."""
     assert active_registry() is None  # disabled is the default
     assert active_recorder() is None  # tracing disabled too
+    assert active_plan() is None  # chaos injection disabled too
     n = 10_000
     ids = monotone_ids(n)
     executor = FastExecutor(Cycle(n), FastFiveColoring(), ids)

@@ -86,8 +86,24 @@ class CampaignJournal:
         self._write_line(record)
 
     def _write_line(self, payload: Dict[str, Any]) -> None:
+        from repro.chaos.injector import active_plan, maybe_fault
+
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        if active_plan() is not None:
+            # The chaos layer's torn-write sites: die just before the
+            # append (record fully lost) or mid-append after a durable
+            # *partial* line (the torn-trailing-record case resume must
+            # tolerate).  os._exit skips every atexit/flush path — as
+            # close to SIGKILL as a process can do to itself.
+            if maybe_fault("campaign.journal.kill") is not None:
+                os._exit(137)
+            if maybe_fault("campaign.journal.torn") is not None:
+                self._fh.write(line[: max(1, len(line) // 2)])
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                os._exit(137)
         with span("campaign_journal_append"):
-            self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._fh.write(line)
             self._fh.flush()
             os.fsync(self._fh.fileno())
         registry = active_registry()

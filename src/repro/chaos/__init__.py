@@ -1,0 +1,55 @@
+"""Deterministic chaos layer: seeded fault injection + client resilience.
+
+``repro.chaos`` is the repo's fault-tolerance discipline applied to its
+own infrastructure.  A :class:`FaultPlan` is a seeded, content-hashed
+schedule of faults at named sites (:data:`FAULT_SITES`) threaded
+through the worker pool, the service dispatch path, the response cache
+and the campaign journal; :func:`maybe_fault` is the zero-overhead
+probe each site calls (one ``None`` check when no plan is installed).
+The consuming side — :class:`BackoffPolicy` and
+:class:`CircuitBreaker` — gives clients deterministic, seeded
+resilience against exactly those faults.  The harness
+(:mod:`repro.chaos.harness`, ``repro-color chaos``) closes the loop:
+inject, retry, and prove the invariants held.  See ``docs/CHAOS.md``.
+"""
+
+from repro.chaos.harness import (
+    default_plan,
+    run_campaign_chaos,
+    run_service_chaos,
+)
+from repro.chaos.injector import (
+    CHAOS_PLAN_ENV,
+    active_plan,
+    chaos,
+    ensure_worker_plan,
+    install_plan,
+    maybe_fault,
+    uninstall_plan,
+)
+from repro.chaos.plan import (
+    FAULT_SITES,
+    FaultDecision,
+    FaultPlan,
+    FaultRule,
+)
+from repro.chaos.resilience import BackoffPolicy, CircuitBreaker
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "CHAOS_PLAN_ENV",
+    "active_plan",
+    "chaos",
+    "ensure_worker_plan",
+    "install_plan",
+    "maybe_fault",
+    "uninstall_plan",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "default_plan",
+    "run_service_chaos",
+    "run_campaign_chaos",
+]

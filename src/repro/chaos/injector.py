@@ -1,0 +1,135 @@
+"""The injection switch: install a plan, probe sites, emit telemetry.
+
+Follows the observability layer's *zero overhead when disabled*
+discipline exactly: :func:`active_plan` is one module-global read, and
+every probe site in the stack is gated on that single ``None`` check —
+no plan installed means no dict lookups, no hashing, no lock.
+
+Installing a plan with ``env=True`` (the default) also publishes its
+canonical JSON under :data:`CHAOS_PLAN_ENV`, so worker processes
+spawned or forked afterwards can rebuild the plan and salt their own
+deterministic draw streams with :func:`ensure_worker_plan`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.chaos.plan import FaultDecision, FaultPlan
+from repro.errors import ChaosError
+from repro.obs.metrics import active_registry
+from repro.obs.trace import record_event
+
+__all__ = [
+    "CHAOS_PLAN_ENV",
+    "active_plan",
+    "install_plan",
+    "uninstall_plan",
+    "chaos",
+    "maybe_fault",
+    "ensure_worker_plan",
+]
+
+#: Environment variable carrying the installed plan's canonical JSON so
+#: child processes (pool workers, campaign subprocesses) inherit it.
+CHAOS_PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or ``None`` when chaos is disabled.
+
+    This is the *only* check probe sites perform; ``None`` means every
+    site is a no-op."""
+    return _ACTIVE
+
+
+def install_plan(plan: FaultPlan, *, env: bool = True) -> FaultPlan:
+    """Install ``plan`` process-wide; with ``env`` also export it for
+    child processes."""
+    global _ACTIVE
+    _ACTIVE = plan
+    if env:
+        os.environ[CHAOS_PLAN_ENV] = plan.to_json()
+    return plan
+
+
+def uninstall_plan() -> None:
+    """Disable injection and clear the child-process export."""
+    global _ACTIVE
+    _ACTIVE = None
+    os.environ.pop(CHAOS_PLAN_ENV, None)
+
+
+@contextmanager
+def chaos(plan: FaultPlan, *, env: bool = True) -> Iterator[FaultPlan]:
+    """Install ``plan`` for a ``with`` block, restoring the previous
+    plan (and environment export) on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    previous_env = os.environ.get(CHAOS_PLAN_ENV)
+    install_plan(plan, env=env)
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+        if env:
+            if previous_env is None:
+                os.environ.pop(CHAOS_PLAN_ENV, None)
+            else:
+                os.environ[CHAOS_PLAN_ENV] = previous_env
+
+
+def maybe_fault(site: str, registry=None) -> Optional[FaultDecision]:
+    """The canonical probe: ask the active plan whether ``site`` fires.
+
+    Returns the decision (caller applies the fault) or ``None``.  A
+    fired probe is counted in ``chaos_faults_injected_total{site}`` —
+    into ``registry`` when the caller pins one (the service layers pin
+    theirs), else whatever :func:`active_registry` says — and marked in
+    the active trace as a ``chaos.fault`` event, so injected faults are
+    visible in ``/debug/trace`` timelines next to their victims.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    decision = plan.decide(site)
+    if decision is None:
+        return None
+    if registry is None:
+        registry = active_registry()
+    if registry is not None:
+        registry.inc("chaos_faults_injected_total", 1, site=site)
+    record_event(
+        "chaos.fault",
+        site=decision.site,
+        index=decision.index,
+        plan=plan.plan_hash,
+    )
+    return decision
+
+
+def ensure_worker_plan(salt: str) -> Optional[FaultPlan]:
+    """Install this process's scoped plan from the environment export.
+
+    Called by worker-process entry points with a stable identity salt
+    (``worker:3``, ``campaign-shard:0``): each scope gets its own
+    deterministic draw stream from the shared seed, so a plan shipped
+    to N workers does not fire identically in all of them.  A fork'd
+    worker that inherited the parent's ``_ACTIVE`` is re-pointed at its
+    scoped copy; without the env export this is a no-op returning the
+    inherited plan, if any.
+    """
+    global _ACTIVE
+    raw = os.environ.get(CHAOS_PLAN_ENV)
+    if not raw:
+        return _ACTIVE
+    try:
+        plan = FaultPlan.from_json(raw).scoped(salt)
+    except ChaosError:
+        return _ACTIVE
+    _ACTIVE = plan
+    return plan

@@ -1,0 +1,258 @@
+"""Fault plans: seeded, content-hashable schedules of injected faults.
+
+The paper's adversary picks *any* crash pattern and the algorithm must
+cope; the chaos layer applies the same discipline to the serving stack.
+A :class:`FaultPlan` is the adversary made reproducible: a seed plus a
+list of :class:`FaultRule` entries, each naming an injection *site*
+(``pool.worker.crash``, ``service.dispatch.error``, ...) with a firing
+rate and optional caps.  Whether the k-th probe of a site fires is a
+pure function of ``(seed, scope, site, k)`` — no wall clock, no shared
+RNG state — so the same plan replays the same fault sequence across
+processes, platforms and reruns, and a chaos failure reproduces from
+its seed alone.
+
+Plans follow the campaign content-hash discipline: serializable to
+canonical JSON, identified by :func:`repro.util.hashing.canonical_hash`
+over that form, round-trippable for ``--resume`` and for shipping to
+worker processes through the environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ChaosError
+from repro.util.hashing import canonical_hash, canonical_json
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultRule",
+    "FaultDecision",
+    "FaultPlan",
+]
+
+#: Every site the stack probes, with what the rule's ``param`` means
+#: there (documented in docs/CHAOS.md).  Unknown sites in a plan are
+#: rejected at construction so a typo cannot silently disarm a rule.
+FAULT_SITES: Mapping[str, str] = {
+    "pool.worker.crash": "worker calls os._exit mid-task (param ignored)",
+    "pool.worker.hang": "worker sleeps past its deadline (param: seconds, default 600)",
+    "pool.worker.raise": "worker raises ChaosInjectedError (param ignored)",
+    "pool.worker.slow_start": "worker sleeps before its first task (param: seconds, default 0.2)",
+    "service.dispatch.latency": "extra await before executing a request (param: seconds, default 0.05)",
+    "service.dispatch.error": "forced 500 with an injected marker body (param ignored)",
+    "service.queue.saturate": "forced 429 burst as if the admission queue were full (param: retry-after seconds, default 0.05)",
+    "cache.bitflip": "response corrupted at cache put; caught by the content digest (param ignored)",
+    "campaign.journal.torn": "process killed mid-append, leaving a torn trailing record (param ignored)",
+    "campaign.journal.kill": "process killed just before an append (param ignored)",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's firing policy inside a plan.
+
+    ``rate`` is the per-probe Bernoulli probability; ``after`` skips the
+    first N probes of the site (letting a run warm up before faults
+    start); ``max_faults`` caps total fires (None = unlimited);
+    ``param`` is a site-specific knob (see :data:`FAULT_SITES`).
+    """
+
+    site: str
+    rate: float = 1.0
+    max_faults: Optional[int] = None
+    after: int = 0
+    param: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ChaosError(
+                f"unknown fault site {self.site!r}; known sites: "
+                + ", ".join(sorted(FAULT_SITES))
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ChaosError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ChaosError(f"max_faults must be >= 0, got {self.max_faults}")
+        if self.after < 0:
+            raise ChaosError(f"after must be >= 0, got {self.after}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "rate": self.rate}
+        if self.max_faults is not None:
+            out["max_faults"] = self.max_faults
+        if self.after:
+            out["after"] = self.after
+        if self.param is not None:
+            out["param"] = self.param
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultRule":
+        return cls(
+            site=raw["site"],
+            rate=float(raw.get("rate", 1.0)),
+            max_faults=raw.get("max_faults"),
+            after=int(raw.get("after", 0)),
+            param=raw.get("param"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """A fired probe: which site, its probe index, and the rule knob."""
+
+    site: str
+    index: int
+    param: Optional[float] = None
+
+
+def _bernoulli(seed: int, scope: str, site: str, index: int) -> float:
+    """The uniform draw for one probe — a pure function of its
+    coordinates, identical across processes and platforms."""
+    digest = hashlib.sha256(
+        f"{seed}:{scope}:{site}:{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultPlan:
+    """A seeded fault schedule over named sites.
+
+    Probe counters advance per site under a lock; the *decisions* are
+    stateless (hash-based), so two plans built from the same dict make
+    identical fire/skip calls at identical probe indices regardless of
+    thread interleaving within a site.
+
+    ``scope`` salts the draw stream — :meth:`scoped` gives each worker
+    process its own deterministic stream from the same seed, so a plan
+    shipped to N workers does not make all N crash on the same probe.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rules: Sequence[FaultRule],
+        scope: str = "",
+    ) -> None:
+        self.seed = int(seed)
+        self.scope = scope
+        self.rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.site in self.rules:
+                raise ChaosError(f"duplicate rule for site {rule.site!r}")
+            self.rules[rule.site] = rule
+        self._lock = threading.Lock()
+        self._probes: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+
+    # -- deciding ------------------------------------------------------
+    def decide(self, site: str) -> Optional[FaultDecision]:
+        """Advance ``site``'s probe counter and return a decision if
+        this probe fires, else None.  Sites without a rule never fire
+        (and pay only a dict miss)."""
+        rule = self.rules.get(site)
+        if rule is None:
+            return None
+        with self._lock:
+            index = self._probes.get(site, 0)
+            self._probes[site] = index + 1
+            if index < rule.after:
+                return None
+            fired = self._fired.get(site, 0)
+            if rule.max_faults is not None and fired >= rule.max_faults:
+                return None
+            if _bernoulli(self.seed, self.scope, site, index) >= rule.rate:
+                return None
+            self._fired[site] = fired + 1
+        return FaultDecision(site=site, index=index, param=rule.param)
+
+    def sequence(self, site: str, n: int) -> List[bool]:
+        """Preview: would-fire flags for the first ``n`` probes of
+        ``site`` on a *fresh* plan (ignores caps already consumed)."""
+        rule = self.rules.get(site)
+        if rule is None:
+            return [False] * n
+        out: List[bool] = []
+        fired = 0
+        for index in range(n):
+            fire = (
+                index >= rule.after
+                and (rule.max_faults is None or fired < rule.max_faults)
+                and _bernoulli(self.seed, self.scope, site, index) < rule.rate
+            )
+            if fire:
+                fired += 1
+            out.append(fire)
+        return out
+
+    def fired_counts(self) -> Dict[str, int]:
+        """Fires so far per site (this process's plan instance only)."""
+        with self._lock:
+            return dict(self._fired)
+
+    # -- identity / serialization -------------------------------------
+    def scoped(self, salt: str) -> "FaultPlan":
+        """A fresh plan over the same seed+rules whose draw streams are
+        salted by ``salt`` (e.g. ``worker:3``) — deterministic per
+        scope, independent across scopes."""
+        scope = f"{self.scope}/{salt}" if self.scope else salt
+        return FaultPlan(self.seed, list(self.rules.values()), scope=scope)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "seed": self.seed,
+            "rules": [
+                self.rules[site].to_dict() for site in sorted(self.rules)
+            ],
+        }
+        if self.scope:
+            out["scope"] = self.scope
+        return out
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @property
+    def plan_hash(self) -> str:
+        """Content hash of the plan (scope excluded: a scoped child is
+        the same plan viewed from a different stream)."""
+        payload = self.to_dict()
+        payload.pop("scope", None)
+        return canonical_hash(payload)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=int(raw["seed"]),
+            rules=[FaultRule.from_dict(r) for r in raw.get("rules", [])],
+            scope=raw.get("scope", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            return cls.from_dict(json.loads(text))
+        except ChaosError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ChaosError(f"malformed fault plan: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ChaosError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, sites={sorted(self.rules)}, "
+            f"scope={self.scope!r}, hash={self.plan_hash})"
+        )

@@ -1,0 +1,183 @@
+"""Client-side resilience: deterministic backoff and a circuit breaker.
+
+The consuming half of the chaos layer.  Both primitives are built for
+testability first:
+
+* :class:`BackoffPolicy` draws its jitter from a private seeded
+  ``random.Random``, so a policy constructed with the same seed always
+  produces the same delay sequence — tests assert exact backoff
+  schedules instead of sleeping and hoping;
+* :class:`CircuitBreaker` takes an injectable ``clock`` so state
+  transitions (closed → open → half-open → closed) are driven by a
+  fake clock in tests, no real waiting.
+
+Neither primitive sleeps or touches the network itself; callers (the
+service client, loadgen) own the sleep so they can cap it against a
+request deadline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.errors import CircuitOpenError
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    Delay for attempt ``k`` (0-based) is ``min(cap, base * mult**k)``
+    shrunk by up to ``jitter`` fraction using the k-th draw of the
+    seeded stream (full jitter pulls delays *down*, never above the
+    cap).  A server-supplied ``Retry-After`` overrides the computed
+    delay when larger, still capped — honoring explicit backpressure
+    beats the local schedule.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.05,
+        cap: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        max_retries: int = 4,
+    ) -> None:
+        if base <= 0 or cap <= 0 or multiplier < 1:
+            raise ValueError("base/cap must be > 0 and multiplier >= 1")
+        if not (0.0 <= jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.seed = seed
+        self.max_retries = max_retries
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * self.multiplier**attempt)
+        with self._lock:
+            u = self._rng.random()
+        delay = raw * (1.0 - self.jitter * u)
+        if retry_after is not None and retry_after > delay:
+            delay = min(retry_after, self.cap)
+        return delay
+
+    def preview(self, n: int) -> List[float]:
+        """The first ``n`` delays of a *fresh* policy with this seed —
+        what a new client would wait, without consuming this policy's
+        stream."""
+        fresh = BackoffPolicy(
+            base=self.base, cap=self.cap, multiplier=self.multiplier,
+            jitter=self.jitter, seed=self.seed, max_retries=self.max_retries,
+        )
+        return [fresh.delay(k) for k in range(n)]
+
+    def clone(self, *, seed: Optional[int] = None) -> "BackoffPolicy":
+        """A fresh policy with the same knobs (optionally re-seeded) —
+        give each loadgen worker its own independent stream."""
+        return BackoffPolicy(
+            base=self.base, cap=self.cap, multiplier=self.multiplier,
+            jitter=self.jitter,
+            seed=self.seed if seed is None else seed,
+            max_retries=self.max_retries,
+        )
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with half-open probing.
+
+    Closed: requests flow; ``failure_threshold`` consecutive failures
+    trip it open.  Open: :meth:`acquire` raises
+    :class:`~repro.errors.CircuitOpenError` until ``reset_after``
+    seconds pass.  Half-open: exactly one in-flight probe is admitted;
+    its success closes the circuit, its failure re-opens it (fresh
+    cool-down).  ``clock`` defaults to ``time.monotonic`` and is
+    injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state_locked()
+
+    def _effective_state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def acquire(self) -> None:
+        """Gate one request.  Raises :class:`CircuitOpenError` when the
+        circuit is open (or half-open with the probe slot taken)."""
+        with self._lock:
+            state = self._effective_state_locked()
+            if state == self.CLOSED:
+                return
+            if state == self.HALF_OPEN and not self._probe_inflight:
+                self._state = self.HALF_OPEN
+                self._probe_inflight = True
+                return
+            remaining = max(
+                0.0, self.reset_after - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                "circuit breaker open"
+                + (" (half-open probe in flight)" if state == self.HALF_OPEN else ""),
+                retry_after=remaining,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()

@@ -281,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the campaign summary JSON artifact here")
     campaign.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of text")
+    campaign.add_argument("--chaos-plan", metavar="PATH",
+                          help="arm a seeded FaultPlan JSON file for this "
+                               "campaign (journal kill/torn sites and pool "
+                               "worker faults; see docs/CHAOS.md)")
     _add_metrics_flags(campaign)
     _add_trace_flags(campaign)
 
@@ -322,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-buffer", type=int, default=4096,
                        help="flight-recorder capacity in spans (bounded "
                             "ring: oldest spans are evicted first)")
+    serve.add_argument("--chaos-plan", metavar="PATH",
+                       help="arm a seeded FaultPlan JSON file: deterministic "
+                            "fault injection at the service/pool sites "
+                            "(see docs/CHAOS.md)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the startup/shutdown notices")
 
@@ -351,8 +359,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="distinct hot requests behind --duplicates")
     loadgen.add_argument("--timeout", type=float, default=60.0,
                          help="client-side timeout per request")
+    loadgen.add_argument("--retry", action="store_true",
+                         help="retry retryable outcomes (429/5xx/transport "
+                              "errors) under seeded exponential backoff "
+                              "honoring Retry-After; off by default so the "
+                              "burst measures shedding instead of hiding it")
+    loadgen.add_argument("--retry-max", type=int, default=4,
+                         help="max retries per request with --retry")
+    loadgen.add_argument("--retry-base", type=float, default=0.05,
+                         help="base backoff delay in seconds with --retry")
+    loadgen.add_argument("--retry-seed", type=int, default=0,
+                         help="seed of the deterministic backoff jitter")
+    loadgen.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget per request including "
+                              "retries (seconds; default: unbounded)")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full summary as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the chaos harness: a fault-injected in-process server "
+             "under retrying load, with invariants checked "
+             "(see docs/CHAOS.md)",
+    )
+    chaos.add_argument("--seeds", default="0",
+                       help="comma-separated fault-plan seeds; the harness "
+                            "runs once per seed (default: 0)")
+    chaos.add_argument("--requests", type=int, default=60,
+                       help="requests per burst")
+    chaos.add_argument("--concurrency", type=int, default=4)
+    chaos.add_argument("--n", type=int, default=32,
+                       help="cycle size (kept small: every unique config is "
+                            "re-verified on the reference engine)")
+    chaos.add_argument("--pool-workers", type=int, default=0,
+                       help="arm pool-worker fault sites with this many "
+                            "warm worker processes (0 = thread executor)")
+    chaos.add_argument("--plan", metavar="PATH",
+                       help="override the default fault mix with a "
+                            "FaultPlan JSON file (its seed wins)")
+    chaos.add_argument("--campaign", action="store_true",
+                       help="also run the journal kill/resume leg "
+                            "(subprocess campaigns; slower)")
+    chaos.add_argument("--no-verify", action="store_true",
+                       help="skip the reference-engine bit-identity check")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full invariant report as JSON")
     return parser
 
 
@@ -698,6 +749,12 @@ def _cmd_campaign(args) -> int:
     )
     backend = make_backend(args.backend, workers=args.workers)
     with ExitStack() as stack:
+        if getattr(args, "chaos_plan", None):
+            from repro.chaos import FaultPlan, chaos as chaos_ctx
+
+            # Installed before the backend spawns so pool workers
+            # inherit the plan (journal sites fire in this process).
+            stack.enter_context(chaos_ctx(FaultPlan.from_file(args.chaos_plan)))
         registry = None
         if args.metrics != "off":
             from repro.obs.metrics import collecting
@@ -773,12 +830,21 @@ def _cmd_serve(args) -> int:
         quiet=args.quiet,
         trace=args.trace,
         trace_buffer=args.trace_buffer,
+        chaos_plan=args.chaos_plan,
     )
 
 
 def _cmd_loadgen(args) -> int:
+    from repro.chaos.resilience import BackoffPolicy
     from repro.service.loadgen import run_loadgen
 
+    retry_policy = None
+    if args.retry:
+        retry_policy = BackoffPolicy(
+            base=args.retry_base,
+            seed=args.retry_seed,
+            max_retries=args.retry_max,
+        )
     summary = run_loadgen(
         host=args.host,
         port=args.port,
@@ -793,6 +859,9 @@ def _cmd_loadgen(args) -> int:
         seed_base=args.seed_base,
         working_set=args.working_set,
         timeout=args.timeout,
+        retry=args.retry,
+        retry_policy=retry_policy,
+        deadline=args.deadline,
     )
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -815,6 +884,12 @@ def _cmd_loadgen(args) -> int:
             f"p95={latency['p95']:.1f}ms p99={latency['p99']:.1f}ms "
             f"max={latency['max']:.1f}ms"
         )
+        retries = summary["retries"]
+        if retries["enabled"]:
+            print(
+                f"retries   : total={retries['total']} "
+                f"attempts={retries['attempts_histogram']}"
+            )
         failures = summary.get("failures") or []
         for failure in failures[:5]:
             trace_id = failure.get("trace_id", "")
@@ -827,6 +902,68 @@ def _cmd_loadgen(args) -> int:
             print(f"            ... and {len(failures) - 5} more")
     # A burst that only produced errors/sheds is a failed smoke check.
     return 0 if summary["ok"] > 0 and summary["outcomes"]["errors"] == 0 else 1
+
+
+def _cmd_chaos(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import FaultPlan, run_campaign_chaos, run_service_chaos
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    if not seeds:
+        raise ReproError("chaos: --seeds must name at least one seed")
+    plan_override = FaultPlan.from_file(args.plan) if args.plan else None
+    reports = []
+    for seed in seeds:
+        plan = None
+        if plan_override is not None:
+            plan = FaultPlan(
+                plan_override.seed, list(plan_override.rules.values())
+            )
+        report = run_service_chaos(
+            seed,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            n=args.n,
+            pool_workers=args.pool_workers,
+            plan=plan,
+            verify_reference=not args.no_verify,
+        )
+        if args.campaign:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report["campaign"] = run_campaign_chaos(seed, Path(tmp))
+            report["ok"] = report["ok"] and report["campaign"]["ok"]
+            report["violations"] = (
+                report["violations"] + report["campaign"]["violations"]
+            )
+        reports.append(report)
+    all_ok = all(r["ok"] for r in reports)
+    if args.json:
+        print(
+            json.dumps(
+                {"ok": all_ok, "runs": reports}, indent=2, sort_keys=True
+            )
+        )
+    else:
+        for report in reports:
+            verdict = "OK" if report["ok"] else "VIOLATED"
+            print(
+                f"seed {report['seed']} [{verdict}]: plan={report['plan_hash']} "
+                f"faults={report['chaos_faults_injected']} "
+                f"retries={report['retries']['total']} "
+                f"statuses={report['statuses']}"
+            )
+            for violation in report["violations"]:
+                print(
+                    f"  violation [{violation['invariant']}]: "
+                    f"{violation['detail']}"
+                )
+        print(
+            f"{len(reports)} seed(s): "
+            + ("all invariants held" if all_ok else "INVARIANT VIOLATIONS")
+        )
+    return 0 if all_ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -844,6 +981,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

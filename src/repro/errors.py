@@ -26,6 +26,10 @@ __all__ = [
     "ServiceError",
     "RequestValidationError",
     "BackpressureError",
+    "ServiceTimeout",
+    "CircuitOpenError",
+    "ChaosError",
+    "ChaosInjectedError",
 ]
 
 
@@ -173,3 +177,43 @@ class BackpressureError(ServiceError):
     def __init__(self, message: str, *, retry_after: float = 1.0):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class ServiceTimeout(ServiceError):
+    """A client-side request exceeded its socket or deadline budget.
+
+    Raised instead of silently re-sending: after a timeout the server
+    may still be processing the original request, so a transparent
+    retry would duplicate work and hide the latency.  ``elapsed`` is
+    the client-observed wall time when the budget ran out.
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class CircuitOpenError(ServiceError):
+    """The client circuit breaker is open: the request was failed fast
+    without touching the network.  ``retry_after`` is the remaining
+    cool-down, in seconds, before the next half-open probe."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ChaosError(ReproError):
+    """Base class of fault-injection errors (malformed plans, misuse)."""
+
+
+class ChaosInjectedError(ChaosError):
+    """An error deliberately raised by a fault plan at a chaos site.
+
+    Carries the site and probe index so supervision layers and tests
+    can tell an injected fault from a genuine one."""
+
+    def __init__(self, message: str, *, site: str = "", index: int = -1):
+        super().__init__(message)
+        self.site = site
+        self.index = index

@@ -81,6 +81,11 @@ NONDETERMINISTIC_METRICS = frozenset(
         "pool_tasks_total",
         "pool_task_retries_total",
         "pool_worker_restarts_total",
+        "pool_respawns_delayed_total",
+        # Chaos-layer counters: which probes fire depends on the fault
+        # plan armed for the run, not on the modeled system.
+        "chaos_faults_injected_total",
+        "service_cache_digest_failures_total",
     }
 )
 

@@ -122,6 +122,14 @@ class WorkerPool:
     registry:
         Pin metrics to this registry; ``None`` defers to
         :func:`active_registry` per emission.
+    restart_burst / restart_window:
+        Respawn-storm brake: at most ``restart_burst`` fault-driven
+        respawns per sliding ``restart_window`` seconds.  Respawns over
+        the budget are deferred (counted in
+        ``pool_respawns_delayed_total``) and processed by the
+        supervisor once the window frees up — a fault plan that kills
+        every worker it touches degrades the pool instead of melting
+        the host with a fork storm.
     """
 
     def __init__(
@@ -131,6 +139,8 @@ class WorkerPool:
         mp_context: Optional[str] = None,
         poll_interval: float = 0.02,
         registry: Optional[MetricsRegistry] = None,
+        restart_burst: int = 8,
+        restart_window: float = 30.0,
     ):
         self.workers = max(1, workers or os.cpu_count() or 1)
         if mp_context is None:
@@ -153,6 +163,10 @@ class WorkerPool:
         self._submitted = 0
         self._completed = 0
         self._restarts = 0
+        self.restart_burst = max(1, restart_burst)
+        self.restart_window = restart_window
+        self._restart_times: deque = deque()
+        self._pending_respawns = 0
         _LIVE_POOLS.add(self)
 
     # -- public API ----------------------------------------------------
@@ -215,7 +229,10 @@ class WorkerPool:
             self._next_item += 1
             self._items[item.id] = item
             self._submitted += 1
-            while len(self._workers) < self.workers:
+            # Workers owed to rate-limited respawns are spawned by the
+            # supervisor when the window frees up — not here, or every
+            # submission would bypass the storm brake.
+            while len(self._workers) + self._pending_respawns < self.workers:
                 self._spawn_locked()
             self._start_supervisor_locked()
             if not self._assign_locked(item):
@@ -247,6 +264,7 @@ class WorkerPool:
                 "submitted": self._submitted,
                 "completed": self._completed,
                 "restarts": self._restarts,
+                "pending_respawns": self._pending_respawns,
             }
 
     def drain(self, timeout: float = 30.0) -> bool:
@@ -335,6 +353,42 @@ class WorkerPool:
         process.start()
         self._workers[wid] = _Worker(wid=wid, process=process, task_q=task_q)
         return wid
+
+    def _prune_restart_window_locked(self) -> None:
+        now = time.monotonic()
+        while (
+            self._restart_times
+            and now - self._restart_times[0] > self.restart_window
+        ):
+            self._restart_times.popleft()
+
+    def _respawn_locked(self, reason: str) -> None:
+        """Replace a killed/dead worker, subject to the storm brake."""
+        if self._closing:
+            return
+        self._prune_restart_window_locked()
+        if len(self._restart_times) >= self.restart_burst:
+            self._pending_respawns += 1
+            registry = self._metrics()
+            if registry is not None:
+                registry.inc("pool_respawns_delayed_total", reason=reason)
+            return
+        self._restart_times.append(time.monotonic())
+        self._spawn_locked()
+
+    def _process_pending_respawns_locked(self) -> None:
+        """Spawn deferred respawns as the sliding window frees up."""
+        if self._closing or not self._pending_respawns:
+            return
+        self._prune_restart_window_locked()
+        while (
+            self._pending_respawns
+            and len(self._restart_times) < self.restart_burst
+            and len(self._workers) < self.workers
+        ):
+            self._pending_respawns -= 1
+            self._restart_times.append(time.monotonic())
+            self._spawn_locked()
 
     def _start_supervisor_locked(self) -> None:
         if self._supervisor is None or not self._supervisor.is_alive():
@@ -505,8 +559,7 @@ class WorkerPool:
                 self._retry_or_fail_locked(
                     item, f"timeout after {item.timeout:g}s", wid, resolutions
                 )
-            if not self._closing:
-                self._spawn_locked()
+            self._respawn_locked("timeout")
 
     def _check_liveness_locked(self, resolutions: List[_Resolution]) -> None:
         if self._closing:
@@ -531,7 +584,7 @@ class WorkerPool:
                 self._retry_or_fail_locked(
                     item, f"worker crashed (exit {exitcode})", wid, resolutions
                 )
-            self._spawn_locked()
+            self._respawn_locked("crash")
 
     @staticmethod
     def _resolve(resolutions: List[_Resolution]) -> None:
@@ -569,6 +622,7 @@ class WorkerPool:
                         self._on_result_locked(*extra, resolutions)
                 self._check_deadlines_locked(resolutions)
                 self._check_liveness_locked(resolutions)
+                self._process_pending_respawns_locked()
                 self._assign_ready_locked()
                 self._set_gauges_locked()
                 stop = self._closing and not self._items

@@ -165,15 +165,49 @@ def pool_worker_main(wid: int, task_q, result_q) -> None:
     payload)`` tuples where payload is a JSON-shaped dict on ``"ok"``
     and an error string on ``"error"`` — a raising task is reported
     (the worker lives on); only a dying process ends the loop.
+
+    When a fault plan rides in via the chaos environment export, the
+    worker installs its own ``worker:<wid>``-scoped copy and probes the
+    ``pool.worker.*`` sites: ``slow_start`` (once, before serving),
+    then per task ``crash`` (``os._exit``), ``hang`` (sleep past any
+    deadline) and ``raise`` (a reported :class:`ChaosInjectedError`) —
+    exactly the three failure modes the supervisor recovers from.
     """
+    from repro.chaos.injector import ensure_worker_plan, maybe_fault
+
     warm_imports()
+    plan = ensure_worker_plan(f"worker:{wid}")
+    if plan is not None:
+        decision = maybe_fault("pool.worker.slow_start")
+        if decision is not None:
+            time.sleep(decision.param if decision.param is not None else 0.2)
     while True:
         message = task_q.get()
         if message is None:
             return
         item_id = message["id"]
         trace = message.get("trace")
+        if plan is not None:
+            if maybe_fault("pool.worker.crash") is not None:
+                import os
+
+                os._exit(57)
+            decision = maybe_fault("pool.worker.hang")
+            if decision is not None:
+                time.sleep(
+                    decision.param if decision.param is not None else 600.0
+                )
         try:
+            if plan is not None:
+                decision = maybe_fault("pool.worker.raise")
+                if decision is not None:
+                    from repro.errors import ChaosInjectedError
+
+                    raise ChaosInjectedError(
+                        "injected worker fault",
+                        site=decision.site,
+                        index=decision.index,
+                    )
             if trace is not None:
                 value = run_item_traced(
                     wid, message["kind"], message["payload"], trace

@@ -76,6 +76,12 @@ class LRUCache:
             self._data.popitem(last=False)
             self.evictions += 1
 
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` if present (corrupt entry, forced refresh);
+        returns whether something was removed.  Not counted as an
+        eviction — evictions measure capacity pressure."""
+        return self._data.pop(key, None) is not None
+
     def keys(self) -> Tuple[str, ...]:
         """Keys from least- to most-recently-used (exposed for tests)."""
         return tuple(self._data)

@@ -48,6 +48,7 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.chaos.injector import maybe_fault
 from repro.errors import BackpressureError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
@@ -193,6 +194,7 @@ class Coalescer:
         executor: Optional[concurrent.futures.Executor] = None,
         pool: Optional["WorkerPool"] = None,
         registry: Optional[MetricsRegistry] = None,
+        pool_task_timeout: Optional[float] = None,
     ):
         if queue_limit < 0:
             raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
@@ -207,6 +209,11 @@ class Coalescer:
         self._executor = executor
         self._owns_executor = executor is None
         self.pool = pool
+        # Per-attempt hang deadline for pool-executed groups: without
+        # one, a worker hung by a fault (or a genuine wedge) would hold
+        # its group's waiters forever — every request must reach a
+        # definite status.  ``None`` preserves the no-deadline default.
+        self.pool_task_timeout = pool_task_timeout
         # Loop-bound primitives are created in start(), on the serving
         # loop: on Python 3.9 a Queue constructed off-loop would bind
         # whatever loop the constructing thread had.
@@ -308,6 +315,15 @@ class Coalescer:
         key = request.request_key
         ctx = current_context() if active_recorder() is not None else None
         hit = self.cache.get(key)
+        if hit is not None and not hit.digest_ok:
+            # The stored response no longer matches its content seal
+            # (bit flip, corrupting bug): drop it and recompute rather
+            # than serve a corrupt result.  The chaos harness drives
+            # this path deliberately via the ``cache.bitflip`` site.
+            self.cache.invalidate(key)
+            self._inc("service_cache_digest_failures_total")
+            record_event("cache.digest_mismatch", context=ctx, request_key=key)
+            hit = None
         if hit is not None:
             self._inc("service_cache_hits_total")
             record_event("cache.hit", context=ctx, request_key=key)
@@ -430,6 +446,7 @@ class Coalescer:
                     outcome = await asyncio.wrap_future(
                         self.pool.submit_group(
                             [r.config() for r in requests],
+                            timeout=self.pool_task_timeout,
                             trace=(
                                 batch_ctx.to_dict()
                                 if batch_ctx is not None
@@ -474,6 +491,17 @@ class Coalescer:
                 for work, result in zip(group, results)
             ]
         for work, response in zip(group, responses):
-            self.cache.put(work.key, response)
+            stored = response
+            decision = maybe_fault("cache.bitflip", self.registry)
+            if decision is not None:
+                # Corrupt only the *stored* copy (the current waiters
+                # still get the genuine response): the seeded bit flip
+                # is there to prove the digest check catches silent
+                # cache corruption on the next hit.
+                stored = replace(
+                    response,
+                    colors_used=list(response.colors_used) + ["__bitflip__"],
+                )
+            self.cache.put(work.key, stored)
             self.flight.resolve(work.key, response)
         self._retire(len(group))

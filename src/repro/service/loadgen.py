@@ -14,21 +14,28 @@ make it more than a curl loop:
 * **Provenance accounting** — 200-responses are split into computed /
   cached / coalesced (``batch_size > 1``) from the response bodies,
   so a run shows *why* it was fast.
-* **Backpressure honesty** — 429s are counted, never retried: the
-  generator measures the service's shedding behavior instead of
-  hammering through it.
+* **Backpressure honesty** — by default 429s are counted, never
+  retried: the generator measures the service's shedding behavior
+  instead of hammering through it.  ``retry=True`` flips the burst
+  into client mode: each worker retries retryable outcomes under its
+  own deterministically-seeded
+  :class:`~repro.chaos.resilience.BackoffPolicy` (honoring
+  ``Retry-After``), and the summary reports retry totals plus an
+  attempts histogram.  The default stays off so the deterministic
+  shedding assertions in the test suite keep holding.
 
-Used by ``repro-color loadgen``, the CI smoke job and the
-``BENCH_service.json`` benchmark.
+Used by ``repro-color loadgen``, the CI smoke job, the chaos harness
+and the ``BENCH_service.json`` benchmark.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.service.client import ServiceClient
+from repro.chaos.resilience import BackoffPolicy
+from repro.service.client import ServiceClient, ServiceReply
 from repro.service.schema import ColorRequest
 
 __all__ = ["build_mix", "run_loadgen", "percentile"]
@@ -97,12 +104,26 @@ def run_loadgen(
     working_set: int = 4,
     timeout: float = 60.0,
     mix: Optional[List[ColorRequest]] = None,
+    retry: bool = False,
+    retry_policy: Optional[BackoffPolicy] = None,
+    deadline: Optional[float] = None,
+    collect: Optional[Callable[[int, ColorRequest, ServiceReply], None]] = None,
 ) -> Dict[str, Any]:
     """Fire one closed-loop burst and return the JSON-shaped summary.
 
     ``mix`` overrides the generated request list (the benchmark passes
     hand-built legs).  Workers pull from a shared cursor, so the burst
     is work-conserving regardless of per-request latency variance.
+
+    ``retry=True`` arms per-worker resilience: worker ``k`` retries
+    with ``retry_policy`` re-seeded to ``seed + k`` (default policy:
+    the :class:`BackoffPolicy` defaults), bounded by ``deadline``
+    seconds of wall clock per request when given.  The summary then
+    counts final statuses — a 500 that succeeded on retry reports as
+    its eventual 200 — plus a ``retries`` block with the attempts
+    histogram.  ``collect`` (called under the summary lock with
+    ``(index, request, reply)``) lets a harness capture reply bodies
+    for invariant checking without re-requesting.
     """
     if mix is None:
         mix = build_mix(
@@ -127,9 +148,22 @@ def run_loadgen(
     # a fully-shed burst must not balloon the summary.
     failures: List[Dict[str, Any]] = []
     max_failures = 32
+    attempts_histogram: Dict[str, int] = {}
+    retries_total = {"count": 0}
+    base_policy = retry_policy if retry_policy is not None else BackoffPolicy()
 
-    def worker() -> None:
-        with ServiceClient(host, port, timeout=timeout) as client:
+    def worker(worker_index: int) -> None:
+        # Each worker's backoff stream is seeded from its index, so a
+        # rerun of the same burst replays the same delays per worker.
+        resilience = (
+            base_policy.clone(seed=base_policy.seed + worker_index)
+            if retry
+            else None
+        )
+        with ServiceClient(
+            host, port, timeout=timeout,
+            resilience=resilience, deadline=deadline,
+        ) as client:
             while True:
                 with lock:
                     i = cursor["next"]
@@ -150,6 +184,13 @@ def run_loadgen(
                     latencies.append(elapsed)
                     key = str(reply.status)
                     statuses[key] = statuses.get(key, 0) + 1
+                    bucket = str(reply.attempts)
+                    attempts_histogram[bucket] = (
+                        attempts_histogram.get(bucket, 0) + 1
+                    )
+                    retries_total["count"] += reply.attempts - 1
+                    if collect is not None:
+                        collect(i, request, reply)
                     if reply.status == 200:
                         if body.get("cached"):
                             outcomes["cached"] += 1
@@ -168,7 +209,9 @@ def run_loadgen(
                         failures.append(failure)
 
     threads = [
-        threading.Thread(target=worker, name=f"loadgen-{k}", daemon=True)
+        threading.Thread(
+            target=worker, args=(k,), name=f"loadgen-{k}", daemon=True
+        )
         for k in range(max(1, concurrency))
     ]
     wall_started = time.perf_counter()
@@ -192,6 +235,11 @@ def run_loadgen(
         "shed": shed,
         "outcomes": outcomes,
         "failures": failures,
+        "retries": {
+            "enabled": retry,
+            "total": retries_total["count"],
+            "attempts_histogram": dict(sorted(attempts_histogram.items())),
+        },
         "latency_ms": {
             "p50": percentile(latencies, 0.50) * 1000.0,
             "p95": percentile(latencies, 0.95) * 1000.0,

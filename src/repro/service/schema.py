@@ -267,6 +267,14 @@ class ColorResponse:
     the equivalence tests assert.  The *provenance* sections (engine,
     cached, batch_size, elapsed, task_hash) record how this particular
     response was produced.
+
+    ``content_digest`` seals the deterministic sections with their
+    canonical hash at construction time, so any later corruption of a
+    stored response (the chaos layer's cache bit-flip site, a buggy
+    serializer) is detectable by :meth:`digest_ok` before the response
+    is served from cache.  It is excluded from
+    :meth:`deterministic_dict` — it is a seal *over* that payload, not
+    part of it.
     """
 
     request_key: str
@@ -279,6 +287,7 @@ class ColorResponse:
     colors_used: list
     time_exhausted: Optional[Dict[str, Any]]
     elapsed: float
+    content_digest: str = ""
 
     @classmethod
     def from_execution(
@@ -314,7 +323,7 @@ class ColorResponse:
                     for p in sorted(result.pending)
                 },
             }
-        return cls(
+        response = cls(
             request_key=request.request_key,
             task_hash=request.task_spec(engine).task_hash,
             engine=engine,
@@ -338,6 +347,23 @@ class ColorResponse:
             time_exhausted=exhausted,
             elapsed=elapsed,
         )
+        response.content_digest = response.compute_digest()
+        return response
+
+    def compute_digest(self) -> str:
+        """Canonical hash of the deterministic payload as it is *now*."""
+        return canonical_hash(self.deterministic_dict())
+
+    @property
+    def digest_ok(self) -> bool:
+        """Does the stored seal still match the deterministic payload?
+
+        Responses without a seal (older serializations) pass vacuously.
+        """
+        return (
+            not self.content_digest
+            or self.content_digest == self.compute_digest()
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -351,6 +377,7 @@ class ColorResponse:
             "colors_used": self.colors_used,
             "time_exhausted": self.time_exhausted,
             "elapsed": self.elapsed,
+            "content_digest": self.content_digest,
         }
 
     @classmethod
@@ -370,6 +397,7 @@ class ColorResponse:
                 else None
             ),
             elapsed=float(d["elapsed"]),
+            content_digest=str(d.get("content_digest", "")),
         )
 
     def deterministic_dict(self) -> Dict[str, Any]:

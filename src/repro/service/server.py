@@ -49,6 +49,13 @@ import signal
 import sys
 from typing import Any, Dict, Optional, Tuple
 
+from repro.chaos.injector import (
+    active_plan,
+    install_plan,
+    maybe_fault,
+    uninstall_plan,
+)
+from repro.chaos.plan import FaultPlan
 from repro.errors import (
     BackpressureError,
     RequestValidationError,
@@ -122,10 +129,16 @@ class ColorServer:
         registry: Optional[MetricsRegistry] = None,
         trace: Any = "off",
         trace_buffer: int = 4096,
+        chaos: Optional[FaultPlan] = None,
+        pool_task_timeout: Optional[float] = None,
     ):
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
+        # Fault plan to install for the server's lifetime (start() to
+        # shutdown()); the env export ships it to pool workers.
+        self.chaos = chaos
+        self._installed_chaos = False
         self.registry = registry if registry is not None else MetricsRegistry()
         # Tracing: 0 = off, 1 = every request, K = every Kth request.
         # The recorder exists iff tracing is on; it becomes the
@@ -146,6 +159,14 @@ class ColorServer:
             max_batch=max_batch,
             coalesce_window=coalesce_window,
             registry=self.registry,
+            # A pool-executed group must not outlive the HTTP timeout
+            # that is waiting on it: a hung worker is deadline-killed
+            # and the attempt retried instead of leaking the slot.
+            pool_task_timeout=(
+                pool_task_timeout
+                if pool_task_timeout is not None
+                else request_timeout
+            ),
         )
         self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
@@ -162,6 +183,11 @@ class ColorServer:
         """
         if self.recorder is not None:
             enable_tracing(self.recorder)
+        if self.chaos is not None:
+            # Installed before the pool spawns so workers inherit the
+            # env export and salt their own scoped streams.
+            install_plan(self.chaos)
+            self._installed_chaos = True
         if self.pool_workers > 0:
             self._pool = WorkerPool(
                 self.pool_workers, registry=self.registry
@@ -216,6 +242,9 @@ class ColorServer:
                 "service_drain_seconds",
                 asyncio.get_event_loop().time() - drain_started,
             )
+        if self._installed_chaos:
+            uninstall_plan()
+            self._installed_chaos = False
         if self.recorder is not None:
             disable_tracing()
         return drained
@@ -419,6 +448,40 @@ class ColorServer:
             request = ColorRequest.from_json_dict(decoded)
         except RequestValidationError as exc:
             return self._error(400, str(exc), field=exc.field)
+        if active_plan() is not None:
+            # Dispatch-layer fault sites, probed only on valid requests
+            # (injected failures must look like capacity problems, not
+            # client errors).  Injected responses carry an ``injected``
+            # marker so a chaos report can tell them from genuine ones.
+            decision = maybe_fault("service.queue.saturate", self.registry)
+            if decision is not None:
+                retry_after = (
+                    decision.param if decision.param is not None else 0.05
+                )
+                return (
+                    429,
+                    self._json(
+                        {
+                            "error": "injected admission saturation",
+                            "retry_after": retry_after,
+                            "injected": True,
+                        }
+                    ),
+                    {**_JSON_HEADERS, "Retry-After": str(retry_after)},
+                )
+            decision = maybe_fault("service.dispatch.error", self.registry)
+            if decision is not None:
+                return self._error(
+                    500,
+                    f"injected fault at {decision.site} (probe "
+                    f"{decision.index})",
+                    injected=True,
+                )
+            decision = maybe_fault("service.dispatch.latency", self.registry)
+            if decision is not None:
+                await asyncio.sleep(
+                    decision.param if decision.param is not None else 0.05
+                )
         try:
             response = await asyncio.wait_for(
                 self.coalescer.submit(request), self.request_timeout
@@ -572,6 +635,7 @@ def serve(
     quiet: bool = False,
     trace: str = "off",
     trace_buffer: int = 4096,
+    chaos_plan: Optional[str] = None,
 ) -> int:
     """Blocking entry point of ``repro-color serve``.
 
@@ -581,7 +645,10 @@ def serve(
     warm worker processes instead of the in-process thread executor.
     ``trace`` enables end-to-end tracing (``on`` or ``sample=K``) into
     a ``trace_buffer``-span flight recorder served at ``/debug/trace``.
+    ``chaos_plan`` (a :class:`FaultPlan` JSON file) arms seeded fault
+    injection for the server's lifetime — see ``docs/CHAOS.md``.
     """
+    plan = FaultPlan.from_file(chaos_plan) if chaos_plan else None
     server = ColorServer(
         host=host,
         port=port,
@@ -594,6 +661,7 @@ def serve(
         pool_workers=pool_workers,
         trace=trace,
         trace_buffer=trace_buffer,
+        chaos=plan,
     )
     loop = asyncio.new_event_loop()
     asyncio.set_event_loop(loop)
@@ -615,7 +683,8 @@ def serve(
                     f"http://{server.host}:{server.port} "
                     f"(queue_limit={queue_limit}, cache_size={cache_size}, "
                     f"max_batch={max_batch}, pool_workers={pool_workers}, "
-                    f"trace={trace})",
+                    f"trace={trace}, "
+                    f"chaos={plan.plan_hash if plan else 'off'})",
                     file=sys.stderr,
                     flush=True,
                 )

@@ -48,6 +48,12 @@ def crash_once():
     return FastFiveColoring()
 
 
+def crash_always():
+    """Every attempt kills the worker: the task must surface a
+    PoolTaskError after exhausting retries, without respawn-storming."""
+    os._exit(42)
+
+
 def hang_once():
     """First attempt hangs far beyond any sane task timeout."""
     if _trip_once("hung"):

@@ -1,0 +1,99 @@
+"""E2E torn-write recovery via the chaos layer (deterministic kill).
+
+``test_kill_resume`` kills the campaign from outside at a *roughly*
+timed point; this test uses the ``campaign.journal.torn`` fault site to
+die mid-append at an *exact* journal line, leaving a provably torn
+trailing record.  Resume must skip exactly the records that were
+durably journaled, re-run everything else, and land on the bit-identical
+report — the strongest form of the journal's crash-safety contract.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+TOTAL_TASKS = 16  # 8 seeds x 2 schedules
+
+CAMPAIGN_ARGS = [
+    "campaign",
+    "--algorithms", "fast5",
+    "--ns", "16",
+    "--inputs", "random",
+    "--schedules", "sync,bernoulli",
+    "--seeds", "8",
+    "--backend", "sequential",
+    "--json",
+]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.pop("REPRO_CHAOS_PLAN", None)  # no ambient plan leaks in
+    return env
+
+
+def run_cli(args, **kw):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + args,
+        cwd=REPO_ROOT, env=cli_env(), capture_output=True, text=True, **kw
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("site", ["campaign.journal.torn", "campaign.journal.kill"])
+def test_injected_journal_death_resumes_bit_identically(tmp_path, site):
+    from repro.chaos.plan import FaultPlan, FaultRule
+
+    after = 6  # die at journal probe 6: header + 5 durable records
+
+    # Baseline: the uninterrupted campaign.
+    baseline = run_cli(
+        CAMPAIGN_ARGS + ["--journal", str(tmp_path / "base.jsonl")]
+    )
+    assert baseline.returncode == 0, baseline.stderr
+    base_payload = json.loads(baseline.stdout)
+    assert base_payload["report"]["runs"] == TOTAL_TASKS
+
+    # The same campaign with a plan that dies at the chosen append.
+    plan = FaultPlan(0, [FaultRule(site, rate=1.0, after=after)])
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(plan.to_json() + "\n")
+    journal = tmp_path / "campaign.jsonl"
+    killed = run_cli(
+        CAMPAIGN_ARGS
+        + ["--journal", str(journal), "--chaos-plan", str(plan_path)]
+    )
+    assert killed.returncode == 137, (killed.returncode, killed.stderr)
+
+    raw_lines = journal.read_text().splitlines()
+    if site == "campaign.journal.torn":
+        # The fatal append is half-written: present on disk, not JSON.
+        assert len(raw_lines) == after + 1
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw_lines[-1])
+        parseable = raw_lines[:-1]
+    else:
+        # The pre-append kill loses the record entirely: no torn line.
+        assert len(raw_lines) == after
+        parseable = raw_lines
+    for line in parseable:
+        json.loads(line)
+
+    # Resume without the plan: exactly the durable records are skipped.
+    resumed = run_cli(CAMPAIGN_ARGS + ["--journal", str(journal), "--resume"])
+    assert resumed.returncode == 0, resumed.stderr
+    payload = json.loads(resumed.stdout)
+    assert payload["summary"]["skipped"] == after - 1
+    assert payload["summary"]["executed"] == TOTAL_TASKS - (after - 1)
+    assert payload["report"] == base_payload["report"]
+    assert payload["all_ok"] is True

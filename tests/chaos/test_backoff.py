@@ -1,0 +1,134 @@
+"""BackoffPolicy and CircuitBreaker unit tests (no real sleeping)."""
+
+import pytest
+
+from repro.chaos.resilience import BackoffPolicy, CircuitBreaker
+from repro.errors import CircuitOpenError
+
+
+class TestBackoffPolicy:
+    def test_same_seed_same_delays(self):
+        a = BackoffPolicy(seed=5)
+        b = BackoffPolicy(seed=5)
+        assert [a.delay(k) for k in range(6)] == [b.delay(k) for k in range(6)]
+
+    def test_delays_grow_exponentially_up_to_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=1.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(k) for k in range(6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.0, 1.0,
+        ]
+
+    def test_jitter_only_shrinks_never_exceeds_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=1.0, jitter=0.5, seed=3)
+        for k in range(50):
+            delay = policy.delay(k)
+            raw = min(1.0, 0.1 * 2.0**k)
+            assert raw * 0.5 <= delay <= raw
+
+    def test_retry_after_wins_when_larger(self):
+        policy = BackoffPolicy(base=0.01, cap=1.0, jitter=0.0)
+        assert policy.delay(0, retry_after=0.5) == 0.5
+
+    def test_retry_after_is_capped(self):
+        policy = BackoffPolicy(base=0.01, cap=1.0, jitter=0.0)
+        assert policy.delay(0, retry_after=30.0) == 1.0
+
+    def test_retry_after_smaller_than_schedule_ignored(self):
+        policy = BackoffPolicy(base=0.5, cap=1.0, jitter=0.0)
+        assert policy.delay(0, retry_after=0.1) == 0.5
+
+    def test_preview_does_not_consume_the_stream(self):
+        policy = BackoffPolicy(seed=9)
+        previewed = policy.preview(4)
+        assert [policy.delay(k) for k in range(4)] == previewed
+
+    def test_clone_reseeds_independently(self):
+        base = BackoffPolicy(seed=0, base=0.07, max_retries=9)
+        clone = base.clone(seed=42)
+        assert clone.base == 0.07
+        assert clone.max_retries == 9
+        assert clone.seed == 42
+        assert clone.preview(5) != base.preview(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_retries=-1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset_after=10.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_after=reset_after, clock=clock
+        )
+        return breaker, clock
+
+    def test_closed_until_threshold(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.acquire()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_open_rejects_with_remaining_cooldown(self):
+        breaker, clock = self.make(threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.acquire()
+        assert info.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.acquire()  # the probe slot
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()  # second caller is still rejected
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.acquire()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.acquire()  # flows freely again
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(4.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+        clock.advance(0.1)
+        breaker.acquire()  # half-open again after the full cool-down
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED

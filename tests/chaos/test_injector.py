@@ -1,0 +1,106 @@
+"""Injector tests: install/uninstall, env export, probes, telemetry."""
+
+import os
+
+import pytest
+
+from repro.chaos.injector import (
+    CHAOS_PLAN_ENV,
+    active_plan,
+    chaos,
+    ensure_worker_plan,
+    install_plan,
+    maybe_fault,
+    uninstall_plan,
+)
+from repro.chaos.plan import FaultPlan, FaultRule
+from repro.obs.metrics import MetricsRegistry, collecting
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos_state():
+    uninstall_plan()
+    yield
+    uninstall_plan()
+
+
+def always(site):
+    return FaultPlan(0, [FaultRule(site, rate=1.0)])
+
+
+def test_disabled_by_default():
+    assert active_plan() is None
+    assert maybe_fault("service.dispatch.error") is None
+
+
+def test_install_and_uninstall():
+    plan = always("service.dispatch.error")
+    install_plan(plan)
+    assert active_plan() is plan
+    assert FaultPlan.from_json(os.environ[CHAOS_PLAN_ENV]).plan_hash == plan.plan_hash
+    uninstall_plan()
+    assert active_plan() is None
+    assert CHAOS_PLAN_ENV not in os.environ
+
+
+def test_context_manager_restores_previous_plan_and_env():
+    outer = always("service.dispatch.error")
+    inner = always("cache.bitflip")
+    install_plan(outer)
+    outer_env = os.environ[CHAOS_PLAN_ENV]
+    with chaos(inner):
+        assert active_plan() is inner
+        assert os.environ[CHAOS_PLAN_ENV] != outer_env
+    assert active_plan() is outer
+    assert os.environ[CHAOS_PLAN_ENV] == outer_env
+
+
+def test_maybe_fault_returns_decisions_and_counts_metrics():
+    with chaos(always("service.dispatch.error")):
+        with collecting() as registry:
+            decision = maybe_fault("service.dispatch.error")
+            assert decision is not None
+            assert decision.site == "service.dispatch.error"
+            assert decision.index == 0
+            assert maybe_fault("cache.bitflip") is None  # no rule
+            assert (
+                registry.value(
+                    "chaos_faults_injected_total",
+                    site="service.dispatch.error",
+                )
+                == 1
+            )
+
+
+def test_maybe_fault_pinned_registry_wins():
+    pinned = MetricsRegistry()
+    with chaos(always("cache.bitflip")):
+        assert maybe_fault("cache.bitflip", pinned) is not None
+    assert pinned.value("chaos_faults_injected_total", site="cache.bitflip") == 1
+
+
+def test_ensure_worker_plan_scopes_from_env():
+    plan = FaultPlan(5, [FaultRule("pool.worker.crash", rate=0.5)])
+    install_plan(plan)
+    worker_plan = ensure_worker_plan("worker:2")
+    assert worker_plan is not None
+    assert worker_plan.scope == "worker:2"
+    assert worker_plan.plan_hash == plan.plan_hash
+    assert active_plan() is worker_plan
+    # Same salt → same stream; different salt → decorrelated stream.
+    again = FaultPlan.from_json(plan.to_json()).scoped("worker:2")
+    assert worker_plan.sequence("pool.worker.crash", 50) == again.sequence(
+        "pool.worker.crash", 50
+    )
+
+
+def test_ensure_worker_plan_without_env_is_noop():
+    assert ensure_worker_plan("worker:0") is None
+
+
+def test_ensure_worker_plan_tolerates_malformed_env():
+    os.environ[CHAOS_PLAN_ENV] = "{not json"
+    try:
+        assert ensure_worker_plan("worker:0") is None
+    finally:
+        os.environ.pop(CHAOS_PLAN_ENV, None)

@@ -1,0 +1,179 @@
+"""FaultPlan unit tests: determinism, identity, scoping, caps."""
+
+import pytest
+
+from repro.chaos.plan import FAULT_SITES, FaultPlan, FaultRule
+from repro.errors import ChaosError, ReproError
+
+
+def make_plan(seed=7, **rule_kwargs):
+    return FaultPlan(
+        seed, [FaultRule("service.dispatch.error", **rule_kwargs)]
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        a = make_plan(rate=0.3).sequence("service.dispatch.error", 200)
+        b = make_plan(rate=0.3).sequence("service.dispatch.error", 200)
+        assert a == b
+        assert any(a) and not all(a)  # a real mix of fire and skip
+
+    def test_different_seeds_differ(self):
+        a = make_plan(seed=1, rate=0.3).sequence("service.dispatch.error", 200)
+        b = make_plan(seed=2, rate=0.3).sequence("service.dispatch.error", 200)
+        assert a != b
+
+    def test_decide_matches_sequence_preview(self):
+        plan = make_plan(rate=0.4)
+        preview = plan.sequence("service.dispatch.error", 100)
+        fired = [
+            plan.decide("service.dispatch.error") is not None
+            for _ in range(100)
+        ]
+        assert fired == preview
+
+    def test_decide_is_order_free_across_sites(self):
+        """Per-site streams are independent: interleaving probes of two
+        sites does not change either site's decisions."""
+        rules = [
+            FaultRule("service.dispatch.error", rate=0.5),
+            FaultRule("cache.bitflip", rate=0.5),
+        ]
+        solo = FaultPlan(3, rules)
+        expected_a = solo.sequence("service.dispatch.error", 50)
+        expected_b = solo.sequence("cache.bitflip", 50)
+        plan = FaultPlan(3, rules)
+        got_a, got_b = [], []
+        for _ in range(50):
+            got_b.append(plan.decide("cache.bitflip") is not None)
+            got_a.append(plan.decide("service.dispatch.error") is not None)
+        assert got_a == expected_a
+        assert got_b == expected_b
+
+
+class TestRuleKnobs:
+    def test_rate_zero_never_fires(self):
+        plan = make_plan(rate=0.0)
+        assert not any(plan.sequence("service.dispatch.error", 500))
+
+    def test_rate_one_always_fires(self):
+        plan = make_plan(rate=1.0)
+        assert all(plan.sequence("service.dispatch.error", 50))
+
+    def test_after_skips_warmup_probes(self):
+        plan = make_plan(rate=1.0, after=10)
+        seq = plan.sequence("service.dispatch.error", 15)
+        assert seq == [False] * 10 + [True] * 5
+        for _ in range(10):
+            assert plan.decide("service.dispatch.error") is None
+        decision = plan.decide("service.dispatch.error")
+        assert decision is not None
+        assert decision.index == 10
+
+    def test_max_faults_caps_total_fires(self):
+        plan = make_plan(rate=1.0, max_faults=3)
+        fired = [
+            plan.decide("service.dispatch.error") is not None
+            for _ in range(10)
+        ]
+        assert sum(fired) == 3
+        assert fired[:3] == [True, True, True]
+        assert plan.fired_counts() == {"service.dispatch.error": 3}
+
+    def test_param_rides_on_the_decision(self):
+        plan = FaultPlan(
+            0, [FaultRule("pool.worker.hang", rate=1.0, param=1.25)]
+        )
+        decision = plan.decide("pool.worker.hang")
+        assert decision is not None
+        assert decision.param == 1.25
+
+    def test_unruled_site_never_fires(self):
+        plan = make_plan(rate=1.0)
+        assert plan.decide("cache.bitflip") is None
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault site"):
+            FaultRule("service.dispatch.typo")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ChaosError, match="rate"):
+            FaultRule("cache.bitflip", rate=1.5)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ChaosError, match="duplicate"):
+            FaultPlan(
+                0,
+                [FaultRule("cache.bitflip"), FaultRule("cache.bitflip")],
+            )
+
+    def test_malformed_json_wrapped(self):
+        with pytest.raises(ChaosError, match="malformed fault plan"):
+            FaultPlan.from_json("{not json")
+
+    def test_missing_file_wrapped(self, tmp_path):
+        with pytest.raises(ChaosError, match="cannot read fault plan"):
+            FaultPlan.from_file(tmp_path / "nope.json")
+
+    def test_plan_errors_are_repro_errors(self):
+        # the CLI maps ReproError to `repro-color: error: ...` + exit 2
+        with pytest.raises(ReproError):
+            FaultRule("service.dispatch.typo")
+
+    def test_every_documented_site_is_constructible(self):
+        for site in FAULT_SITES:
+            FaultRule(site)
+
+
+class TestIdentityAndSerialization:
+    def test_round_trip_preserves_decisions(self):
+        plan = FaultPlan(
+            11,
+            [
+                FaultRule("service.dispatch.error", rate=0.25, max_faults=4),
+                FaultRule("pool.worker.crash", rate=0.1, after=2, param=3.0),
+            ],
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.plan_hash == plan.plan_hash
+        for site in plan.rules:
+            assert clone.sequence(site, 100) == plan.sequence(site, 100)
+
+    def test_plan_hash_ignores_scope(self):
+        plan = make_plan(rate=0.5)
+        assert plan.scoped("worker:3").plan_hash == plan.plan_hash
+
+    def test_plan_hash_sensitive_to_rules_and_seed(self):
+        base = make_plan(rate=0.5)
+        assert make_plan(rate=0.6).plan_hash != base.plan_hash
+        assert make_plan(seed=8, rate=0.5).plan_hash != base.plan_hash
+
+    def test_from_file(self, tmp_path):
+        plan = make_plan(rate=0.5)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_file(path).plan_hash == plan.plan_hash
+
+
+class TestScoping:
+    def test_scoped_streams_are_deterministic(self):
+        a = make_plan(rate=0.3).scoped("worker:1")
+        b = make_plan(rate=0.3).scoped("worker:1")
+        assert a.sequence("service.dispatch.error", 100) == b.sequence(
+            "service.dispatch.error", 100
+        )
+
+    def test_scopes_decorrelate_workers(self):
+        plan = make_plan(rate=0.3)
+        streams = {
+            salt: plan.scoped(salt).sequence("service.dispatch.error", 200)
+            for salt in ("worker:0", "worker:1", "worker:2")
+        }
+        assert len({tuple(s) for s in streams.values()}) == 3
+
+    def test_scoping_nests(self):
+        plan = make_plan(rate=0.3).scoped("a").scoped("b")
+        assert plan.scope == "a/b"

@@ -1,0 +1,126 @@
+"""Respawn-storm protection (chaos-layer satellite).
+
+A task that reliably kills its worker must surface as a
+:class:`~repro.errors.PoolTaskError` after its retry budget — costing
+exactly one restart per attempt, never an unbounded respawn loop — and
+the supervisor's sliding-window storm brake must defer respawns beyond
+``restart_burst`` per ``restart_window`` instead of thrashing fork.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import execute_task
+from repro.errors import PoolTaskError
+from repro.obs.metrics import MetricsRegistry
+from repro.pool import WorkerPool
+
+
+def task_dict(algorithm):
+    spec = CampaignSpec.build(
+        algorithms=[algorithm],
+        ns=[8],
+        input_families=["random"],
+        schedules=["sync"],
+        seeds=[0],
+    )
+    [task] = spec.expand()
+    return task.to_dict()
+
+
+def strip_elapsed(result):
+    return {k: v for k, v in result.items() if k != "elapsed"}
+
+
+@pytest.fixture
+def fault_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FAULT_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestBoundedRespawns:
+    def test_always_crashing_task_fails_without_storm(self, fault_dir):
+        """crash_always kills every worker it touches: the pool must
+        hand back PoolTaskError after retries+1 attempts, with exactly
+        one restart per attempt — not a respawn-per-dispatch loop."""
+        registry = MetricsRegistry()
+        task = task_dict("tests.campaign.faulty:crash_always")
+        retries = 2
+        with WorkerPool(2, registry=registry) as pool:
+            future = pool.submit_task(task, timeout=30.0, max_retries=retries)
+            with pytest.raises(PoolTaskError) as excinfo:
+                future.result(timeout=120)
+            stats = pool.stats()
+            assert stats["restarts"] == retries + 1
+            assert stats["workers"] == 2  # healed, not storming
+            assert stats["pending_respawns"] == 0
+        assert excinfo.value.attempts == retries + 1
+        assert (
+            registry.value("pool_worker_restarts_total", reason="crash")
+            == retries + 1
+        )
+        # Under the default burst budget nothing was deferred.
+        assert registry.value("pool_respawns_delayed_total", reason="crash") is None
+
+    def test_storm_brake_defers_respawns_beyond_burst(self, fault_dir):
+        """With a burst budget of 1 respawn per 0.5s window, a crash
+        streak must trip the brake (deferred respawns, counted in
+        ``pool_respawns_delayed_total``) and still heal once the window
+        slides — ending with a healthy pool that computes correctly."""
+        registry = MetricsRegistry()
+        crash = task_dict("tests.campaign.faulty:crash_always")
+        healthy = task_dict("fast5")
+        with WorkerPool(
+            1, registry=registry, restart_burst=1, restart_window=0.5
+        ) as pool:
+            with pytest.raises(PoolTaskError):
+                pool.submit_task(crash, timeout=30.0, max_retries=2).result(
+                    timeout=120
+                )
+            # Three crashes against a 1-per-window budget: at least one
+            # respawn was deferred rather than forked immediately.
+            delayed = registry.value(
+                "pool_respawns_delayed_total", reason="crash"
+            )
+            assert delayed is not None and delayed >= 1
+            # The brake delays healing but never abandons it: the pool
+            # must still run healthy work to completion afterwards.
+            outcome = pool.submit_task(
+                healthy, timeout=30.0, max_retries=2
+            ).result(timeout=120)
+            assert pool.stats()["workers"] == 1
+        want = execute_task(healthy).to_dict()
+        assert strip_elapsed(outcome.value) == strip_elapsed(want)
+
+    def test_submissions_do_not_bypass_the_brake(self, fault_dir):
+        """submit() refills missing workers up to capacity — but a
+        deferred respawn must stay deferred: new submissions while the
+        brake holds must not sneak extra forks past the budget."""
+        registry = MetricsRegistry()
+        crash = task_dict("tests.campaign.faulty:crash_always")
+        healthy = task_dict("fast5")
+        with WorkerPool(
+            1, registry=registry, restart_burst=1, restart_window=20.0
+        ) as pool:
+            with pytest.raises(PoolTaskError):
+                pool.submit_task(crash, timeout=30.0, max_retries=1).result(
+                    timeout=120
+                )
+            # Two crashes, budget one: a respawn is pending and the
+            # window is long, so the pool is momentarily at 0 workers.
+            deadline = time.monotonic() + 10.0
+            while (
+                pool.stats()["pending_respawns"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert pool.stats()["pending_respawns"] >= 1
+            before = pool.stats()["restarts"]
+            future = pool.submit_task(healthy, timeout=30.0, max_retries=2)
+            time.sleep(0.2)  # give a buggy submit() time to over-fork
+            stats = pool.stats()
+            assert stats["workers"] + stats["pending_respawns"] <= 1
+            assert stats["restarts"] == before
+            future.cancel()

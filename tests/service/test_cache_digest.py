@@ -1,0 +1,104 @@
+"""Content-digest seal tests: corruption detection end to end.
+
+The ``cache.bitflip`` fault site corrupts the *stored* copy of a
+response at cache-put time while handing the in-flight waiters the
+genuine object — so the corruption is only observable on the next
+cache hit, exactly where the digest check sits.
+"""
+
+import pytest
+
+from repro.chaos.plan import FaultPlan, FaultRule
+from repro.service.cache import LRUCache
+from repro.service.client import ServiceClient
+from repro.service.schema import ColorRequest, ColorResponse
+from repro.service.server import ServerThread
+
+
+def request_of(seed, *, n=16):
+    return ColorRequest.build(
+        "fast5", n, schedule="bernoulli", seed=seed, max_time=200_000
+    )
+
+
+class TestDigestSeal:
+    def test_digest_round_trips_and_validates(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                body = client.color(request_of(1)).body
+        response = ColorResponse.from_dict(body)
+        assert response.content_digest
+        assert response.digest_ok
+        assert response.content_digest == response.compute_digest()
+
+    def test_tampering_breaks_the_seal(self):
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                body = dict(client.color(request_of(1)).body)
+        body["colors_used"] = list(body["colors_used"]) + ["tampered"]
+        assert not ColorResponse.from_dict(body).digest_ok
+
+    def test_empty_digest_is_vacuously_ok(self):
+        """Back-compat: pre-digest payloads (no seal) still load."""
+        with ServerThread() as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                body = dict(client.color(request_of(1)).body)
+        body["content_digest"] = ""
+        assert ColorResponse.from_dict(body).digest_ok
+
+
+class TestLRUCacheInvalidate:
+    def test_invalidate_removes_without_counting_eviction(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        assert cache.invalidate("k") is True
+        assert cache.get("k") is None
+        assert cache.invalidate("k") is False
+        assert cache.stats()["evictions"] == 0
+
+
+class TestBitflipDetection:
+    def test_corrupted_cache_entry_detected_and_recomputed(self):
+        # Exactly one bit flip: the first cache put stores a corrupted
+        # copy.  The first reply (the in-flight waiter) is genuine; the
+        # second request hits the poisoned entry, the digest check
+        # rejects it, and the service recomputes instead of serving it.
+        plan = FaultPlan(
+            0, [FaultRule("cache.bitflip", rate=1.0, max_faults=1)]
+        )
+        with ServerThread(chaos=plan, coalesce_window=0.01) as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                first = client.color(request_of(3))
+                assert first.status == 200
+                genuine = ColorResponse.from_dict(first.body)
+                assert genuine.digest_ok
+
+                second = client.color(request_of(3))
+                assert second.status == 200
+                recomputed = ColorResponse.from_dict(second.body)
+                assert recomputed.digest_ok
+                assert second.body["cached"] is False  # hit was rejected
+                assert (
+                    recomputed.deterministic_dict()
+                    == genuine.deterministic_dict()
+                )
+
+                # Third time: the re-put entry is clean (max_faults=1),
+                # so the cache serves it and the digest holds.
+                third = client.color(request_of(3))
+                assert third.status == 200
+                assert third.body["cached"] is True
+                assert ColorResponse.from_dict(third.body).digest_ok
+
+            assert (
+                server.registry.value("service_cache_digest_failures_total")
+                == 1
+            )
+            metrics_site = server.registry.value(
+                "chaos_faults_injected_total", site="cache.bitflip"
+            )
+            assert metrics_site == 1

@@ -1,0 +1,239 @@
+"""ServiceClient resilience tests: timeout semantics, retries, breaker.
+
+The timeout test pins the satellite fix: after a socket timeout the
+client must *not* transparently re-send (the server may still be
+processing the original), it must drop the connection and raise
+:class:`~repro.errors.ServiceTimeout`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.chaos.plan import FaultPlan, FaultRule
+from repro.chaos.resilience import BackoffPolicy, CircuitBreaker
+from repro.errors import ServiceError, ServiceTimeout
+from repro.service.client import ServiceClient
+from repro.service.schema import ColorRequest
+from repro.service.server import ServerThread
+
+
+def request_of(seed, *, n=16, max_time=200_000):
+    return ColorRequest.build(
+        "fast5", n, schedule="bernoulli", seed=seed, max_time=max_time
+    )
+
+
+class RecordingSleeper:
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, delay):
+        self.delays.append(delay)  # never actually sleeps
+
+
+class TestTimeoutSemantics:
+    def test_socket_timeout_raises_not_retries(self):
+        # A slow handler (injected dispatch latency far beyond the
+        # client timeout) must surface as ServiceTimeout.  Were the old
+        # behavior still in place — socket.timeout swallowed by the
+        # OSError reconnect arm — the client would silently re-send and
+        # this would either succeed or raise ServiceError instead.
+        plan = FaultPlan(
+            0, [FaultRule("service.dispatch.latency", rate=1.0, param=5.0)]
+        )
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(port=server.port, timeout=0.5) as client:
+                assert client.wait_ready(10)
+                started = time.monotonic()
+                with pytest.raises(ServiceTimeout) as info:
+                    client.color(request_of(1))
+                elapsed = time.monotonic() - started
+                # One timeout's worth of waiting, not two (no re-send).
+                assert 0.4 <= elapsed < 2.0
+                assert info.value.elapsed >= 0.4
+                # The mid-exchange connection was dropped, and the next
+                # call gets a fresh one that works once chaos is spent.
+                assert client._conn is None
+
+    def test_dead_server_still_raises_service_error(self):
+        with ServerThread() as server:
+            port = server.port
+        with ServiceClient(port=port, timeout=2.0) as client:
+            with pytest.raises(ServiceError):
+                client.healthz()
+
+
+class TestRetryLoop:
+    def test_retries_injected_500s_to_success(self):
+        plan = FaultPlan(
+            0, [FaultRule("service.dispatch.error", rate=1.0, max_faults=2)]
+        )
+        sleeper = RecordingSleeper()
+        policy = BackoffPolicy(base=0.01, jitter=0.0, seed=0, max_retries=4)
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(
+                port=server.port, resilience=policy, sleeper=sleeper
+            ) as client:
+                assert client.wait_ready(10)
+                reply = client.color(request_of(2))
+        assert reply.status == 200
+        assert reply.attempts == 3  # two injected 500s, then success
+        assert sleeper.delays == [0.01, 0.02]  # deterministic schedule
+
+    def test_retry_budget_exhausts_and_returns_last_reply(self):
+        plan = FaultPlan(
+            0, [FaultRule("service.dispatch.error", rate=1.0)]
+        )
+        sleeper = RecordingSleeper()
+        policy = BackoffPolicy(base=0.01, jitter=0.0, max_retries=2)
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(
+                port=server.port, resilience=policy, sleeper=sleeper
+            ) as client:
+                assert client.wait_ready(10)
+                reply = client.color(request_of(3))
+        assert reply.status == 500
+        assert reply.body.get("injected") is True
+        assert reply.attempts == 3  # initial + max_retries
+        assert len(sleeper.delays) == 2
+
+    def test_429_honors_retry_after(self):
+        plan = FaultPlan(
+            0,
+            [
+                FaultRule(
+                    "service.queue.saturate", rate=1.0, max_faults=1,
+                    param=0.8,
+                )
+            ],
+        )
+        sleeper = RecordingSleeper()
+        policy = BackoffPolicy(base=0.01, cap=2.0, jitter=0.0, max_retries=3)
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(
+                port=server.port, resilience=policy, sleeper=sleeper
+            ) as client:
+                assert client.wait_ready(10)
+                reply = client.color(request_of(4))
+        assert reply.status == 200
+        assert reply.attempts == 2
+        # The injected Retry-After (0.8s) overrides the 0.01s schedule.
+        assert sleeper.delays == [0.8]
+
+    def test_deadline_caps_the_retry_loop(self):
+        # A real sleeper here: the deadline is a wall-clock budget, so
+        # the backoff sleeps must actually consume it.
+        plan = FaultPlan(0, [FaultRule("service.dispatch.error", rate=1.0)])
+        slept = []
+
+        def sleeper(delay):
+            slept.append(delay)
+            time.sleep(delay)
+
+        policy = BackoffPolicy(base=10.0, cap=10.0, jitter=0.0, max_retries=8)
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(
+                port=server.port, resilience=policy,
+                deadline=0.4, sleeper=sleeper,
+            ) as client:
+                assert client.wait_ready(10)
+                started = time.monotonic()
+                reply = client.color(request_of(5))
+                elapsed = time.monotonic() - started
+        assert reply.status == 500
+        # The 10s backoff was clamped into the 0.4s budget: one clamped
+        # sleep spends it, then the loop stops instead of using all 8.
+        assert reply.attempts <= 3
+        assert all(d <= 0.4 for d in slept)
+        assert elapsed < 5.0
+
+    def test_one_shot_without_policy_is_unchanged(self):
+        plan = FaultPlan(
+            0, [FaultRule("service.dispatch.error", rate=1.0, max_faults=1)]
+        )
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(port=server.port) as client:
+                assert client.wait_ready(10)
+                reply = client.color(request_of(6))
+        assert reply.status == 500
+        assert reply.attempts == 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_fails_fast_with_synthetic_503(self):
+        plan = FaultPlan(0, [FaultRule("service.dispatch.error", rate=1.0)])
+        sleeper = RecordingSleeper()
+        policy = BackoffPolicy(base=0.001, jitter=0.0, max_retries=6)
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=60.0)
+        with ServerThread(chaos=plan) as server:
+            with ServiceClient(
+                port=server.port, resilience=policy,
+                breaker=breaker, sleeper=sleeper,
+            ) as client:
+                assert client.wait_ready(10)
+                reply = client.color(request_of(7))
+        # Three real 500s trip the breaker; the remaining attempts are
+        # answered locally without touching the network.
+        assert reply.status == 503
+        assert reply.body["circuit_open"] is True
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_healthy_traffic_never_trips(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=60.0)
+        policy = BackoffPolicy(base=0.001, max_retries=2)
+        with ServerThread() as server:
+            with ServiceClient(
+                port=server.port, resilience=policy, breaker=breaker
+            ) as client:
+                assert client.wait_ready(10)
+                for seed in range(3):
+                    assert client.color(request_of(seed)).status == 200
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestLoadgenRetryMode:
+    def test_loadgen_retry_summary(self):
+        from repro.service.loadgen import run_loadgen
+
+        plan = FaultPlan(
+            1, [FaultRule("service.dispatch.error", rate=0.3, max_faults=6)]
+        )
+        with ServerThread(chaos=plan, coalesce_window=0.01) as server:
+            summary = run_loadgen(
+                port=server.port,
+                requests=24,
+                concurrency=3,
+                n=16,
+                retry=True,
+                retry_policy=BackoffPolicy(
+                    base=0.01, jitter=0.5, seed=0, max_retries=6
+                ),
+                timeout=30.0,
+            )
+        assert summary["statuses"] == {"200": 24}
+        assert summary["outcomes"]["errors"] == 0
+        assert summary["retries"]["enabled"] is True
+        assert summary["retries"]["total"] >= 1
+        histogram = summary["retries"]["attempts_histogram"]
+        assert sum(histogram.values()) == 24
+        assert (
+            sum((int(k) - 1) * v for k, v in histogram.items())
+            == summary["retries"]["total"]
+        )
+
+    def test_loadgen_default_counts_429s_instead_of_retrying(self):
+        from repro.service.loadgen import run_loadgen
+
+        plan = FaultPlan(
+            0, [FaultRule("service.queue.saturate", rate=1.0, param=0.01)]
+        )
+        with ServerThread(chaos=plan) as server:
+            summary = run_loadgen(
+                port=server.port, requests=6, concurrency=2, n=16,
+            )
+        assert summary["retries"]["enabled"] is False
+        assert summary["retries"]["total"] == 0
+        assert summary["shed"] == 6
+        assert summary["statuses"].get("429") == 6
